@@ -1,0 +1,179 @@
+// Command rhythm-bench regenerates the paper's tables and figures. Each
+// subcommand reproduces one experiment; "all" runs the full evaluation.
+//
+// Usage:
+//
+//	rhythm-bench [flags] <experiment>
+//
+// Experiments: table1 table2 table3 fig2 fig8 fig9 fig10 scaling
+// resources cohort-sweep parser hyperq ablations timeout all
+//
+// Flags scale the runs; -paper uses the paper's cohort geometry
+// (4096-request cohorts, 8 contexts), which takes several minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhythm/internal/harness"
+	"rhythm/internal/sim"
+)
+
+func main() {
+	var (
+		paper    = flag.Bool("paper", false, "use the paper's cohort geometry (slower)")
+		cohort   = flag.Int("cohort", 0, "override cohort size")
+		contexts = flag.Int("contexts", 0, "override in-flight cohort contexts")
+		gpuCoh   = flag.Int("gpu-cohorts", 0, "override cohorts per GPU isolation run")
+		cpuReqs  = flag.Int("cpu-requests", 0, "override requests per CPU isolation run")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+	)
+	flag.Usage = usage
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *paper {
+		cfg = harness.PaperScaleConfig()
+	}
+	if *cohort > 0 {
+		cfg.CohortSize = *cohort
+	}
+	if *contexts > 0 {
+		cfg.MaxCohorts = *contexts
+	}
+	if *gpuCoh > 0 {
+		cfg.GPUCohortsPerType = *gpuCoh
+	}
+	if *cpuReqs > 0 {
+		cfg.CPURequestsPerType = *cpuReqs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	what := flag.Arg(0)
+	if what == "" {
+		what = "all"
+	}
+	if err := run(cfg, what); err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `rhythm-bench regenerates the Rhythm paper's evaluation.
+
+Usage: rhythm-bench [flags] <experiment>
+
+Experiments:
+  table1        platform inventory (Table 1)
+  table2        workload characterization (Table 2)
+  table3        main results: all platforms (Table 3)
+  fig2          request-similarity trace study (Figure 2)
+  fig8          throughput-efficiency scatter (Figures 8a/8b; implies table3)
+  fig9          Titan A vs PCIe bound (Figure 9)
+  fig10         Titan B per-type analysis (Figure 10; implies table3)
+  scaling       many-core scaling comparison (Sec 6.2; implies table3)
+  resources     network/memory requirements (Sec 6.3; implies table3)
+  cohort-sweep  cohort size sensitivity (Sec 6.4)
+  parser        parser divergence on mixed cohorts (Sec 6.4)
+  hyperq        single work queue vs HyperQ (Sec 6.4)
+  pcie4         Titan A on PCIe 4.0 projection (Sec 6.1.1)
+  cpu-simd      Rhythm cohorts in AVX on the Core i7 (Sec 6.4 future work)
+  stragglers    straggler timeout under a heavy-tailed backend (Sec 3.1)
+  gpufs         check_detail_images via a GPUfs image cache (Sec 5.1 future work)
+  quick-pay     quick_pay with variable kernel launches (Sec 5.1 extension)
+  scale-out     N devices behind one front-end link (Sec 3.2 future work)
+  ablations     padding / transpose / intra-request ablations
+  timeout       cohort formation timeout policy sweep
+  all           everything above
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(cfg harness.Config, what string) error {
+	out := os.Stdout
+	// Experiments that reuse the (expensive) Table 3 runs share one.
+	var t3 *harness.Table3Result
+	table3 := func() harness.Table3Result {
+		if t3 == nil {
+			fmt.Fprintln(out, "running Table 3 platforms (14 request types x 9 configurations)...")
+			r := harness.Table3(cfg)
+			t3 = &r
+		}
+		return *t3
+	}
+
+	do := map[string]func(){
+		"table1": func() { harness.Table1().Print(out) },
+		"table2": func() { harness.Table2(cfg).Render().Print(out) },
+		"table3": func() { table3().Render().Print(out) },
+		"fig2":   func() { harness.Fig2(cfg).Render().Print(out) },
+		"fig8": func() {
+			r := table3()
+			harness.RenderFig8(harness.Fig8(r, false), false).Print(out)
+			harness.RenderFig8(harness.Fig8(r, true), true).Print(out)
+		},
+		"fig9": func() {
+			fmt.Fprintln(out, "running Titan A isolation runs...")
+			a := harness.RunTitan(cfg, harness.TitanRunOptions{Variant: harness.TitanA})
+			harness.RenderFig9(harness.Fig9(a)).Print(out)
+		},
+		"fig10":     func() { harness.RenderFig10(harness.Fig10(table3())).Print(out) },
+		"scaling":   func() { harness.Scaling(table3()).Render().Print(out) },
+		"resources": func() { harness.Resources(table3()).Render().Print(out) },
+		"cohort-sweep": func() {
+			sizes := []int{256, 512, 1024, 2048, 4096, 8192}
+			harness.RenderCohortSweep(harness.CohortSweep(cfg, sizes)).Print(out)
+		},
+		"parser":     func() { harness.RenderParser(harness.ParserStudy(cfg)).Print(out) },
+		"hyperq":     func() { harness.HyperQ(cfg).Render().Print(out) },
+		"pcie4":      func() { harness.PCIe4Projection(cfg).Render().Print(out) },
+		"stragglers": func() { harness.RenderStragglers(harness.StragglerStudy(cfg)).Print(out) },
+		"gpufs":      func() { harness.CheckImagesStudy(cfg).Render().Print(out) },
+		"quick-pay":  func() { harness.QuickPayStudy(cfg).Render().Print(out) },
+		"scale-out":  func() { harness.ScaleOutStudy(cfg, []int{1, 2, 4, 8, 16}).Render().Print(out) },
+		"cpu-simd": func() {
+			c := cfg
+			if c.CohortSize > 1024 {
+				c.CohortSize = 1024 // AVX cohorts don't need GPU-scale batches
+			}
+			harness.CPUSIMDStudy(c).Render().Print(out)
+		},
+		"ablations": func() {
+			harness.RenderAblation(harness.AblatePadding(cfg)).Print(out)
+			harness.RenderAblation(harness.AblateTranspose(cfg)).Print(out)
+			harness.RenderIntra(harness.IntraVsInter(cfg)).Print(out)
+		},
+		"timeout": func() {
+			timeouts := []sim.Time{
+				sim.Time(50_000), sim.Time(200_000), sim.Time(1_000_000), sim.Time(10_000_000),
+			}
+			harness.RenderTimeouts(harness.TimeoutSweep(cfg, timeouts, 2e6)).Print(out)
+		},
+	}
+
+	order := []string{
+		"table1", "table2", "fig2", "table3", "fig8", "fig9", "fig10",
+		"scaling", "resources", "cohort-sweep", "parser", "hyperq",
+		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out", "ablations", "timeout",
+	}
+	if what == "all" {
+		fmt.Fprintf(out, "Rhythm reproduction: full evaluation (cohort=%d contexts=%d)\n\n", cfg.CohortSize, cfg.MaxCohorts)
+		for _, name := range order {
+			do[name]()
+		}
+		return nil
+	}
+	f, ok := do[what]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (run with -h for the list)", what)
+	}
+	f()
+	return nil
+}

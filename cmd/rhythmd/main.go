@@ -1,0 +1,45 @@
+// Command rhythmd serves the SPECWeb2009 Banking workload over real TCP
+// using the reproduction's host execution path — the same services the
+// SIMT kernels run, so the pages are byte-identical to what the device
+// pipeline generates. Use it to poke the workload with curl or a
+// browser.
+//
+// Usage:
+//
+//	rhythmd [-addr :8080] [-seed-users 8]
+//
+// It prints demo credentials at startup; log in with
+// POST /login.php (userid, passwd) and browse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rhythm"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	seedUsers := flag.Int("seed-users", 8, "demo user accounts to print credentials for")
+	flag.Parse()
+
+	srv := rhythm.NewTCPServer(1 << 16)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rhythmd: SPECWeb Banking on http://%s\n", srv.Addr())
+	fmt.Println("demo credentials (POST /login.php with userid & passwd):")
+	for i := 1; i <= *seedUsers; i++ {
+		uid, pw := srv.Seed(uint64(1000 + i))
+		fmt.Printf("  userid=%d passwd=%s\n", uid, pw)
+	}
+	fmt.Println("example:")
+	uid, pw := srv.Seed(1001)
+	fmt.Printf("  curl -si -c /tmp/jar -d 'userid=%d&passwd=%s' http://%s/login.php | head -5\n", uid, pw, srv.Addr())
+	fmt.Printf("  curl -si -b /tmp/jar http://%s/account_summary.php | head -20\n", srv.Addr())
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+}

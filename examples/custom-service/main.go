@@ -1,0 +1,107 @@
+// Custom service: program the SIMT device directly. This example skips
+// the banking workload and writes a fresh cohort kernel against the
+// simulator's public surface via the internal packages' documented
+// pattern: a basic-block Program, coalesced column-major stores, and a
+// divergence experiment you can read off the launch statistics.
+//
+// It is the "how do I put MY workload on Rhythm" demo: a tiny JSON echo
+// service where every thread formats one request's response.
+//
+// Run with: go run ./examples/custom-service
+package main
+
+import (
+	"fmt"
+
+	"rhythm/internal/mem"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+)
+
+// echoService is a cohort kernel: each thread formats a JSON response
+// for one request. Block 0 parses, block 1 formats the common case,
+// block 2 is a rare error path (divergent), block 3 stores the response
+// column-major.
+type echoService struct {
+	in      mem.Addr // cohort input: one 64-byte slot per request
+	out     mem.Addr // cohort output: 256-byte column-major slots
+	cohort  int
+	payload func(id int) string
+}
+
+func (echoService) Name() string        { return "json_echo" }
+func (echoService) Entry() simt.BlockID { return 0 }
+
+func (s echoService) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
+	switch b {
+	case 0: // read this thread's request slot (coalesced strided load)
+		t.LoadStrided(s.in+mem.Addr(4*t.ID), 16, 4, 4*s.cohort)
+		t.Compute(64) // parse
+		if t.ID%97 == 0 {
+			return 2 // malformed: the divergent path
+		}
+		return 1
+	case 1: // format the common response
+		t.Compute(400)
+		return 3
+	case 2: // error path: cheaper body, but the warp serializes over it
+		t.Compute(80)
+		return 3
+	case 3: // store 256 bytes column-major: lanes' words coalesce
+		body := fmt.Sprintf(`{"id":%d,"ok":%t,"echo":%q}`, t.ID, t.ID%97 != 0, s.payload(t.ID))
+		buf := make([]byte, 256)
+		copy(buf, body)
+		t.StoreStrided(s.out+mem.Addr(4*t.ID), buf, 4, 4*s.cohort)
+		return simt.Halt
+	}
+	panic("bad block")
+}
+
+func main() {
+	const cohort = 1024
+	eng := sim.NewEngine()
+	dev := simt.NewDevice(eng, simt.GTXTitan(), 32<<20, nil)
+
+	svc := echoService{
+		in:      dev.Mem.Alloc(cohort*64, 256),
+		out:     dev.Mem.Alloc(cohort*256, 256),
+		cohort:  cohort,
+		payload: func(id int) string { return fmt.Sprintf("req-%04d", id) },
+	}
+	// Fill the input slots (the reader/H2D step of a real pipeline).
+	for i := 0; i < cohort; i++ {
+		dev.Mem.Write(svc.in+mem.Addr(i*64), []byte(fmt.Sprintf("payload %d", i)))
+	}
+
+	var st simt.LaunchStats
+	stream := dev.NewStream()
+	stream.Launch(svc, cohort, nil, func(ls simt.LaunchStats) { st = ls })
+	eng.Run()
+
+	fmt.Println("custom cohort service on the simulated GTX Titan")
+	fmt.Printf("  cohort:              %d requests in %d warps\n", st.Threads, st.Warps)
+	fmt.Printf("  kernel time:         %v  (%.2fM reqs/s)\n", st.Duration,
+		float64(cohort)/st.Duration.Seconds()/1e6)
+	fmt.Printf("  issue cycles:        %d  (%.1f per request — fetch amortized %d-wide)\n",
+		st.IssueCycles, float64(st.IssueCycles)/cohort, dev.Cfg.WarpSize)
+	fmt.Printf("  memory transactions: %d (%.1f useful bytes per 128B segment)\n",
+		st.Transactions, float64(cohort*(64+256))/float64(st.Transactions))
+	fmt.Printf("  divergent blocks:    %d (the id%%97 error path)\n", st.DivergentExec)
+
+	// Read a response back like the response stage would.
+	resp := dev.Mem.Bytes(svc.out, cohort*256)
+	var sample []byte
+	for w := 0; w < 64; w++ { // un-interleave request 5's column
+		sample = append(sample, resp[w*4*cohort+5*4:w*4*cohort+5*4+4]...)
+	}
+	fmt.Printf("  request 5 response:  %s\n", trimNul(sample))
+}
+
+func trimNul(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

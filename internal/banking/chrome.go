@@ -1,0 +1,153 @@
+package banking
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shared page chrome: the static styling and navigation every SPECWeb
+// Banking page carries. On the device these strings live in constant
+// memory (§4.6).
+
+const cssBlock = `<style type="text/css">
+body { font-family: Verdana, Arial, sans-serif; font-size: 11px; margin: 0; background: #f4f6f8; color: #222; }
+#banner { background: #003366; color: #ffffff; padding: 10px 18px; font-size: 20px; letter-spacing: 1px; }
+#banner .tag { font-size: 10px; color: #9fb6cc; display: block; }
+#nav { background: #e8eef4; border-bottom: 1px solid #b8c4d0; padding: 6px 18px; }
+#nav a { color: #003366; margin-right: 14px; text-decoration: none; font-weight: bold; }
+#nav a:hover { text-decoration: underline; }
+#content { padding: 16px 22px; }
+h1 { font-size: 16px; color: #003366; border-bottom: 2px solid #7a94ad; padding-bottom: 4px; }
+h2 { font-size: 13px; color: #1d4a73; margin-top: 18px; }
+table.data { border-collapse: collapse; width: 100%; margin: 8px 0; }
+table.data th { background: #d7e1ea; text-align: left; padding: 4px 8px; border: 1px solid #b8c4d0; }
+table.data td { padding: 4px 8px; border: 1px solid #ccd6e0; background: #ffffff; }
+table.data tr.alt td { background: #f0f4f8; }
+.amount { text-align: right; font-family: "Courier New", monospace; }
+.debit { color: #a40000; } .credit { color: #006400; }
+.error { color: #a40000; font-weight: bold; }
+.fine { color: #667; font-size: 9px; line-height: 1.5; }
+form.bank label { display: inline-block; width: 140px; font-weight: bold; }
+form.bank input, form.bank select { margin: 3px 0; font-size: 11px; }
+.button { background: #003366; color: #fff; border: 1px solid #001a33; padding: 3px 14px; }
+.notice { background: #fff8dc; border: 1px solid #d4c56a; padding: 8px; margin: 10px 0; }
+</style>
+`
+
+const bannerHTML = `<div id="banner">SPECweb2009 Community Bank<span class="tag">Online banking, reproduced for research</span></div>
+`
+
+const navHTML = `<div id="nav"><a href="/account_summary.php">Summary</a><a href="/bill_pay.php">Bill Pay</a><a href="/transfer.php">Transfer</a><a href="/order_check.php">Order Checks</a><a href="/profile.php">Profile</a><a href="/change_profile.php">Settings</a><a href="/add_payee.php">Payees</a><a href="/logout.php">Log Out</a></div>
+<div id="content">
+`
+
+const footHTML = `</div>
+<div id="footer"><p class="fine">&copy; 2009 SPECweb Community Bank &middot; Routing 000000000 &middot; This site is a benchmark workload; no real funds are held. Session activity is recorded for benchmarking purposes only.</p></div>
+</body></html>
+`
+
+// pageHead emits the document head and banner (static chrome).
+func pageHead(ctx *Ctx, title string) {
+	p := ctx.Page
+	p.Static("<!DOCTYPE html PUBLIC \"-//W3C//DTD HTML 4.01//EN\">\n<html><head><title>SPECweb Banking - ")
+	p.Static(title)
+	p.Static("</title>\n")
+	p.Static(cssBlock)
+	p.Static("</head><body>\n")
+	p.Static(bannerHTML)
+	p.Static(navHTML)
+}
+
+// compactCSS is the slim stylesheet the 4 KB login landing page uses
+// (the full chrome would not fit its Table 2 size).
+const compactCSS = `<style type="text/css">
+body { font-family: Verdana, Arial, sans-serif; font-size: 11px; margin: 0; background: #f4f6f8; color: #222; }
+#banner { background: #003366; color: #fff; padding: 10px 18px; font-size: 20px; }
+#content { padding: 16px 22px; }
+h1 { font-size: 16px; color: #003366; } h2 { font-size: 13px; color: #1d4a73; }
+table.data { border-collapse: collapse; } table.data th, table.data td { padding: 3px 8px; border: 1px solid #ccd6e0; }
+.amount { text-align: right; } .notice { background: #fff8dc; border: 1px solid #d4c56a; padding: 8px; }
+.fine { color: #667; font-size: 9px; }
+</style>
+`
+
+// pageHeadCompact emits the slim document head used by login.
+func pageHeadCompact(ctx *Ctx, title string) {
+	p := ctx.Page
+	p.Static("<!DOCTYPE html PUBLIC \"-//W3C//DTD HTML 4.01//EN\">\n<html><head><title>SPECweb Banking - ")
+	p.Static(title)
+	p.Static("</title>\n")
+	p.Static(compactCSS)
+	p.Static("</head><body>\n")
+	p.Static(bannerHTML)
+	p.Static("<div id=\"content\">\n")
+}
+
+// pageFoot fills the body with static boilerplate up to the page's
+// published content size and closes the document.
+func pageFoot(ctx *Ctx) {
+	p := ctx.Page
+	p.FillTo(ctx.Spec.ContentBytes() - len(footHTML))
+	p.Static(footHTML)
+}
+
+// greeting emits the per-user salutation — the first dynamic fragment of
+// every authenticated page — and realigns the cohort after it. Some
+// customers get an extra alert banner (a genuinely data-dependent branch:
+// the kind of per-request control-flow variation the §2.3 trace study
+// merges and the SIMT warps serialize).
+func greeting(ctx *Ctx, name string) {
+	p := ctx.Page
+	mark := p.Len()
+	p.Static("<p>Welcome back, <b>")
+	p.Dynamic(esc(name))
+	p.Static("</b>. Your last visit was recorded.</p>\n")
+	prev := p.LastBlock()
+	if ctx.UserID%4 == 0 {
+		p.Block(blockBase(ctx.Spec.Type) + 900)
+		p.Static("<p class=\"notice\">You have a secure message waiting in your inbox.</p>\n")
+	}
+	if ctx.UserID%8 == 1 {
+		p.Block(blockBase(ctx.Spec.Type) + 901)
+		p.Static("<p class=\"notice\">A statement is ready for one of your accounts.</p>\n")
+	}
+	p.Reconverge(prev)
+	p.PadTo(mark + 300)
+}
+
+// esc HTML-escapes dynamic text.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// money renders cents as a dollar amount.
+func money(cents int64) string {
+	sign := ""
+	if cents < 0 {
+		sign = "-"
+		cents = -cents
+	}
+	return fmt.Sprintf("%s$%d.%02d", sign, cents/100, cents%100)
+}
+
+// beLines splits a backend response into lines, reporting whether the
+// backend answered OK.
+func beLines(resp []byte) ([]string, bool) {
+	s := strings.TrimRight(string(resp), "\x00\n ")
+	lines := strings.Split(s, "\n")
+	if len(lines) == 0 || lines[0] != "OK" {
+		return lines, false
+	}
+	return lines[1:], true
+}
+
+// split3 splits "a|b|c"-style backend rows.
+func splitRow(row string) []string { return strings.Split(row, "|") }
+
+// atoi64 parses an int64, reporting ok.
+func atoi64(s string) (int64, bool) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	return v, err == nil
+}

@@ -1,0 +1,148 @@
+package banking
+
+import (
+	"fmt"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/httpx"
+	"rhythm/internal/session"
+)
+
+// Ctx carries one request through its process stages. It is shared by the
+// host (CPU baseline) execution path and the SIMT kernels: both run the
+// same stage functions, so the bytes produced — and the structural
+// instruction counts charged — are identical by construction.
+type Ctx struct {
+	Req      *httpx.Request
+	Sessions *session.Array
+	Spec     Spec
+	Page     *PageBuilder
+
+	// SID and UserID are resolved from the MY_ID cookie (or created at
+	// login).
+	SID    session.ID
+	UserID uint64
+	// NewCookie, when non-empty, is the Set-Cookie value of the response.
+	NewCookie string
+	// Err, when non-empty, marks the request failed; the response is an
+	// error page. Error requests take a divergent path in a cohort
+	// (§4.4) but still produce a full-size response buffer.
+	Err string
+	// Data carries service-private state between stages (e.g., login's
+	// parsed AUTH response while its TXNS round trip is in flight).
+	Data any
+	// Done marks early completion of a variable-stage service
+	// (quick_pay): the page is built and the remaining backend stages
+	// are skipped for this request, so its thread drops out of the
+	// cohort's later kernels.
+	Done bool
+
+	instr int64
+}
+
+// Charge adds n instructions of non-page work (parsing, session ops).
+func (c *Ctx) Charge(n int64) { c.instr += n }
+
+// Instr reports total instructions charged: fixed + stages + page.
+func (c *Ctx) Instr() int64 { return c.instr + c.Page.Instr() }
+
+// Fail marks the request failed with a reason.
+func (c *Ctx) Fail(reason string) { c.Err = reason }
+
+// Service implements one request type's process phase as the paper
+// structures it: n backend stages and n+1 process stages (§3.1). Stage i
+// (0 ≤ i < Backends) returns the backend request string to issue; the
+// final stage (i == Backends) returns nil after building ctx.Page.
+type Service struct {
+	Spec Spec
+	// NeedsSession is false only for login.
+	NeedsSession bool
+	Stage        func(ctx *Ctx, i int, backendResp []byte) (backendReq []byte)
+}
+
+// Services returns the full registry, indexed by ReqType.
+func Services() *[NumTypes]*Service { return &registry }
+
+// ServiceFor returns the service implementing t.
+func ServiceFor(t ReqType) *Service { return registry[t] }
+
+// NewCtx prepares a context for one parsed request: charges the fixed
+// cost, resolves the session (except for login), and seeds the page
+// builder. It returns the ctx even on failure (Err set) so an error page
+// can be rendered.
+func NewCtx(svc *Service, req *httpx.Request, sessions *session.Array, padding bool) *Ctx {
+	ctx := &Ctx{Req: req, Sessions: sessions, Spec: svc.Spec, Page: NewPageBuilder()}
+	ctx.Page.SetPadding(padding)
+	ctx.Charge(InstrFixed)
+	ctx.Page.Block(blockBase(svc.Spec.Type))
+	if !svc.NeedsSession {
+		return ctx
+	}
+	cookie := req.Cookie("MY_ID")
+	sid, ok := session.ParseID(cookie)
+	if !ok {
+		ctx.Fail("missing or malformed session cookie")
+		return ctx
+	}
+	uid, ok := sessions.Lookup(sid)
+	if !ok {
+		ctx.Fail("session expired")
+		return ctx
+	}
+	ctx.SID = sid
+	ctx.UserID = uid
+	ctx.NewCookie = "MY_ID=" + sid.String()
+	return ctx
+}
+
+// Execute runs one request through every stage against a local backend —
+// the host reference path used by CPU baselines, the TCP server, and the
+// validator. It returns the finished ctx.
+func Execute(svc *Service, req *httpx.Request, sessions *session.Array, db *backend.DB, padding bool) *Ctx {
+	ctx := NewCtx(svc, req, sessions, padding)
+	RunStages(svc, ctx, func(breq []byte) []byte { return db.Handle(breq) })
+	return ctx
+}
+
+// RunStages drives the stage functions, invoking callBackend for each
+// backend round trip. On error the stages stop and an error page is
+// built.
+func RunStages(svc *Service, ctx *Ctx, callBackend func([]byte) []byte) {
+	var bresp []byte
+	for i := 0; i <= svc.Spec.Backends; i++ {
+		if ctx.Err != "" || ctx.Done {
+			break
+		}
+		breq := svc.Stage(ctx, i, bresp)
+		if i < svc.Spec.Backends {
+			if ctx.Err != "" || ctx.Done {
+				break
+			}
+			if breq == nil {
+				panic(fmt.Sprintf("banking: %s stage %d produced no backend request", svc.Spec.Name, i))
+			}
+			if len(breq) > backend.RequestSlot {
+				panic(fmt.Sprintf("banking: %s stage %d backend request exceeds slot", svc.Spec.Name, i))
+			}
+			ctx.Charge(InstrPerBackend)
+			bresp = callBackend(breq)
+		}
+	}
+	if ctx.Err != "" {
+		buildErrorPage(ctx)
+	}
+}
+
+// blockBase gives each request type a disjoint basic-block id space for
+// the Fig 2 trace study.
+func blockBase(t ReqType) uint32 { return uint32(t+1) * 1000 }
+
+// buildErrorPage renders the divergent error path: a short message in a
+// full-size buffer so the cohort's geometry is undisturbed (§4.4).
+func buildErrorPage(ctx *Ctx) {
+	ctx.Page = NewPageBuilder() // discard partial content
+	ctx.Page.Block(blockBase(ctx.Spec.Type) + 999)
+	ctx.Page.Static("<html><head><title>SPECweb Banking - Error</title></head><body>\n<h1>Request failed</h1>\n<p class=\"error\">")
+	ctx.Page.Dynamic(ctx.Err)
+	ctx.Page.Static("</p>\n<p><a href=\"/login.php\">Return to login</a></p>\n</body></html>\n")
+}

@@ -1,0 +1,497 @@
+package banking
+
+import (
+	"fmt"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/httpx"
+	"rhythm/internal/mem"
+	"rhythm/internal/session"
+	"rhythm/internal/simt"
+)
+
+// This file implements the Banking workload as SIMT kernels: the parser
+// and the per-type process stages, operating on cohort buffers in device
+// memory. The stage logic is the same Go code the host baseline runs
+// (services.go); what differs is the memory traffic — word-interleaved
+// column-major cohort buffers accessed in lockstep — and the cost
+// accounting the simulator performs on it.
+
+// Device-side cost constants.
+const (
+	// parseOpsPerByte prices the parser's byte scan.
+	parseOpsPerByte = 3
+	// besimDeviceOps prices one on-device backend lookup (Titan B/C run
+	// Besim as a device kernel, §5.3.2).
+	besimDeviceOps = 8000
+	// sessionOps prices a session-array lookup beyond the atomics.
+	sessionOps = 64
+)
+
+// wordSize is the interleaving granularity of column-major cohort
+// buffers: threads store 4-byte words so that a warp's lanes cover a full
+// 128-byte transaction.
+const wordSize = 4
+
+// ParseBatch is a reader batch on the device: raw request bytes in a
+// Size×RequestSlot buffer plus the parsed-record mirror the parser kernel
+// fills (the paper synchronizes host and device cohort contexts at the
+// parser, §4.1).
+type ParseBatch struct {
+	Buf    mem.Addr // Size × RequestSlot, row-major as it arrives from the NIC
+	ColBuf mem.Addr // word-interleaved copy the parser reads in ColMajor mode
+	Size   int
+	Count  int
+	Reqs   []httpx.Request
+	Errs   []error // per-request parse outcome, nil when OK
+	Types  []ReqType
+	// IsImage marks static-asset requests; they form image cohorts that
+	// bypass the process stage (§5.1).
+	IsImage []bool
+}
+
+// NewParseBatch allocates a reader batch of `size` request slots.
+func NewParseBatch(d *simt.Device, size int) *ParseBatch {
+	return &ParseBatch{
+		Buf:     d.Mem.Alloc(size*RequestSlot, 256),
+		ColBuf:  d.Mem.Alloc(size*RequestSlot, 256),
+		Size:    size,
+		Reqs:    make([]httpx.Request, size),
+		Errs:    make([]error, size),
+		Types:   make([]ReqType, size),
+		IsImage: make([]bool, size),
+	}
+}
+
+// Reset prepares the batch for count fresh requests.
+func (pb *ParseBatch) Reset(count int) {
+	if count <= 0 || count > pb.Size {
+		panic(fmt.Sprintf("banking: batch count %d out of range (size %d)", count, pb.Size))
+	}
+	pb.Count = count
+	for i := 0; i < count; i++ {
+		pb.Reqs[i] = httpx.Request{}
+		pb.Errs[i] = nil
+		pb.Types[i] = -1
+		pb.IsImage[i] = false
+	}
+}
+
+// DeviceCohort is the device-resident geometry of one typed process
+// cohort plus its host mirror. Size is the slot capacity; Count the live
+// requests. The request records arrive pre-parsed from dispatch.
+type DeviceCohort struct {
+	Spec  Spec
+	Size  int
+	Count int
+
+	// Device buffers, column-major word-interleaved while on the device.
+	// RespRow receives the response transpose (§4.3.2); in row-major mode
+	// (the transpose ablation) it is written directly. BReqRow/BRespRow
+	// stage the backend transposes a remote (host) backend needs —
+	// "A local device backend also avoids the need to transpose the
+	// backend request and response data" (§5.3.2).
+	BReqBuf  mem.Addr
+	BReqRow  mem.Addr
+	BRespBuf mem.Addr
+	BRespRow mem.Addr
+	RespCol  mem.Addr
+	RespRow  mem.Addr
+
+	// class is the response-buffer size this cohort was allocated for.
+	class int
+
+	// Host mirrors.
+	Reqs []httpx.Request
+	Ctxs []*Ctx
+
+	// stageInstr tracks each request's charged instructions at the last
+	// stage boundary, so stage kernels charge only their delta.
+	stageInstr []int64
+
+	scratch []byte // render scratch, reused lane-by-lane
+}
+
+// NewDeviceCohort allocates the device buffers for a cohort of `size`
+// slots of request type t.
+func NewDeviceCohort(d *simt.Device, t ReqType, size int) *DeviceCohort {
+	dc := NewDeviceCohortClass(d, Specs[t].BufferBytes(), size)
+	dc.Bind(t)
+	return dc
+}
+
+// NewDeviceCohortClass allocates cohort buffers for a response-buffer
+// size class (8/16/32/64 KB). A class cohort can be re-Bound to any
+// request type whose Rhythm buffer fits, so a pipeline context needs at
+// most one buffer set per class rather than per type.
+func NewDeviceCohortClass(d *simt.Device, bufBytes, size int) *DeviceCohort {
+	return &DeviceCohort{
+		Size:       size,
+		class:      bufBytes,
+		BReqBuf:    d.Mem.Alloc(size*backend.RequestSlot, 256),
+		BReqRow:    d.Mem.Alloc(size*backend.RequestSlot, 256),
+		BRespBuf:   d.Mem.Alloc(size*backend.ResponseSlot, 256),
+		BRespRow:   d.Mem.Alloc(size*backend.ResponseSlot, 256),
+		RespCol:    d.Mem.Alloc(size*bufBytes, 256),
+		RespRow:    d.Mem.Alloc(size*bufBytes, 256),
+		Reqs:       make([]httpx.Request, size),
+		Ctxs:       make([]*Ctx, size),
+		stageInstr: make([]int64, size),
+		scratch:    make([]byte, bufBytes),
+	}
+}
+
+// Bind points the cohort at a request type. The type's buffer must match
+// the cohort's size class exactly (cohort geometry is derived from it).
+func (dc *DeviceCohort) Bind(t ReqType) {
+	spec := Specs[t]
+	if spec.BufferBytes() != dc.class {
+		panic(fmt.Sprintf("banking: cannot bind %s (%d B buffers) to a %d B class cohort",
+			spec.Name, spec.BufferBytes(), dc.class))
+	}
+	dc.Spec = spec
+}
+
+// CohortDeviceBytes reports the device memory one cohort of `size` slots
+// of type t occupies (used by the §6.3 capacity analysis).
+func CohortDeviceBytes(t ReqType, size int) int64 {
+	return int64(size) * int64(RequestSlot+2*backend.RequestSlot+2*backend.ResponseSlot+2*Specs[t].BufferBytes())
+}
+
+// ClassDeviceBytes reports the device memory one class cohort of `size`
+// slots occupies.
+func ClassDeviceBytes(class, size int) int64 {
+	return int64(size) * int64(2*class+2*(backend.RequestSlot+backend.ResponseSlot))
+}
+
+// AllClassesDeviceBytes reports the device memory one pipeline context
+// needs to serve every request type: one cohort per distinct buffer
+// class.
+func AllClassesDeviceBytes(size int) int64 {
+	seen := map[int]bool{}
+	var total int64
+	for _, s := range Specs {
+		c := s.BufferBytes()
+		if !seen[c] {
+			seen[c] = true
+			total += ClassDeviceBytes(c, size)
+		}
+	}
+	return total
+}
+
+// Reset prepares the cohort for a new batch of count requests.
+func (dc *DeviceCohort) Reset(count int) {
+	if count <= 0 || count > dc.Size {
+		panic(fmt.Sprintf("banking: cohort count %d out of range (size %d)", count, dc.Size))
+	}
+	dc.Count = count
+	for i := 0; i < count; i++ {
+		dc.Reqs[i] = httpx.Request{}
+		dc.Ctxs[i] = nil
+		dc.stageInstr[i] = 0
+	}
+}
+
+// columnBase returns the base address of request r's column in a
+// word-interleaved buffer starting at buf.
+func columnBase(buf mem.Addr, r int) mem.Addr { return buf + mem.Addr(wordSize*r) }
+
+// loadColumn reads n bytes of request r's column from a cohort buffer of
+// `rows` slots (n must be a multiple of wordSize).
+func loadColumn(t *simt.Thread, buf mem.Addr, r, rows, n int) []byte {
+	return t.LoadStrided(columnBase(buf, r), n/wordSize, wordSize, wordSize*rows)
+}
+
+// storeColumn writes data into request r's column starting at byte offset
+// start, issuing the word accesses a CUDA thread would: a partial leading
+// word, aligned middle words, and a partial trailing word. When every
+// lane's start matches (the padded, aligned case) the stores coalesce;
+// when starts diverge they scatter.
+func storeColumn(t *simt.Thread, buf mem.Addr, r, rows, start int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	stride := wordSize * rows
+	pos := start
+	// Partial head word.
+	if h := pos % wordSize; h != 0 {
+		n := wordSize - h
+		if n > len(data) {
+			n = len(data)
+		}
+		addr := buf + mem.Addr((pos/wordSize)*stride+wordSize*r+h)
+		t.Store(addr, data[:n])
+		data = data[n:]
+		pos += n
+	}
+	// Aligned middle.
+	if n := len(data) / wordSize * wordSize; n > 0 {
+		addr := buf + mem.Addr((pos/wordSize)*stride+wordSize*r)
+		t.StoreStrided(addr, data[:n], wordSize, stride)
+		data = data[n:]
+		pos += n
+	}
+	// Partial tail word.
+	if len(data) > 0 {
+		addr := buf + mem.Addr((pos/wordSize)*stride+wordSize*r)
+		t.Store(addr, data)
+	}
+}
+
+// storeRow writes data at byte offset start of request r's row-major slot
+// (slot size rowBytes), as the per-word loop a thread would execute —
+// the uncoalesced layout the transpose ablation measures.
+func storeRow(t *simt.Thread, buf mem.Addr, r, rowBytes, start int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	addr := buf + mem.Addr(r*rowBytes+start)
+	n := len(data) / wordSize * wordSize
+	if n > 0 {
+		t.StoreStrided(addr, data[:n], wordSize, wordSize)
+	}
+	if n < len(data) {
+		t.Store(addr+mem.Addr(n), data[n:])
+	}
+}
+
+// ParserArgs configures the parser kernel.
+type ParserArgs struct {
+	Batch    *ParseBatch
+	ColMajor bool // request buffer layout
+}
+
+// parserProgram implements the Parser stage (§3.2): extract method,
+// resource, content length, cookies and query parameters for every
+// request of the batch. Block 1+type is type-specific extraction, so a
+// mixed cohort diverges across the types present — the effect §6.4
+// measures.
+type parserProgram struct{ args ParserArgs }
+
+// NewParserProgram returns the parser kernel for a reader batch.
+func NewParserProgram(args ParserArgs) simt.Program { return parserProgram{args} }
+
+func (parserProgram) Name() string        { return "rhythm_parse" }
+func (parserProgram) Entry() simt.BlockID { return 0 }
+
+func (p parserProgram) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
+	pb := p.args.Batch
+	r := t.ID
+	switch {
+	case b == 0: // scan the raw request
+		var raw []byte
+		if p.args.ColMajor {
+			raw = loadColumn(t, pb.ColBuf, r, pb.Size, RequestSlot)
+		} else {
+			raw = t.Load(pb.Buf+mem.Addr(r*RequestSlot), RequestSlot)
+		}
+		req, err := httpx.Parse(raw)
+		pb.Reqs[r] = req
+		pb.Errs[r] = err
+		t.Compute(req.ScanCost * parseOpsPerByte)
+		if err != nil {
+			return 200 // malformed-request path
+		}
+		rt, ok := ByPath(req.Path)
+		if !ok {
+			if IsImagePath(req.Path) {
+				return 150 // image cohort path (§5.1)
+			}
+			pb.Errs[r] = fmt.Errorf("banking: unknown resource %q", req.Path)
+			return 200
+		}
+		pb.Types[r] = rt
+		return simt.BlockID(1 + int(rt))
+	case b >= 1 && b < 1+simt.BlockID(NumTypes): // type-specific extraction
+		req := &pb.Reqs[r]
+		t.Compute(32 + 16*len(req.Params) + 16*len(req.Cookies))
+		return 100
+	case b == 150: // static asset: mark for the bypassing image cohort
+		if _, ok := ImageResponse(pb.Reqs[r].Path); ok {
+			pb.IsImage[r] = true
+		} else {
+			pb.Errs[r] = fmt.Errorf("banking: no such asset %q", pb.Reqs[r].Path)
+		}
+		t.Compute(16)
+		return 100
+	case b == 100: // write the parsed-request record (SoA store)
+		t.Compute(8)
+		t.Atomic(pb.Buf) // cohort-context occupancy update
+		return simt.Halt
+	case b == 200: // malformed request: mark error state (§4.4)
+		t.Compute(4)
+		return 100
+	}
+	panic("parser: bad block")
+}
+
+// StageArgs configures one process-stage kernel launch.
+type StageArgs struct {
+	Cohort   *DeviceCohort
+	Service  *Service
+	Stage    int
+	Sessions *session.Array
+	Padding  bool
+	ColMajor bool
+	// Besim, when non-nil, executes backend requests on the device
+	// (Titan B/C); the stage kernel then chains directly into backend
+	// execution. When nil (Titan A), the stage stores the backend request
+	// for a host round trip.
+	Besim *backend.DB
+}
+
+// stageProgram runs process stage Stage for every live request.
+//
+// Blocks: 0 = session/context prologue; 1 = stage body (backend request
+// generation or page generation); 2 = on-device Besim (only when
+// chained); 3 = response emission (final stage); 90 = error path. Error
+// requests diverge from the cohort exactly as §4.4 describes.
+type stageProgram struct{ args StageArgs }
+
+// NewStageProgram returns the process kernel for one stage of a cohort.
+func NewStageProgram(args StageArgs) simt.Program {
+	if args.Stage < 0 || args.Stage > args.Service.Spec.Backends {
+		panic(fmt.Sprintf("banking: stage %d out of range for %s", args.Stage, args.Service.Spec.Name))
+	}
+	return stageProgram{args}
+}
+
+func (p stageProgram) Name() string {
+	return fmt.Sprintf("rhythm_%s_s%d", p.args.Service.Spec.Name, p.args.Stage)
+}
+
+func (stageProgram) Entry() simt.BlockID { return 0 }
+
+func (p stageProgram) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
+	a := p.args
+	dc := a.Cohort
+	r := t.ID
+	switch b {
+	case 0: // prologue: context / session resolution
+		if a.Stage == 0 {
+			t.Atomic(dc.BReqBuf)
+			t.Compute(sessionOps)
+			dc.Ctxs[r] = NewCtx(a.Service, &dc.Reqs[r], a.Sessions, a.Padding)
+		} else if dc.Ctxs[r].Done {
+			// A variable-stage request already finished and emitted; its
+			// lane drops out of the rest of the cohort's kernels.
+			return simt.Halt
+		}
+		if dc.Ctxs[r].Err != "" {
+			return 90
+		}
+		return 1
+	case 1: // stage body
+		ctx := dc.Ctxs[r]
+		var bresp []byte
+		if a.Stage > 0 {
+			bresp = loadColumn(t, dc.BRespBuf, r, dc.Size, backend.ResponseSlot)
+		}
+		breq := a.Service.Stage(ctx, a.Stage, bresp)
+		p.chargeDelta(t, r)
+		if ctx.Err != "" {
+			return 90
+		}
+		if ctx.Done {
+			return 3 // early completion: emit now (variable stages)
+		}
+		if a.Stage < a.Service.Spec.Backends {
+			slot := make([]byte, backend.RequestSlot)
+			copy(slot, breq)
+			storeColumn(t, dc.BReqBuf, r, dc.Size, 0, slot)
+			if a.Besim != nil {
+				return 2
+			}
+			return simt.Halt // host backend round trip follows
+		}
+		return 3
+	case 2: // on-device Besim (Titan B/C)
+		breq := loadColumn(t, dc.BReqBuf, r, dc.Size, backend.RequestSlot)
+		resp := a.Besim.Handle(breq)
+		t.Compute(besimDeviceOps)
+		slot := make([]byte, backend.ResponseSlot)
+		copy(slot, resp)
+		storeColumn(t, dc.BRespBuf, r, dc.Size, 0, slot)
+		return simt.Halt // next stage kernel reads BRespBuf
+	case 3: // final stage: render and emit the response
+		p.emit(t, r, dc.Ctxs[r])
+		return simt.Halt
+	case 90: // error path (§4.4): divergent, full-size error page
+		if a.Stage < a.Service.Spec.Backends {
+			// Skip the remaining backend stages; emission happens when
+			// the final stage kernel runs.
+			return simt.Halt
+		}
+		ctx := dc.Ctxs[r]
+		buildErrorPage(ctx)
+		p.chargeDelta(t, r)
+		p.emit(t, r, ctx)
+		return simt.Halt
+	}
+	panic("stage: bad block")
+}
+
+// chargeDelta charges the instructions the stage body accrued since the
+// previous boundary.
+func (p stageProgram) chargeDelta(t *simt.Thread, r int) {
+	dc := p.args.Cohort
+	now := dc.Ctxs[r].Instr()
+	if d := now - dc.stageInstr[r]; d > 0 {
+		t.Compute(int(d))
+		dc.stageInstr[r] = now
+	}
+}
+
+// emit renders the full fixed-size response and stores it section by
+// section, splitting at the page's alignment marks. With padding on,
+// every lane's marks coincide and the stores coalesce; with padding off
+// they drift and scatter (§4.3.2).
+func (p stageProgram) emit(t *simt.Thread, r int, ctx *Ctx) {
+	dc := p.args.Cohort
+	resp := Render(ctx, dc.scratch)
+	bounds := make([]int, 0, len(ctx.Page.Marks())+2)
+	bounds = append(bounds, 0)
+	for _, m := range ctx.Page.Marks() {
+		bounds = append(bounds, HeaderLen+m)
+	}
+	bounds = append(bounds, len(resp))
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if hi <= lo {
+			continue
+		}
+		if p.args.ColMajor {
+			storeColumn(t, dc.RespCol, r, dc.Size, lo, resp[lo:hi])
+		} else {
+			storeRow(t, dc.RespRow, r, dc.Spec.BufferBytes(), lo, resp[lo:hi])
+		}
+	}
+}
+
+// BesimProgram returns a standalone device-backend kernel (used when the
+// backend runs as its own pipeline stage rather than chained).
+func BesimProgram(dc *DeviceCohort, db *backend.DB) simt.Program {
+	return simt.FuncProgram{Label: "rhythm_besim", Body: func(t *simt.Thread) {
+		r := t.ID
+		breq := loadColumn(t, dc.BReqBuf, r, dc.Size, backend.RequestSlot)
+		resp := db.Handle(breq)
+		t.Compute(besimDeviceOps)
+		slot := make([]byte, backend.ResponseSlot)
+		copy(slot, resp)
+		storeColumn(t, dc.BRespBuf, r, dc.Size, 0, slot)
+	}}
+}
+
+// PackRequests writes raw requests row-major into a host staging image
+// sized for H2D transfer (count × RequestSlot).
+func PackRequests(raws [][]byte) []byte {
+	out := make([]byte, len(raws)*RequestSlot)
+	for i, raw := range raws {
+		if len(raw) > RequestSlot {
+			panic("banking: raw request exceeds slot")
+		}
+		copy(out[i*RequestSlot:], raw)
+	}
+	return out
+}

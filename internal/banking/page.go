@@ -1,0 +1,197 @@
+package banking
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Piece is one fragment of a generated page body. Pieces are the unit
+// both execution targets consume: the host renderer concatenates them;
+// the SIMT kernel stores each piece with a strided (column-major) store
+// whose coalescing depends on whether every lane's body offset is still
+// aligned — which is exactly what PadTo maintains.
+type Piece struct {
+	// Data is the fragment content.
+	Data []byte
+	// Static marks template content (constant memory on the device,
+	// cheap per byte); dynamic content is backend-derived and expensive.
+	Static bool
+}
+
+// PageBuilder accumulates a page body as pieces, charging the structural
+// instruction cost model and recording a basic-block trace for the
+// similarity study (Fig 2).
+type PageBuilder struct {
+	pieces  []Piece
+	bodyLen int
+	instr   int64
+	blocks  []uint32
+	// padding enables the §4.3.2 whitespace alignment. When disabled
+	// (ablation), PadTo is a no-op and lanes' offsets diverge.
+	padding bool
+	// misaligned counts PadTo targets that had already been passed —
+	// a mis-sized section budget.
+	misaligned int
+	// marks records the body offset after each PadTo call. With padding
+	// on, marks are identical for every request of a type (the cohort
+	// alignment invariant); with padding off they drift apart, which is
+	// what ruins coalescing in the ablation.
+	marks []int
+	// lastBlock is the most recent explicit basic block, used to label
+	// the emission blocks of the fragments that follow it.
+	lastBlock uint32
+}
+
+// NewPageBuilder returns a builder with alignment padding enabled.
+func NewPageBuilder() *PageBuilder { return &PageBuilder{padding: true} }
+
+// SetPadding toggles §4.3.2 whitespace alignment (the ablation knob).
+func (b *PageBuilder) SetPadding(on bool) { b.padding = on }
+
+// Static appends template content.
+func (b *PageBuilder) Static(s string) {
+	b.pieces = append(b.pieces, Piece{Data: []byte(s), Static: true})
+	b.bodyLen += len(s)
+	b.instr += int64(len(s)) * InstrPerStaticByte
+	b.emitBlocks(len(s))
+}
+
+// Dynamic appends backend-derived content.
+func (b *PageBuilder) Dynamic(s string) {
+	b.pieces = append(b.pieces, Piece{Data: []byte(s)})
+	b.bodyLen += len(s)
+	b.instr += int64(len(s)) * InstrPerDynamicByte
+	b.emitBlocks(len(s))
+}
+
+// emitChunk is the bytes-per-basic-block granularity of the emission
+// loops: a fragment of n bytes contributes ~n/emitChunk dynamic basic
+// blocks to the trace, the way a real copy/format loop does in a Pin
+// trace. This keeps loop-trip divergence proportional to its true share
+// of the executed blocks (Fig 2).
+const emitChunk = 256
+
+func (b *PageBuilder) emitBlocks(n int) {
+	const marker = 0x8000_0000
+	for ; n > 0; n -= emitChunk {
+		b.blocks = append(b.blocks, marker|b.lastBlock)
+	}
+}
+
+// Dynamicf appends formatted backend-derived content.
+func (b *PageBuilder) Dynamicf(format string, args ...any) {
+	b.Dynamic(fmt.Sprintf(format, args...))
+}
+
+// PadTo pads the body with spaces to exactly offset n, realigning every
+// lane of the cohort after a variable-length dynamic section (§4.3.2
+// "Whitespace Padding in HTML Content"). Already being past n is
+// tolerated (recorded in Misaligned) because response correctness never
+// depends on alignment — only coalescing does.
+func (b *PageBuilder) PadTo(n int) {
+	defer func() { b.marks = append(b.marks, b.bodyLen) }()
+	if !b.padding {
+		return
+	}
+	// Round the target up to a word boundary: aligned marks keep the
+	// cohort's interleaved stores on 4-byte-word lanes, which is what
+	// makes the padded sections fully coalesce on the device.
+	n = (n + wordSize - 1) &^ (wordSize - 1)
+	if b.bodyLen > n {
+		b.misaligned++
+		return
+	}
+	if b.bodyLen == n {
+		return
+	}
+	pad := n - b.bodyLen
+	b.pieces = append(b.pieces, Piece{Data: spaces(pad), Static: true})
+	b.bodyLen += pad
+	b.instr += int64(pad) * InstrPerStaticByte
+}
+
+// Marks returns the body offsets observed at each PadTo call.
+func (b *PageBuilder) Marks() []int { return b.marks }
+
+// FillTo emits deterministic filler template prose until the body reaches
+// offset n — the bulk static HTML (styling, boilerplate, scripts) that
+// gives each SPECWeb page its published size.
+func (b *PageBuilder) FillTo(n int) {
+	if b.bodyLen >= n {
+		return
+	}
+	b.Static(fillerText(n - b.bodyLen))
+}
+
+// Block records the execution of basic block id in the page trace.
+func (b *PageBuilder) Block(id uint32) {
+	b.blocks = append(b.blocks, id)
+	b.lastBlock = id
+}
+
+// LastBlock reports the current emission-label block.
+func (b *PageBuilder) LastBlock() uint32 { return b.lastBlock }
+
+// Reconverge restores the emission label after a data-dependent branch:
+// code following the reconvergence point has the same block addresses on
+// every path, so its emission blocks must be labeled identically.
+func (b *PageBuilder) Reconverge(id uint32) { b.lastBlock = id }
+
+// Len reports the body bytes accumulated so far.
+func (b *PageBuilder) Len() int { return b.bodyLen }
+
+// Instr reports the instructions charged for page generation so far.
+func (b *PageBuilder) Instr() int64 { return b.instr }
+
+// Misaligned reports how many PadTo targets were overshot.
+func (b *PageBuilder) Misaligned() int { return b.misaligned }
+
+// Pieces returns the accumulated fragments.
+func (b *PageBuilder) Pieces() []Piece { return b.pieces }
+
+// Blocks returns the recorded basic-block trace.
+func (b *PageBuilder) Blocks() []uint32 { return b.blocks }
+
+// spaces returns n space characters.
+func spaces(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return b
+}
+
+// fillerText produces n bytes of deterministic HTML-ish filler prose.
+// The content is fixed (template text), so it is "static" in the cost
+// model and identical across requests of a type.
+func fillerText(n int) string {
+	const para = "<p class=\"fine\">Member FDIC. Equal Housing Lender. Online banking " +
+		"services are provided subject to the terms and conditions of your account " +
+		"agreement. Rates, fees and terms are subject to change without notice. " +
+		"Consult the fee schedule for details about wire transfers, stop payments, " +
+		"and expedited delivery options. Statements are available online for " +
+		"twenty-four months; contact a branch representative for older records. " +
+		"Protect your credentials: we will never ask for your password by email.</p>\n"
+	var sb strings.Builder
+	sb.Grow(n)
+	for sb.Len() < n {
+		remain := n - sb.Len()
+		if remain >= len(para) {
+			sb.WriteString(para)
+		} else {
+			// Truncate inside a comment so the HTML stays well-formed.
+			if remain >= 9 {
+				sb.WriteString("<!--")
+				for sb.Len() < n-3 {
+					sb.WriteByte('.')
+				}
+				sb.WriteString("-->")
+			} else {
+				for sb.Len() < n {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+	}
+	return sb.String()
+}

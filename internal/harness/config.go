@@ -1,0 +1,69 @@
+// Package harness drives the experiments that regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md's experiment index):
+// the CPU baselines and the three Titan emulations over the isolated
+// per-type workloads, the trace-similarity study, the analytic bandwidth
+// bounds, scaling arithmetic, and the sensitivity studies.
+package harness
+
+import (
+	"fmt"
+
+	"rhythm/internal/sim"
+)
+
+// Config scales the experiments. Defaults are laptop-sized; the paper
+// processed 48M requests per type on real hardware, which a simulator
+// does not need — throughput estimates converge after tens of cohorts.
+type Config struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// CPURequestsPerType is the isolation run length for CPU baselines.
+	CPURequestsPerType int
+	// GPUCohortsPerType sets the GPU isolation run length in cohorts.
+	GPUCohortsPerType int
+	// CohortSize is the Rhythm cohort size (paper default 4096).
+	CohortSize int
+	// MaxCohorts is the number of cohort contexts in flight (paper: 8).
+	MaxCohorts int
+	// BackendWorkers / BackendServiceTime shape the Titan A host backend.
+	BackendWorkers     int
+	BackendServiceTime sim.Time
+	// ValidateEvery samples responses through the validator (0 = off).
+	ValidateEvery int
+	// TraceRequests is the per-type request count for the Fig 2 study.
+	TraceRequests int
+}
+
+// DefaultConfig returns the quick-run configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		CPURequestsPerType: 800,
+		GPUCohortsPerType:  6,
+		CohortSize:         1024,
+		MaxCohorts:         4,
+		BackendWorkers:     8,
+		BackendServiceTime: 2_000,
+		ValidateEvery:      512,
+		TraceRequests:      61, // the paper traced 61 requests (§2.3)
+	}
+}
+
+// PaperScaleConfig returns settings matching the paper's geometry
+// (cohort 4096, 8 contexts). Runs take correspondingly longer.
+func PaperScaleConfig() Config {
+	c := DefaultConfig()
+	c.CohortSize = 4096
+	c.MaxCohorts = 8
+	c.GPUCohortsPerType = 10
+	c.CPURequestsPerType = 3000
+	return c
+}
+
+func (c Config) gpuRequestsPerType() int { return c.GPUCohortsPerType * c.CohortSize }
+
+func (c Config) validate() {
+	if c.CohortSize <= 0 || c.MaxCohorts <= 0 || c.GPUCohortsPerType <= 0 {
+		panic(fmt.Sprintf("harness: bad config %+v", c))
+	}
+}

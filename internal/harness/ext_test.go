@@ -1,0 +1,65 @@
+package harness
+
+import "testing"
+
+func TestPCIe4Doubles(t *testing.T) {
+	cfg := tinyConfig()
+	r := PCIe4Projection(cfg)
+	ratio := r.PCIe4.Throughput / r.PCIe3.Throughput
+	if ratio < 1.5 || ratio > 2.3 {
+		t.Fatalf("PCIe4/PCIe3 = %.2f, want ~2 (paper Sec 6.1.1)", ratio)
+	}
+}
+
+func TestCPUSIMDStudy(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.CohortSize = 512
+	r := CPUSIMDStudy(cfg)
+	if r.SIMD.Throughput <= 0 || r.Scalar.Throughput <= 0 {
+		t.Fatal("missing throughput")
+	}
+	t.Logf("scalar=%.0f simd=%.0f computeBound=%.0f memBound=%.0f simdDynW=%.0f",
+		r.Scalar.Throughput, r.SIMD.Throughput, r.ComputeBound, r.MemoryBound, r.SIMD.DynW)
+	// The SIMD configuration must respect its rooflines.
+	lower := r.ComputeBound
+	if r.MemoryBound < lower {
+		lower = r.MemoryBound
+	}
+	if r.SIMD.Throughput > lower*1.15 {
+		t.Fatalf("SIMD throughput %.0f above its roofline %.0f", r.SIMD.Throughput, lower)
+	}
+}
+
+func TestCheckImagesGPUfsWins(t *testing.T) {
+	cfg := tinyConfig()
+	r := CheckImagesStudy(cfg)
+	if r.GPUFs <= 0 || r.HostFS <= 0 {
+		t.Fatalf("missing throughput: %+v", r)
+	}
+	if r.GPUFs <= r.HostFS {
+		t.Fatalf("GPUfs (%.0f) should beat disk-bound host path (%.0f)", r.GPUFs, r.HostFS)
+	}
+	if r.Faults == 0 {
+		t.Fatal("host path recorded no faults")
+	}
+}
+
+func TestScaleOutStudy(t *testing.T) {
+	cfg := tinyConfig()
+	r := ScaleOutStudy(cfg, []int{1, 2, 8})
+	if r.SingleDevice <= 0 {
+		t.Fatal("no single-device rate")
+	}
+	sawLinkBound := false
+	for _, row := range r.Rows {
+		if row.DeliveredK > row.ComputeK+0.5 || row.DeliveredK > row.LinkBoundK+0.5 {
+			t.Fatalf("delivered exceeds a bound: %+v", row)
+		}
+		if row.LinkBound {
+			sawLinkBound = true
+		}
+	}
+	if !sawLinkBound {
+		t.Fatal("8 devices should saturate a 100 Gbps front end")
+	}
+}

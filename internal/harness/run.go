@@ -1,0 +1,306 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/netmodel"
+	"rhythm/internal/pipeline"
+	"rhythm/internal/platform"
+	"rhythm/internal/session"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+	"rhythm/internal/stats"
+)
+
+// PerType is one request type's isolation-run outcome on a platform.
+type PerType struct {
+	Type       banking.ReqType
+	Throughput float64 // reqs/sec
+	LatencyMs  float64
+	P99Ms      float64
+	AvgInstr   float64 // CPU runs only
+	SMUtil     float64 // GPU runs only
+	MemUtil    float64
+	BusUtil    float64
+	Validated  uint64
+	ValFails   uint64
+	Errors     uint64
+	Stragglers uint64
+}
+
+// PlatformRun aggregates a platform's Table 3 row.
+type PlatformRun struct {
+	Name    string
+	PerType []PerType
+	IdleW   float64
+	WallW   float64
+	DynW    float64
+	// Throughput is the mix-weighted harmonic mean of per-type rates —
+	// the steady-state rate of the full Table 2 mix.
+	Throughput float64
+	LatencyMs  float64
+	WallEff    float64 // reqs/Joule at wall power
+	DynEff     float64 // reqs/Joule at dynamic power
+}
+
+// aggregate folds per-type results into workload-level numbers using the
+// paper's §5.3.1 method, weighting each type by its Table 2 mix share.
+func (r *PlatformRun) aggregate() {
+	tputs := make([]float64, len(r.PerType))
+	lats := make([]float64, len(r.PerType))
+	weights := make([]float64, len(r.PerType))
+	var wsum float64
+	for i, pt := range r.PerType {
+		tputs[i] = pt.Throughput
+		lats[i] = pt.LatencyMs
+		weights[i] = banking.SpecFor(pt.Type).MixPercent
+		wsum += weights[i]
+	}
+	if wsum == 0 {
+		// Extension-only runs (quick_pay) have no Table 2 mix share;
+		// weight them equally.
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	r.Throughput = stats.WeightedHarmonicMean(tputs, weights)
+	r.LatencyMs = stats.WeightedArithmeticMean(lats, weights)
+	if r.WallW > 0 {
+		r.WallEff = r.Throughput / r.WallW
+	}
+	if r.DynW > 0 {
+		r.DynEff = r.Throughput / r.DynW
+	}
+}
+
+// RunCPU measures one CPU platform configuration over every request type
+// in isolation (§5.3.1).
+func RunCPU(cfg Config, cpu platform.CPU, workers int) PlatformRun {
+	cfg.validate()
+	run := PlatformRun{
+		Name:  fmt.Sprintf("%s %dw", cpu.Name, workers),
+		IdleW: cpu.IdleWatts,
+		WallW: cpu.Wall(workers),
+		DynW:  cpu.Dynamic(workers),
+	}
+	for _, rt := range banking.CoreTypes() {
+		eng := sim.NewEngine()
+		db := backend.New()
+		sessions, gen := newWorkload(cfg, rt, cfg.CPURequestsPerType)
+		srv := platform.NewCPUServer(eng, cpu, workers, db, sessions, cfg.ValidateEvery)
+		res := srv.Run(isolationSource(gen, rt, cfg.CPURequestsPerType))
+		run.PerType = append(run.PerType, PerType{
+			Type:       rt,
+			Throughput: res.Throughput,
+			LatencyMs:  res.MeanLatencyMs,
+			P99Ms:      res.P99LatencyMs,
+			AvgInstr:   res.AvgInstr,
+			Validated:  res.Validated,
+			ValFails:   res.ValidationFailures,
+			Errors:     res.Errors,
+		})
+	}
+	run.aggregate()
+	return run
+}
+
+// TitanVariant selects one of the §5.3.2 emulated platforms.
+type TitanVariant int
+
+// The three emulations.
+const (
+	TitanA TitanVariant = iota // remote backend + responses over PCIe
+	TitanB                     // integrated NIC + device backend
+	TitanC                     // Titan B + offloaded response transpose
+)
+
+func (v TitanVariant) String() string {
+	switch v {
+	case TitanA:
+		return "Titan A"
+	case TitanB:
+		return "Titan B"
+	case TitanC:
+		return "Titan C"
+	}
+	return "Titan?"
+}
+
+// Options maps the variant onto pipeline options.
+func (v TitanVariant) Options(cfg Config) pipeline.Options {
+	o := pipeline.Options{
+		CohortSize:         cfg.CohortSize,
+		MaxCohorts:         cfg.MaxCohorts,
+		Padding:            true,
+		ColumnMajor:        true,
+		BackendWorkers:     cfg.BackendWorkers,
+		BackendServiceTime: cfg.BackendServiceTime,
+		ValidateEvery:      cfg.ValidateEvery,
+	}
+	switch v {
+	case TitanA:
+		o.DeviceBackend = false
+		o.ResponseOverBus = true
+	case TitanB:
+		o.DeviceBackend = true
+	case TitanC:
+		o.DeviceBackend = true
+		o.OffloadResponseTranspose = true
+	}
+	return o
+}
+
+// TitanRunOptions carries overrides for sensitivity/ablation studies.
+type TitanRunOptions struct {
+	Variant TitanVariant
+	// DeviceConfig overrides the GTX Titan (e.g., the single-queue
+	// GTX690 for the HyperQ study).
+	DeviceConfig *simt.Config
+	// Mutate edits the pipeline options after variant mapping (padding
+	// and layout ablations).
+	Mutate func(*pipeline.Options)
+	// Types restricts the run (nil = all 14).
+	Types []banking.ReqType
+	// BusBps overrides the host↔device bus bandwidth (0 = PCIe 3.0);
+	// the §6.1.1 PCIe 4.0 projection sets it to netmodel.PCIe4Bps.
+	BusBps float64
+	// Power overrides the platform power model (idle watts and a dynamic
+	// curve over SM/memory/bus utilizations). Nil uses the GTX Titan
+	// curve. The CPU-SIMD study plugs in the i7's envelope.
+	Power *PowerModel
+}
+
+// PowerModel is a platform power curve for RunTitan.
+type PowerModel struct {
+	Idle float64
+	Dyn  func(smUtil, memUtil, busUtil float64) float64
+}
+
+// RunTitan measures a Rhythm platform over every request type in
+// isolation and aggregates the Table 3 row, deriving power from the
+// observed utilizations.
+func RunTitan(cfg Config, opts TitanRunOptions) PlatformRun {
+	cfg.validate()
+	devCfg := simt.GTXTitan()
+	if opts.DeviceConfig != nil {
+		devCfg = *opts.DeviceConfig
+	}
+	types := opts.Types
+	if types == nil {
+		types = banking.CoreTypes()
+	}
+	pm := opts.Power
+	if pm == nil {
+		titan := platform.GTXTitanPower()
+		pm = &PowerModel{
+			Idle: titan.IdleWatts,
+			Dyn: func(sm, mu, bu float64) float64 {
+				return titan.Dynamic(sm, mu) + platform.TitanBusWatts*bu
+			},
+		}
+	}
+	run := PlatformRun{Name: opts.Variant.String(), IdleW: pm.Idle}
+	if opts.DeviceConfig != nil {
+		run.Name = devCfg.Name
+	}
+
+	var smUtils, memUtils, busUtils []float64
+	var weights []float64
+	for _, rt := range types {
+		// Each isolation run allocates a fresh multi-GB device backing
+		// store; reclaim the previous one before the next allocation so
+		// paper-scale sweeps fit in host memory.
+		runtime.GC()
+		pt := runTitanType(cfg, opts, devCfg, rt)
+		run.PerType = append(run.PerType, pt)
+		smUtils = append(smUtils, pt.SMUtil)
+		memUtils = append(memUtils, pt.MemUtil)
+		busUtils = append(busUtils, pt.BusUtil)
+		weights = append(weights, banking.SpecFor(rt).MixPercent)
+	}
+	// Mix-weighted utilizations drive the power curve.
+	sm := stats.WeightedArithmeticMean(smUtils, weights)
+	mu := stats.WeightedArithmeticMean(memUtils, weights)
+	bu := stats.WeightedArithmeticMean(busUtils, weights)
+	run.DynW = pm.Dyn(sm, mu, bu)
+	run.WallW = run.IdleW + run.DynW
+
+	run.aggregate()
+	return run
+}
+
+// runTitanType executes one isolation run on a fresh engine and device.
+func runTitanType(cfg Config, opts TitanRunOptions, devCfg simt.Config, rt banking.ReqType) PerType {
+	eng := sim.NewEngine()
+	po := opts.Variant.Options(cfg)
+	if opts.Mutate != nil {
+		opts.Mutate(&po)
+	}
+	var bus *sim.Pipe
+	if po.ResponseOverBus || !po.DeviceBackend {
+		bps := opts.BusBps
+		if bps == 0 {
+			bps = netmodel.PCIe3Bps
+		}
+		bus = sim.NewPipe(eng, bps, 1000)
+	}
+	memBytes := int(int64(po.MaxCohorts)*banking.CohortDeviceBytes(rt, po.CohortSize)) +
+		4*po.CohortSize*banking.RequestSlot + 64<<20
+	dev := simt.NewDevice(eng, devCfg, memBytes, bus)
+	db := backend.New()
+	n := cfg.gpuRequestsPerType()
+	sessions, gen := newWorkload(cfg, rt, n)
+	srv := pipeline.New(eng, dev, po, db, sessions)
+	st := srv.Run(isolationSource(gen, rt, n))
+
+	elapsed := (st.End - st.Start).Seconds()
+	pt := PerType{
+		Type:       rt,
+		Throughput: st.Throughput(),
+		LatencyMs:  st.Latency.Mean() / 1e6,
+		P99Ms:      st.Latency.Percentile(99) / 1e6,
+		SMUtil:     dev.Utilization(),
+		Validated:  st.Validated,
+		ValFails:   st.ValidationFailures,
+		Errors:     st.Errors,
+		Stragglers: st.Stragglers,
+	}
+	if elapsed > 0 {
+		pt.MemUtil = float64(st.Device.MemBytes) / (devCfg.MemBandwidth * elapsed)
+	}
+	if bus != nil {
+		pt.BusUtil = bus.Utilization()
+	}
+	return pt
+}
+
+// newWorkload builds the session array and generator an isolation run of
+// n requests of type rt needs: the array is sized so logins never
+// exhaust it and lookups keep the paper's ~25% load factor.
+func newWorkload(cfg Config, rt banking.ReqType, n int) (*session.Array, *banking.Generator) {
+	buckets := cfg.CohortSize
+	if buckets < 256 {
+		buckets = 256
+	}
+	populate := 4 * buckets
+	perBucket := (populate+n)/buckets + 8
+	sessions := session.NewArray(buckets, perBucket)
+	gen := banking.NewGenerator(cfg.Seed, sessions)
+	gen.Populate(populate)
+	_ = rt
+	return sessions, gen
+}
+
+func isolationSource(gen *banking.Generator, rt banking.ReqType, n int) pipeline.Source {
+	left := n
+	return pipeline.FuncSource(func() ([]byte, bool) {
+		if left == 0 {
+			return nil, false
+		}
+		left--
+		return gen.Request(rt), true
+	})
+}

@@ -1,0 +1,30 @@
+package httpx
+
+import "testing"
+
+var benchReq = []byte("POST /login.php HTTP/1.1\r\nHost: bank\r\nCookie: MY_ID=5bd1e9959e377938\r\nContent-Length: 29\r\n\r\nuserid=8812345&passwd=pw1a2b3c")
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchReq)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchReq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResponseWriter(b *testing.B) {
+	buf := make([]byte, 32<<10)
+	body := make([]byte, 16<<10)
+	for i := range body {
+		body[i] = 'x'
+	}
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		w := NewResponseWriter(buf)
+		w.StartOK("text/html", "MY_ID=0123456789abcdef")
+		w.Write(body)
+		w.PadTo(len(buf))
+		w.Finish()
+	}
+}

@@ -1,0 +1,682 @@
+// Package pipeline implements the Rhythm server: the single-threaded,
+// event-driven cohort pipeline of §3/§4 — Reader (double-buffered),
+// Parser, Dispatch, n backend + n+1 process stages, and Response —
+// running the Banking workload on the modeled SIMT device. The pipeline
+// stalls only on structural hazards (no free cohort context, a busy
+// bus), exactly as the paper's design intends.
+package pipeline
+
+import (
+	"math/rand"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/cohort"
+	"rhythm/internal/httpx"
+	"rhythm/internal/mem"
+	"rhythm/internal/session"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+	"rhythm/internal/stats"
+)
+
+// Options selects the platform variant and tuning knobs. The three Titan
+// emulations of §5.3.2 map to:
+//
+//	Titan A: DeviceBackend=false, ResponseOverBus=true  (PCIe everywhere)
+//	Titan B: DeviceBackend=true,  ResponseOverBus=false (integrated NIC + device Besim)
+//	Titan C: Titan B + OffloadResponseTranspose=true    (transpose unit)
+type Options struct {
+	// CohortSize is the number of requests per cohort (paper default
+	// 4096).
+	CohortSize int
+	// MaxCohorts is the number of cohort contexts in flight (paper: 8 on
+	// the GTX Titan, memory-limited).
+	MaxCohorts int
+	// FormationTimeout bounds how long a request waits for its cohort to
+	// fill (0 disables; the paper leaves the value a policy decision).
+	FormationTimeout sim.Time
+	// Padding enables §4.3.2 whitespace alignment.
+	Padding bool
+	// ColumnMajor enables the cohort buffer transpose optimization.
+	ColumnMajor bool
+	// DeviceBackend runs Besim on the device (Titan B/C); otherwise the
+	// backend runs on host worker threads across the bus (Titan A).
+	DeviceBackend bool
+	// BackendWorkers is the host backend thread count (remote backend).
+	BackendWorkers int
+	// BackendServiceTime is the host backend's per-request service time.
+	BackendServiceTime sim.Time
+	// OffloadResponseTranspose emulates Titan C's specialized transpose
+	// unit: the response transpose costs no device time.
+	OffloadResponseTranspose bool
+	// ResponseOverBus ships responses D2H over the bus (Titan A).
+	ResponseOverBus bool
+	// ValidateEvery validates one response in every N (0 disables).
+	ValidateEvery int
+
+	// Straggler handling (§3.1): "A similar timeout mechanism could be
+	// used to ensure that stragglers (e.g., long backend accesses) do not
+	// delay other requests in a cohort during execution. Straggler
+	// responses from the backend can either be executed on the host CPU
+	// or added to a subsequent cohort." This implementation re-executes
+	// stragglers on the host.
+	//
+	// BackendTailProb is the probability a (remote) backend lookup takes
+	// BackendTailFactor × BackendServiceTime instead.
+	BackendTailProb   float64
+	BackendTailFactor float64
+	// StragglerTimeout bounds how long a cohort waits for its backend
+	// round trip; 0 waits forever (no straggler handling).
+	StragglerTimeout sim.Time
+	// HostIPS is the host core's instruction rate used to price straggler
+	// re-execution (defaults to a Core i7 worker).
+	HostIPS float64
+	// Seed drives the backend tail sampler.
+	Seed int64
+}
+
+// DefaultOptions returns the Titan B configuration at paper scale.
+func DefaultOptions() Options {
+	return Options{
+		CohortSize:         4096,
+		MaxCohorts:         8,
+		FormationTimeout:   sim.Duration(0),
+		Padding:            true,
+		ColumnMajor:        true,
+		DeviceBackend:      true,
+		BackendWorkers:     4,
+		BackendServiceTime: 2_000, // 2 µs per lookup: an in-memory KV store
+		ValidateEvery:      1024,
+	}
+}
+
+// Source supplies raw requests to the Reader. Next reports false when the
+// stream is exhausted.
+type Source interface {
+	Next() ([]byte, bool)
+}
+
+// SliceSource serves a pre-generated request list (the paper pre-generates
+// requests into a buffer and reads them "on the fly to emulate high
+// arrival rates", §5.3.2).
+type SliceSource struct {
+	Reqs [][]byte
+	pos  int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() ([]byte, bool) {
+	if s.pos >= len(s.Reqs) {
+		return nil, false
+	}
+	r := s.Reqs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// FuncSource adapts a generator function to a Source.
+type FuncSource func() ([]byte, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() ([]byte, bool) { return f() }
+
+// Stats aggregates one run's outcomes.
+type Stats struct {
+	Completed          uint64 // responses sent (including error pages)
+	Errors             uint64 // error-page responses
+	ParseErrors        uint64 // requests rejected at the parser
+	Images             uint64 // static assets served from the bypassing image path (§5.1)
+	Stragglers         uint64 // requests whose backend lookup timed out and were re-executed on the host (§3.1)
+	Validated          uint64
+	ValidationFailures uint64
+	Latency            *stats.LatencyRecorder
+	Cohort             cohort.Stats
+	Device             simt.DeviceStats
+	Start, End         sim.Time
+}
+
+// Throughput reports completed requests per second of virtual time.
+func (s Stats) Throughput() float64 {
+	dt := (s.End - s.Start).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / dt
+}
+
+// preq is one parsed request moving through dispatch.
+type preq struct {
+	req     httpx.Request
+	t       banking.ReqType
+	arrived sim.Time
+}
+
+// Server is the Rhythm pipeline bound to a device.
+type Server struct {
+	eng      *sim.Engine
+	dev      *simt.Device
+	opts     Options
+	db       *backend.DB
+	sessions *session.Array
+
+	pool       *cohort.Pool[preq]
+	streams    []*simt.Stream                  // one per cohort context
+	dcs        []map[int]*banking.DeviceCohort // per context, by buffer class
+	batches    []*readerBatch
+	backendSrv *sim.Server
+	hostSrv    *sim.Server // straggler re-execution workers
+	rng        *rand.Rand  // backend tail sampler
+
+	src       Source
+	srcDone   bool
+	paced     bool
+	queued    [][]byte // paced-mode arrival queue
+	pacedLeft int      // paced-mode arrivals not yet queued
+	inflight  int      // reader batches + busy cohorts
+	overflow  []preq
+	stats     Stats
+	onDrained func()
+	firstPull bool
+}
+
+// Arrival is one request arriving at a fixed virtual time (paced mode).
+type Arrival struct {
+	Raw []byte
+	At  sim.Time
+}
+
+type readerBatch struct {
+	pb     *banking.ParseBatch
+	stream *simt.Stream
+	busy   bool
+	arrive []sim.Time
+	raws   [][]byte
+}
+
+// New builds a server. The device must have enough backing memory for
+// MaxCohorts cohorts of the request types the run will see (see
+// banking.CohortDeviceBytes).
+func New(eng *sim.Engine, dev *simt.Device, opts Options, db *backend.DB, sessions *session.Array) *Server {
+	if opts.CohortSize <= 0 || opts.MaxCohorts <= 0 {
+		panic("pipeline: CohortSize and MaxCohorts must be positive")
+	}
+	if !opts.DeviceBackend && opts.BackendWorkers <= 0 {
+		panic("pipeline: remote backend needs workers")
+	}
+	s := &Server{
+		eng:      eng,
+		dev:      dev,
+		opts:     opts,
+		db:       db,
+		sessions: sessions,
+		stats:    Stats{Latency: stats.NewLatencyRecorder()},
+	}
+	s.pool = cohort.NewPool[preq](eng, opts.MaxCohorts, opts.CohortSize, opts.FormationTimeout,
+		func(c *cohort.Context[preq], _ cohort.Reason) {
+			c.MarkBusy()
+			s.inflight++
+			s.runCohort(c)
+		})
+	for i := 0; i < opts.MaxCohorts; i++ {
+		s.streams = append(s.streams, dev.NewStream())
+		s.dcs = append(s.dcs, make(map[int]*banking.DeviceCohort))
+	}
+	// Double-buffered reader (§4.2).
+	for i := 0; i < 2; i++ {
+		s.batches = append(s.batches, &readerBatch{
+			pb:     banking.NewParseBatch(dev, opts.CohortSize),
+			stream: dev.NewStream(),
+			arrive: make([]sim.Time, opts.CohortSize),
+			raws:   make([][]byte, 0, opts.CohortSize),
+		})
+	}
+	if !opts.DeviceBackend {
+		s.backendSrv = sim.NewServer(eng, opts.BackendWorkers)
+	}
+	if opts.StragglerTimeout > 0 {
+		s.hostSrv = sim.NewServer(eng, 2)
+		if s.opts.HostIPS == 0 {
+			s.opts.HostIPS = 2.74e10 // one Core i7 worker
+		}
+	}
+	s.rng = rand.New(rand.NewSource(opts.Seed + 0x5bd1))
+	return s
+}
+
+// Stats returns a snapshot of run statistics.
+func (s *Server) Stats() Stats {
+	st := s.stats
+	st.Cohort = s.pool.Stats()
+	st.Device = s.dev.Stats()
+	return st
+}
+
+// Run serves the entire source at saturation (the reader pulls as fast
+// as buffers free up — the paper's §5.3.2 methodology) and returns the
+// final statistics.
+func (s *Server) Run(src Source) Stats {
+	s.src = src
+	s.paced = false
+	return s.drive()
+}
+
+// RunPaced serves a timed arrival stream: each request becomes available
+// to the Reader at its arrival time. Use this to study cohort formation
+// under non-saturating load (formation timeouts, partial cohorts).
+func (s *Server) RunPaced(arrivals []Arrival) Stats {
+	s.paced = true
+	s.pacedLeft = len(arrivals)
+	for _, a := range arrivals {
+		raw := a.Raw
+		s.eng.At(a.At, func() {
+			s.queued = append(s.queued, raw)
+			s.pacedLeft--
+			s.feedReader()
+		})
+	}
+	return s.drive()
+}
+
+func (s *Server) drive() Stats {
+	// Stats are per run; sessions, database, and the virtual clock
+	// persist across runs.
+	s.stats = Stats{Latency: stats.NewLatencyRecorder()}
+	s.srcDone = false
+	s.firstPull = true
+	drained := false
+	s.onDrained = func() { drained = true }
+	s.feedReader()
+	for !drained {
+		if !s.eng.Step() {
+			if s.checkDrained() {
+				break
+			}
+			panic("pipeline: simulation stalled with work outstanding")
+		}
+	}
+	s.stats.End = s.eng.Now()
+	return s.Stats()
+}
+
+// pull fetches the next available request. have reports whether one was
+// returned; finished reports that no request will ever arrive again.
+func (s *Server) pull() (raw []byte, have, finished bool) {
+	if s.paced {
+		if len(s.queued) > 0 {
+			raw = s.queued[0]
+			s.queued = s.queued[1:]
+			return raw, true, false
+		}
+		return nil, false, s.pacedLeft == 0
+	}
+	raw, ok := s.src.Next()
+	return raw, ok, !ok
+}
+
+// feedReader pulls requests into a free reader batch and launches the
+// H2D copy + parse chain. The reader stalls (does nothing) while both
+// batches are busy or the dispatch overflow has grown past its bound —
+// requests may be delayed for cohort formation, but memory is finite.
+func (s *Server) feedReader() {
+	if s.srcDone || len(s.overflow) > 4*s.opts.CohortSize {
+		return
+	}
+	var rb *readerBatch
+	for _, b := range s.batches {
+		if !b.busy {
+			rb = b
+			break
+		}
+	}
+	if rb == nil {
+		return
+	}
+	rb.raws = rb.raws[:0]
+	for len(rb.raws) < s.opts.CohortSize {
+		raw, have, finished := s.pull()
+		if !have {
+			if finished {
+				s.srcDone = true
+			}
+			break
+		}
+		if s.firstPull {
+			s.firstPull = false
+			s.stats.Start = s.eng.Now()
+		}
+		rb.arrive[len(rb.raws)] = s.eng.Now()
+		rb.raws = append(rb.raws, raw)
+	}
+	if len(rb.raws) == 0 {
+		s.maybeFlush()
+		return
+	}
+	rb.busy = true
+	s.inflight++
+	count := len(rb.raws)
+	rb.pb.Reset(count)
+	image := banking.PackRequests(rb.raws)
+	// H2D of the raw request image (over the bus on discrete platforms).
+	rb.stream.MemcpyH2D(rb.pb.Buf, image, nil)
+	if s.opts.ColumnMajor {
+		// In-device transpose of the arrival image to the
+		// word-interleaved layout the parser reads (§4.3.2 "request
+		// buffer transpose"). Only the first `count` slots hold data.
+		rb.stream.TransposeLive(rb.pb.ColBuf, rb.pb.Buf, rb.pb.Size, banking.RequestSlot/4, 4,
+			count, banking.RequestSlot/4, nil)
+	}
+	args := banking.ParserArgs{Batch: rb.pb, ColMajor: s.opts.ColumnMajor}
+	rb.stream.Launch(banking.NewParserProgram(args), count, nil, func(simt.LaunchStats) {
+		s.dispatchBatch(rb, count)
+	})
+	// Keep the other buffer filling while this one parses.
+	s.feedReader()
+}
+
+// dispatchBatch routes parsed requests into typed cohorts (§3.2
+// Dispatch). Parse failures are answered immediately from the host — the
+// "requests that do not conform" path that runs on the general purpose
+// core.
+func (s *Server) dispatchBatch(rb *readerBatch, count int) {
+	for i := 0; i < count; i++ {
+		if rb.pb.Errs[i] != nil {
+			s.stats.ParseErrors++
+			s.stats.Completed++
+			s.stats.Latency.Record(float64(s.eng.Now() - rb.arrive[i]))
+			continue
+		}
+		if rb.pb.IsImage[i] {
+			// Image cohorts bypass the process stage entirely (§5.1):
+			// the cached asset goes straight to the response stage.
+			s.stats.Images++
+			s.stats.Completed++
+			s.stats.Latency.Record(float64(s.eng.Now() - rb.arrive[i]))
+			continue
+		}
+		pr := preq{req: rb.pb.Reqs[i], t: rb.pb.Types[i], arrived: rb.arrive[i]}
+		s.routeOrQueue(pr)
+	}
+	rb.busy = false
+	s.inflight--
+	s.drainOverflow()
+	s.feedReader()
+	s.maybeFlush()
+}
+
+func (s *Server) routeOrQueue(pr preq) {
+	if !s.pool.Add(pr.t.String(), pr) {
+		s.overflow = append(s.overflow, pr)
+	}
+}
+
+// drainOverflow retries queued requests after a cohort context frees.
+// Unplaceable requests are kept (in order) while later requests of other
+// types are still tried — head-of-line blocking on one starved type must
+// not stall every other type's dispatch.
+func (s *Server) drainOverflow() {
+	if len(s.overflow) == 0 {
+		return
+	}
+	pending := s.overflow
+	s.overflow = s.overflow[:0]
+	for _, pr := range pending {
+		if !s.pool.Add(pr.t.String(), pr) {
+			s.overflow = append(s.overflow, pr)
+		}
+	}
+}
+
+// runCohort executes the process phase for one Full cohort: n backend
+// stages and n+1 process stages (§3.1), then the response stage.
+func (s *Server) runCohort(c *cohort.Context[preq]) {
+	reqs := c.Requests()
+	t := reqs[0].t
+	svc := banking.ServiceFor(t)
+	dc := s.deviceCohort(c.ID, t)
+	dc.Reset(len(reqs))
+	for i, pr := range reqs {
+		dc.Reqs[i] = pr.req
+	}
+	stream := s.streams[c.ID]
+	count := len(reqs)
+
+	var besim *backend.DB
+	if s.opts.DeviceBackend {
+		besim = s.db
+	}
+
+	stragglers := make(map[int]bool)
+	var nextStage func(k int)
+	nextStage = func(k int) {
+		args := banking.StageArgs{
+			Cohort:   dc,
+			Service:  svc,
+			Stage:    k,
+			Sessions: s.sessions,
+			Padding:  s.opts.Padding,
+			ColMajor: s.opts.ColumnMajor,
+			Besim:    besim,
+		}
+		stream.Launch(banking.NewStageProgram(args), count, nil, func(simt.LaunchStats) {
+			if k < svc.Spec.Backends {
+				if s.opts.DeviceBackend {
+					// Besim ran chained inside the kernel.
+					nextStage(k + 1)
+				} else {
+					s.hostBackend(c, dc, stream, count, stragglers, func() { nextStage(k + 1) })
+				}
+				return
+			}
+			s.respond(c, dc, stream, count, stragglers)
+		})
+	}
+	nextStage(0)
+}
+
+// hostBackend performs one remote-backend round trip for a cohort:
+// transpose + D2H of the request slots, host execution on worker
+// threads, H2D + transpose of the responses (§5.3.2, Titan A). With a
+// straggler timeout configured, the cohort proceeds when the deadline
+// passes and any unfinished requests are re-executed entirely on the
+// host (§3.1).
+func (s *Server) hostBackend(c *cohort.Context[preq], dc *banking.DeviceCohort, stream *simt.Stream, count int, stragglers map[int]bool, done func()) {
+	stream.TransposeLive(dc.BReqRow, dc.BReqBuf, backend.RequestSlot/4, dc.Size, 4,
+		backend.RequestSlot/4, count, nil)
+	stream.MemcpyD2H(dc.BReqRow, count*backend.RequestSlot, func(image []byte) {
+		proceeded := false
+		remaining := count
+		finished := make([]bool, count)
+		respImage := make([]byte, count*backend.ResponseSlot)
+		proceed := func() {
+			if proceeded {
+				return
+			}
+			proceeded = true
+			stream.MemcpyH2D(dc.BRespRow, respImage, nil)
+			stream.TransposeLive(dc.BRespBuf, dc.BRespRow, dc.Size, backend.ResponseSlot/4, 4,
+				count, backend.ResponseSlot/4, nil)
+			stream.Barrier(done)
+		}
+		for r := 0; r < count; r++ {
+			ctx := dc.Ctxs[r]
+			if stragglers[r] || (ctx != nil && (ctx.Done || ctx.Err != "")) {
+				// Shed earlier, finished early (variable stages), or
+				// failed: no backend work this round trip.
+				remaining--
+				continue
+			}
+			r := r
+			service := s.opts.BackendServiceTime
+			if s.opts.BackendTailProb > 0 && s.rng.Float64() < s.opts.BackendTailProb {
+				service = sim.Time(float64(service) * s.opts.BackendTailFactor)
+			}
+			s.backendSrv.Submit(service, func() {
+				if proceeded {
+					return // the cohort moved on; the host path owns this request
+				}
+				resp := s.db.Handle(image[r*backend.RequestSlot : (r+1)*backend.RequestSlot])
+				copy(respImage[r*backend.ResponseSlot:], resp)
+				finished[r] = true
+				remaining--
+				if remaining == 0 {
+					proceed()
+				}
+			})
+		}
+		if remaining == 0 {
+			proceed()
+			return
+		}
+		if s.opts.StragglerTimeout > 0 {
+			s.eng.After(s.opts.StragglerTimeout, func() {
+				if proceeded {
+					return
+				}
+				for r := 0; r < count; r++ {
+					if !finished[r] && !stragglers[r] {
+						s.shedStraggler(c, dc, r)
+						stragglers[r] = true
+					}
+				}
+				proceed()
+			})
+		}
+	})
+}
+
+// shedStraggler hands one timed-out request to the host CPU: the device
+// slot is marked failed (its error page is discarded), and the full
+// request re-executes on a host worker, producing the real response.
+func (s *Server) shedStraggler(c *cohort.Context[preq], dc *banking.DeviceCohort, r int) {
+	if ctx := dc.Ctxs[r]; ctx != nil && ctx.Err == "" {
+		ctx.Fail("backend straggler: reissued on host")
+	}
+	arrived := c.Requests()[r].arrived
+	req := dc.Reqs[r]
+	svc := banking.ServiceFor(dc.Spec.Type)
+	s.inflight++
+	// Functional execution now; completion priced by instruction count
+	// on a host worker. (Re-running from stage 0 can repeat an earlier
+	// stage's side effect — e.g. a login that stalled on its *second*
+	// round trip leaves an extra session — the idempotency cost the
+	// paper's "execute on the host CPU" option inherently carries.)
+	hctx := banking.Execute(svc, &req, s.sessions, s.db, s.opts.Padding)
+	service := sim.Time(float64(hctx.Instr()) / s.opts.HostIPS * 1e9)
+	s.hostSrv.Submit(service, func() {
+		s.stats.Stragglers++
+		s.stats.Completed++
+		if hctx.Err != "" {
+			s.stats.Errors++
+		}
+		s.stats.Latency.Record(float64(s.eng.Now() - arrived))
+		s.inflight--
+		s.checkDrained()
+	})
+}
+
+// respond runs the Response stage: transpose the cohort's responses back
+// to row-major (on-device for Titan A/B, offloaded for Titan C), ship
+// them, record latencies, and free the cohort context.
+func (s *Server) respond(c *cohort.Context[preq], dc *banking.DeviceCohort, stream *simt.Stream, count int, stragglers map[int]bool) {
+	buf := dc.Spec.BufferBytes()
+	if s.opts.ColumnMajor {
+		if s.opts.OffloadResponseTranspose {
+			// Titan C: a specialized unit (NIC / memory-controller logic)
+			// performs the transpose; it costs no device time but the
+			// bytes still move, functionally.
+			stream.Barrier(func() {
+				mem.TransposeElemsRange(s.dev.Mem, dc.RespRow, dc.RespCol, buf/4, dc.Size, 4, buf/4, count)
+			})
+		} else {
+			stream.TransposeLive(dc.RespRow, dc.RespCol, buf/4, dc.Size, 4, buf/4, count, nil)
+		}
+	}
+	finish := func() {
+		now := s.eng.Now()
+		for i := 0; i < count; i++ {
+			if stragglers[i] {
+				continue // accounted by the host path
+			}
+			ctx := dc.Ctxs[i]
+			if ctx != nil && ctx.Err != "" {
+				s.stats.Errors++
+			}
+			s.stats.Latency.Record(float64(now - c.Requests()[i].arrived))
+			s.stats.Completed++
+			if v := s.opts.ValidateEvery; v > 0 && (s.stats.Completed%uint64(v)) == 0 && (ctx == nil || ctx.Err == "") {
+				s.stats.Validated++
+				resp := s.dev.Mem.Read(dc.RespRow+mem.Addr(i*buf), buf)
+				if err := banking.Validate(dc.Spec.Type, resp); err != nil {
+					s.stats.ValidationFailures++
+				}
+			}
+		}
+		s.pool.Release(c)
+		s.inflight--
+		s.drainOverflow()
+		s.feedReader()
+		s.maybeFlush()
+	}
+	if s.opts.ResponseOverBus {
+		stream.MemcpyD2H(dc.RespRow, count*buf, func([]byte) { finish() })
+	} else {
+		stream.Barrier(finish)
+	}
+}
+
+// deviceCohort returns (allocating on first use) the device buffers for
+// cohort context id serving type t. Buffers are keyed by response-buffer
+// size class and rebound across types, so a context holds at most one
+// buffer set per class. The paper preallocates all pipeline resources at
+// first launch (§4.2); lazy allocation here is equivalent because device
+// memory is never freed.
+func (s *Server) deviceCohort(id int, t banking.ReqType) *banking.DeviceCohort {
+	class := banking.SpecFor(t).BufferBytes()
+	dc, ok := s.dcs[id][class]
+	if !ok {
+		dc = banking.NewDeviceCohortClass(s.dev, class, s.opts.CohortSize)
+		s.dcs[id][class] = dc
+	}
+	dc.Bind(t)
+	return dc
+}
+
+// maybeFlush force-launches partial cohorts when they can no longer
+// fill. At end of stream everything forming is flushed. When dispatch
+// back-pressure has wedged — requests queued in overflow because every
+// context is forming for other types and nothing is executing that could
+// free one — only the oldest forming cohort launches, freeing one
+// context at a time; a live deployment's formation timeout plays this
+// role (§3.1).
+func (s *Server) maybeFlush() {
+	if len(s.overflow) > 0 && s.inflight == 0 {
+		s.pool.FlushOldest()
+	} else if s.srcDone && len(s.overflow) == 0 && !s.readerBusy() {
+		s.pool.Flush("")
+	}
+	s.checkDrained()
+}
+
+func (s *Server) readerBusy() bool {
+	for _, b := range s.batches {
+		if b.busy {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDrained reports (and signals) completion of the whole run.
+func (s *Server) checkDrained() bool {
+	if s.srcDone && s.inflight == 0 && len(s.overflow) == 0 &&
+		s.pool.FreeContexts() == s.opts.MaxCohorts && !s.readerBusy() {
+		if s.onDrained != nil {
+			f := s.onDrained
+			s.onDrained = nil
+			f()
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+// Package session implements Rhythm's device-resident HTTP session array
+// (§4.3.1): a hash table whose bucket count equals the cohort size so
+// that every request thread of a cohort touches a distinct bucket
+// (conflict-free SIMT access). Session identifiers encode the (bucket,
+// node) pair, giving O(1) lookup and deletion; insertion linearly probes
+// within the bucket for a free node.
+package session
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// NodeBytes is the modeled per-session storage (paper §6.3: "at 40B per
+// session").
+const NodeBytes = 40
+
+// ID is an opaque session identifier handed to clients as a cookie. It
+// encodes bucket and node indexes XOR-folded with a salt, mirroring the
+// paper's "hash of the node index and the bucket index".
+type ID uint64
+
+const salt = 0x5bd1e995_9e3779b9
+
+// String formats the ID as the 16-hex-digit cookie value.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID decodes a cookie value. It reports false on malformed input.
+func ParseID(s string) (ID, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ID(v), true
+}
+
+type node struct {
+	used   bool
+	userID uint64
+}
+
+// Array is the session table. It is deliberately not synchronized: in
+// Rhythm all mutation happens from the single-threaded event loop /
+// sequential kernel simulation (the device uses atomics, which the SIMT
+// layer charges separately).
+type Array struct {
+	buckets int
+	perB    int
+	nodes   []node
+	live    int
+	// Collisions counts insertions that had to probe past their first
+	// candidate slot.
+	Collisions uint64
+}
+
+// NewArray builds a table of buckets × nodesPerBucket slots. The paper
+// sizes buckets to the cohort size (4096) and total capacity to 4× the
+// expected live sessions to keep collision probability near 25% (§6.3).
+func NewArray(buckets, nodesPerBucket int) *Array {
+	if buckets <= 0 || nodesPerBucket <= 0 {
+		panic("session: dimensions must be positive")
+	}
+	return &Array{
+		buckets: buckets,
+		perB:    nodesPerBucket,
+		nodes:   make([]node, buckets*nodesPerBucket),
+	}
+}
+
+// Buckets reports the bucket count (== cohort size).
+func (a *Array) Buckets() int { return a.buckets }
+
+// Capacity reports total session slots.
+func (a *Array) Capacity() int { return len(a.nodes) }
+
+// Len reports live sessions.
+func (a *Array) Len() int { return a.live }
+
+// MemoryBytes reports the modeled device-memory footprint (§6.3).
+func (a *Array) MemoryBytes() int64 { return int64(len(a.nodes)) * NodeBytes }
+
+// hash is a 64-bit mix (splitmix64 finalizer) used for bucket and slot
+// selection.
+func hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Create inserts a session for userID and returns its ID. It reports
+// false when the user's bucket is full (the table's structural limit —
+// the caller surfaces a server-busy error, a rare divergent path).
+func (a *Array) Create(userID uint64) (ID, bool) {
+	h := hash(userID)
+	b := int(h % uint64(a.buckets))
+	start := int((h >> 32) % uint64(a.perB))
+	for i := 0; i < a.perB; i++ {
+		n := (start + i) % a.perB
+		idx := b*a.perB + n
+		if !a.nodes[idx].used {
+			if i > 0 {
+				a.Collisions++
+			}
+			a.nodes[idx] = node{used: true, userID: userID}
+			a.live++
+			return encode(b, n), true
+		}
+	}
+	return 0, false
+}
+
+// Lookup resolves a session ID to its user. O(1): the ID names the slot.
+func (a *Array) Lookup(id ID) (userID uint64, ok bool) {
+	b, n, ok := a.decode(id)
+	if !ok {
+		return 0, false
+	}
+	nd := a.nodes[b*a.perB+n]
+	if !nd.used {
+		return 0, false
+	}
+	return nd.userID, true
+}
+
+// Delete removes a session. O(1). It reports whether a session existed.
+func (a *Array) Delete(id ID) bool {
+	b, n, ok := a.decode(id)
+	if !ok {
+		return false
+	}
+	idx := b*a.perB + n
+	if !a.nodes[idx].used {
+		return false
+	}
+	a.nodes[idx] = node{}
+	a.live--
+	return true
+}
+
+func encode(bucket, n int) ID {
+	return ID((uint64(n)<<32 | uint64(bucket)) ^ salt)
+}
+
+func (a *Array) decode(id ID) (bucket, n int, ok bool) {
+	v := uint64(id) ^ salt
+	bucket = int(v & 0xffffffff)
+	n = int(v >> 32)
+	if bucket < 0 || bucket >= a.buckets || n < 0 || n >= a.perB {
+		return 0, 0, false
+	}
+	return bucket, n, true
+}

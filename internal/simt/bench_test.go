@@ -1,0 +1,59 @@
+package simt
+
+import (
+	"testing"
+
+	"rhythm/internal/mem"
+	"rhythm/internal/sim"
+)
+
+// BenchmarkKernelSimulation measures the simulator's host-side cost of
+// executing one 4096-thread cohort kernel with column-major stores —
+// the dominant cost of the macro experiments.
+func BenchmarkKernelSimulation(b *testing.B) {
+	cfg := GTXTitan()
+	const threads = 4096
+	const words = 1024 // 4 KB per thread
+	payload := make([]byte, words*4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.NewEngine()
+		dev := NewDevice(eng, cfg, threads*words*4+1<<20, nil)
+		base := dev.Mem.Alloc(threads*words*4, 256)
+		b.StartTimer()
+		dev.NewStream().Launch(FuncProgram{"bench", func(t *Thread) {
+			t.Compute(10000)
+			t.StoreStrided(base+mem.Addr(4*t.ID), payload, 4, 4*threads)
+		}}, threads, nil, nil)
+		eng.Run()
+	}
+}
+
+// BenchmarkWarpDivergence measures the simulator under a divergent
+// kernel (the general coalescing path).
+func BenchmarkWarpDivergence(b *testing.B) {
+	cfg := GTXTitan()
+	prog := progFunc{name: "div", f: func(blk BlockID, t *Thread) BlockID {
+		switch blk {
+		case 0:
+			t.Compute(10)
+			return BlockID(1 + t.ID%4)
+		case 1, 2, 3, 4:
+			t.Compute(100)
+			return 5
+		default:
+			t.Compute(5)
+			return Halt
+		}
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.NewEngine()
+		dev := NewDevice(eng, cfg, 1<<20, nil)
+		b.StartTimer()
+		dev.NewStream().Launch(prog, 4096, nil, nil)
+		eng.Run()
+	}
+}

@@ -1,0 +1,123 @@
+// Package simt is a software model of a SIMT accelerator (a GPU-style
+// device). It stands in for the NVIDIA GTX Titan + CUDA runtime the paper
+// uses: kernels are basic-block programs executed by cohorts of threads in
+// 32-lane warps with lockstep issue, divergence serialization, coalesced
+// memory transactions, constant memory, asynchronous streams, and
+// HyperQ-style hardware work queues. Kernels operate on real bytes in
+// device memory, so everything the device "computes" (parsed requests,
+// HTML responses) is functionally real and can be validated; the cost
+// model turns the observed instruction and transaction counts into
+// virtual time and energy.
+package simt
+
+// Config describes the modeled device.
+type Config struct {
+	// Name identifies the device in reports (e.g., "GTX Titan").
+	Name string
+	// SMs is the number of streaming multiprocessors (GTX Titan: 14).
+	SMs int
+	// WarpSize is the SIMT width (32 for all NVIDIA parts).
+	WarpSize int
+	// SchedulersPerSM is the number of warp schedulers per SM, each able
+	// to issue one warp instruction per cycle (Kepler SMX: 4).
+	SchedulersPerSM int
+	// ClockHz is the core clock (GTX Titan: 837 MHz).
+	ClockHz float64
+	// MemBandwidth is usable device memory bandwidth in bytes/sec
+	// (GTX Titan: 288 GB/s peak; we model ~80% achievable).
+	MemBandwidth float64
+	// SegmentBytes is the memory coalescing granularity (128 B).
+	SegmentBytes int
+	// Queues is the number of hardware work queues. The GTX Titan exposes
+	// 32 (HyperQ); the GTX690 the paper tried first exposes 1, creating
+	// false dependencies among streams (§6.4).
+	Queues int
+	// LaunchOverhead is the fixed host-side cost of enqueueing a kernel,
+	// in nanoseconds of device timeline (~5 µs on Kepler).
+	LaunchOverhead int64
+	// MemBytes is the device memory capacity (GTX Titan: 6 GB). The
+	// simulator's backing store may be smaller; this value drives the
+	// §6.3 capacity checks.
+	MemBytes int64
+}
+
+// GTXTitan returns the configuration of the paper's GTX Titan card
+// (Table 1: 28 nm, 14 SMX, 6 GB GDDR5, HyperQ).
+func GTXTitan() Config {
+	return Config{
+		Name:            "GTX Titan",
+		SMs:             14,
+		WarpSize:        32,
+		SchedulersPerSM: 4,
+		ClockHz:         837e6,
+		MemBandwidth:    230e9, // ~80% of the 288 GB/s peak
+		SegmentBytes:    128,
+		Queues:          32,
+		LaunchOverhead:  5_000,
+		MemBytes:        6 << 30,
+	}
+}
+
+// GTX690 returns the single-work-queue device the paper first tried
+// (§6.4 "HyperQ"): one hardware queue serializes independent streams.
+// One GK104 GPU of the 690: 8 SMX at 915 MHz, 2 GB.
+func GTX690() Config {
+	c := GTXTitan()
+	c.Name = "GTX 690 (one GPU)"
+	c.SMs = 8
+	c.ClockHz = 915e6
+	c.MemBandwidth = 154e9
+	c.Queues = 1
+	c.MemBytes = 2 << 30
+	return c
+}
+
+// CoreI7SIMD models the "SIMD based implementation on current CPUs" the
+// paper calls a useful design point but leaves to future work (§6.4):
+// the Core i7's four cores running Rhythm cohorts in 8-lane AVX vectors.
+// Each core is one "SM" with superscalar issue (4 vector ops/cycle) but
+// commodity DDR3 bandwidth — which is what ends up limiting it.
+func CoreI7SIMD() Config {
+	return Config{
+		Name:            "Core i7 AVX (8-lane SIMD)",
+		SMs:             4,
+		WarpSize:        8,
+		SchedulersPerSM: 4,
+		ClockHz:         3.4e9,
+		MemBandwidth:    21e9, // dual-channel DDR3-1600, ~80% achievable
+		SegmentBytes:    64,   // cache-line granularity
+		Queues:          32,   // software queues: no false dependencies
+		LaunchOverhead:  200,  // a function call, not a PCIe doorbell
+		MemBytes:        16 << 30,
+	}
+}
+
+// issueRate reports aggregate warp-instruction issue slots per second.
+func (c Config) issueRate() float64 {
+	return float64(c.SMs*c.SchedulersPerSM) * c.ClockHz
+}
+
+// maxConcurrentWarps reports the number of warps that can issue in the
+// same cycle across the device.
+func (c Config) maxConcurrentWarps() int {
+	return c.SMs * c.SchedulersPerSM
+}
+
+func (c Config) validate() {
+	switch {
+	case c.SMs <= 0:
+		panic("simt: SMs must be positive")
+	case c.WarpSize <= 0 || c.WarpSize > 64:
+		panic("simt: WarpSize out of range")
+	case c.SchedulersPerSM <= 0:
+		panic("simt: SchedulersPerSM must be positive")
+	case c.ClockHz <= 0:
+		panic("simt: ClockHz must be positive")
+	case c.MemBandwidth <= 0:
+		panic("simt: MemBandwidth must be positive")
+	case c.SegmentBytes <= 0 || c.SegmentBytes&(c.SegmentBytes-1) != 0:
+		panic("simt: SegmentBytes must be a positive power of two")
+	case c.Queues <= 0:
+		panic("simt: Queues must be positive")
+	}
+}

@@ -1,0 +1,417 @@
+package simt
+
+import (
+	"fmt"
+	"math"
+
+	"rhythm/internal/mem"
+	"rhythm/internal/sim"
+)
+
+// LaunchStats reports the measured cost of one kernel launch.
+type LaunchStats struct {
+	Kernel        string
+	Threads       int
+	Warps         int
+	IssueCycles   int64 // total warp-instruction issue slots
+	MemBytes      int64 // global-memory traffic (transactions × segment)
+	Transactions  int64
+	BlockExecs    int64
+	DivergentExec int64 // block executions under a partial mask
+	Duration      sim.Time
+}
+
+// DeviceStats aggregates device activity over a run.
+type DeviceStats struct {
+	Launches      uint64
+	Copies        uint64
+	CopiedBytes   uint64
+	IssueCycles   int64
+	MemBytes      int64
+	Transactions  int64
+	DivergentExec int64
+	BusyTime      sim.Time // time the compute engine spent executing
+}
+
+// Device is a modeled SIMT accelerator attached to a simulation engine.
+// Operations are issued through Streams; the device serializes execution
+// on its compute engine and charges virtual time from the roofline cost
+// model, while performing all work functionally on real bytes in Mem.
+type Device struct {
+	Cfg Config
+	// Mem is the device memory. All kernel accesses resolve into it.
+	Mem *mem.Memory
+	// Bus is the host↔device interconnect used by MemcpyH2D/D2H. When nil
+	// (an integrated SoC-style platform, as Titan B/C emulate), copies
+	// complete in zero time.
+	Bus *sim.Pipe
+
+	eng     *sim.Engine
+	compute *warpPool
+	queues  []*hwQueue
+	nextQ   int
+	stats   DeviceStats
+
+	constBrk mem.Addr // constant memory is carved from the low addresses
+}
+
+// warpPool models the device's execution capacity as warp-issue slots:
+// a kernel occupies min(its warps, capacity) slots for its priced
+// duration, so small kernels from independent streams genuinely overlap
+// while a cohort-sized kernel (128 warps on a 56-slot Titan) owns the
+// machine. Transposes occupy every slot — they saturate memory bandwidth
+// and create the pipeline bubbles §6.1.2 describes. Admission is FIFO.
+type warpPool struct {
+	eng       *sim.Engine
+	capacity  int
+	available int
+	queue     []pendingWork
+	slotBusy  float64 // slot-nanoseconds of completed + running work
+}
+
+type pendingWork struct {
+	slots int
+	dur   sim.Time
+	done  func()
+}
+
+func newWarpPool(eng *sim.Engine, capacity int) *warpPool {
+	return &warpPool{eng: eng, capacity: capacity, available: capacity}
+}
+
+// submit enqueues work needing `slots` issue slots for dur.
+func (p *warpPool) submit(slots int, dur sim.Time, done func()) {
+	if slots > p.capacity {
+		slots = p.capacity
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	p.queue = append(p.queue, pendingWork{slots: slots, dur: dur, done: done})
+	p.pump()
+}
+
+func (p *warpPool) pump() {
+	for len(p.queue) > 0 && p.queue[0].slots <= p.available {
+		w := p.queue[0]
+		p.queue = p.queue[1:]
+		p.available -= w.slots
+		p.slotBusy += float64(w.slots) * float64(w.dur)
+		p.eng.After(w.dur, func() {
+			p.available += w.slots
+			if w.done != nil {
+				w.done()
+			}
+			p.pump()
+		})
+	}
+}
+
+// utilization reports the slot-weighted busy fraction over [0, now].
+func (p *warpPool) utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return p.slotBusy / (float64(p.capacity) * float64(now))
+}
+
+// hwQueue is one hardware work queue. With a single queue (GTX690-style),
+// operations from independent streams serialize behind each other —
+// the false dependencies of §6.4. With 32 queues (HyperQ), streams map to
+// distinct queues and only true stream order constrains them.
+type hwQueue struct {
+	tail *gate
+}
+
+// gate is a one-shot completion signal with waiters.
+type gate struct {
+	fired   bool
+	waiters []func()
+}
+
+func newGate() *gate { return &gate{} }
+
+func firedGate() *gate { return &gate{fired: true} }
+
+func (g *gate) fire() {
+	if g.fired {
+		panic("simt: gate fired twice")
+	}
+	g.fired = true
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (g *gate) wait(f func()) {
+	if g.fired {
+		f()
+		return
+	}
+	g.waiters = append(g.waiters, f)
+}
+
+// when runs f once both gates have fired.
+func when(a, b *gate, f func()) {
+	a.wait(func() { b.wait(f) })
+}
+
+// NewDevice creates a device with the given memory capacity (the backing
+// store; Cfg.MemBytes is the nominal card capacity used for §6.3 checks).
+func NewDevice(eng *sim.Engine, cfg Config, memBytes int, bus *sim.Pipe) *Device {
+	cfg.validate()
+	d := &Device{
+		Cfg:     cfg,
+		Mem:     mem.New(memBytes),
+		Bus:     bus,
+		eng:     eng,
+		compute: newWarpPool(eng, cfg.maxConcurrentWarps()),
+		queues:  make([]*hwQueue, cfg.Queues),
+	}
+	for i := range d.queues {
+		d.queues[i] = &hwQueue{tail: firedGate()}
+	}
+	return d
+}
+
+// Engine returns the simulation engine the device is bound to.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Stats returns a snapshot of accumulated device statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// Utilization reports the slot-weighted busy fraction of the device's
+// issue capacity.
+func (d *Device) Utilization() float64 { return d.compute.utilization(d.eng.Now()) }
+
+// AllocConst reserves constant memory and copies data into it, returning
+// its address. The paper stores static page content and hot pointers in
+// CUDA constant memory (§4.6); reads from it cost no global transactions.
+func (d *Device) AllocConst(data []byte) mem.Addr {
+	a := d.Mem.Alloc(len(data), 16)
+	d.Mem.Write(a, data)
+	if a+mem.Addr(len(data)) > d.constBrk {
+		d.constBrk = a + mem.Addr(len(data))
+	}
+	return a
+}
+
+// Stream is an ordered queue of device operations. Operations within a
+// stream serialize; operations in different streams may overlap, subject
+// to the hardware queue mapping and the compute engine.
+type Stream struct {
+	dev  *Device
+	q    *hwQueue
+	tail *gate
+}
+
+// NewStream creates a stream, mapping it round-robin onto a hardware
+// queue.
+func (d *Device) NewStream() *Stream {
+	q := d.queues[d.nextQ%len(d.queues)]
+	d.nextQ++
+	return &Stream{dev: d, q: q, tail: firedGate()}
+}
+
+// enqueue chains op behind the stream tail and the hardware queue tail.
+// op must invoke its argument exactly once when the operation completes.
+func (s *Stream) enqueue(op func(complete func())) {
+	done := newGate()
+	sPrev, qPrev := s.tail, s.q.tail
+	s.tail = done
+	s.q.tail = done
+	when(sPrev, qPrev, func() {
+		op(done.fire)
+	})
+}
+
+// Launch enqueues a kernel over n threads. init (optional) is called for
+// each thread before execution to attach per-thread arguments. done
+// (optional) receives the launch statistics at kernel completion.
+//
+// Functional execution happens at launch time (the bytes land in device
+// memory immediately in host order — streams only model time), which is
+// safe because Rhythm's pipeline never reads a buffer before the
+// completion callback of the op that wrote it.
+func (s *Stream) Launch(prog Program, n int, init func(i int, t *Thread), done func(LaunchStats)) {
+	if n <= 0 {
+		panic("simt: launch needs at least one thread")
+	}
+	d := s.dev
+	s.enqueue(func(complete func()) {
+		st := d.runKernel(prog, n, init)
+		d.stats.Launches++
+		d.stats.IssueCycles += st.IssueCycles
+		d.stats.MemBytes += st.MemBytes
+		d.stats.Transactions += st.Transactions
+		d.stats.DivergentExec += st.DivergentExec
+		d.stats.BusyTime += st.Duration
+		slots := st.Warps
+		d.compute.submit(slots, st.Duration, func() {
+			if done != nil {
+				done(st)
+			}
+			complete()
+		})
+	})
+}
+
+// MemcpyH2D enqueues a host-to-device copy of p to dst.
+func (s *Stream) MemcpyH2D(dst mem.Addr, p []byte, done func()) {
+	d := s.dev
+	s.enqueue(func(complete func()) {
+		d.Mem.Write(dst, p)
+		d.stats.Copies++
+		d.stats.CopiedBytes += uint64(len(p))
+		after := func() {
+			if done != nil {
+				done()
+			}
+			complete()
+		}
+		if d.Bus == nil {
+			after()
+			return
+		}
+		d.Bus.Transfer(len(p), after)
+	})
+}
+
+// MemcpyD2H enqueues a device-to-host copy; the data is delivered to the
+// done callback to mirror asynchronous CUDA semantics.
+func (s *Stream) MemcpyD2H(src mem.Addr, n int, done func(data []byte)) {
+	d := s.dev
+	s.enqueue(func(complete func()) {
+		data := d.Mem.Read(src, n)
+		d.stats.Copies++
+		d.stats.CopiedBytes += uint64(n)
+		after := func() {
+			if done != nil {
+				done(data)
+			}
+			complete()
+		}
+		if d.Bus == nil {
+			after()
+			return
+		}
+		d.Bus.Transfer(n, after)
+	})
+}
+
+// Transpose enqueues an on-device transpose of a rows×cols matrix of
+// elem-byte elements from src to dst. It is modeled as a
+// bandwidth-bound kernel (one read + one write of every byte), matching
+// the optimized CUDA transpose the paper builds on [48].
+func (s *Stream) Transpose(dst, src mem.Addr, rows, cols, elem int, done func()) {
+	s.TransposeLive(dst, src, rows, cols, elem, rows, cols, done)
+}
+
+// TransposeLive is Transpose for a partially filled fixed-geometry
+// buffer: the device streams (and is charged for) the whole rows×cols
+// matrix, but only the [0,liveRows)×[0,liveCols) corner holds meaningful
+// data, so only it is moved functionally.
+func (s *Stream) TransposeLive(dst, src mem.Addr, rows, cols, elem, liveRows, liveCols int, done func()) {
+	d := s.dev
+	s.enqueue(func(complete func()) {
+		mem.TransposeElemsRange(d.Mem, dst, src, rows, cols, elem, liveRows, liveCols)
+		bytes := int64(mem.TransposeBytes(rows, cols*elem))
+		dur := sim.Time(float64(bytes)/d.Cfg.MemBandwidth*1e9) + sim.Time(d.Cfg.LaunchOverhead)
+		d.stats.Launches++
+		d.stats.MemBytes += bytes
+		d.stats.BusyTime += dur
+		// A transpose saturates the memory system: it owns every slot,
+		// creating the pipeline bubbles the paper observes (§6.1.2).
+		d.compute.submit(d.Cfg.maxConcurrentWarps(), dur, func() {
+			if done != nil {
+				done()
+			}
+			complete()
+		})
+	})
+}
+
+// Barrier invokes done when every operation enqueued on the stream so far
+// has completed (cudaStreamSynchronize analogue, but asynchronous).
+func (s *Stream) Barrier(done func()) {
+	s.enqueue(func(complete func()) {
+		if done != nil {
+			done()
+		}
+		complete()
+	})
+}
+
+// runKernel executes every warp of the launch functionally and prices the
+// launch with the roofline model.
+func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) LaunchStats {
+	cfg := d.Cfg
+	warps := (n + cfg.WarpSize - 1) / cfg.WarpSize
+	var total warpStats
+	var maxWarpCycles int64
+	threads := make([]*Thread, 0, cfg.WarpSize)
+	for w := 0; w < warps; w++ {
+		threads = threads[:0]
+		for lane := 0; lane < cfg.WarpSize; lane++ {
+			id := w*cfg.WarpSize + lane
+			if id >= n {
+				break
+			}
+			t := &Thread{ID: id, Lane: lane, mem: d.Mem}
+			if init != nil {
+				init(id, t)
+			}
+			threads = append(threads, t)
+		}
+		ws := runWarp(cfg, prog, threads)
+		total.issueCycles += ws.issueCycles
+		total.memBytes += ws.memBytes
+		total.transactions += ws.transactions
+		total.blockExecs += ws.blockExecs
+		total.divergentExec += ws.divergentExec
+		if ws.issueCycles > maxWarpCycles {
+			maxWarpCycles = ws.issueCycles
+		}
+	}
+	dur := d.price(warps, total.issueCycles, maxWarpCycles, total.memBytes)
+	return LaunchStats{
+		Kernel:        prog.Name(),
+		Threads:       n,
+		Warps:         warps,
+		IssueCycles:   total.issueCycles,
+		MemBytes:      total.memBytes,
+		Transactions:  total.transactions,
+		BlockExecs:    total.blockExecs,
+		DivergentExec: total.divergentExec,
+		Duration:      dur,
+	}
+}
+
+// price applies the roofline model: kernel time is the larger of the
+// issue-bound time (total issue cycles spread over the device's issue
+// slots, floored by the slowest warp's serial critical path) and the
+// bandwidth-bound time, plus the fixed launch overhead.
+func (d *Device) price(warps int, issueCycles, maxWarpCycles, memBytes int64) sim.Time {
+	cfg := d.Cfg
+	parallel := cfg.maxConcurrentWarps()
+	if warps < parallel {
+		parallel = warps
+	}
+	if parallel == 0 {
+		parallel = 1
+	}
+	computeSec := float64(issueCycles) / (float64(parallel) * cfg.ClockHz)
+	critical := float64(maxWarpCycles) / cfg.ClockHz
+	if critical > computeSec {
+		computeSec = critical
+	}
+	memSec := float64(memBytes) / cfg.MemBandwidth
+	sec := math.Max(computeSec, memSec)
+	return sim.Time(sec*1e9) + sim.Time(cfg.LaunchOverhead)
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%d SMs, %d queues)", d.Cfg.Name, d.Cfg.SMs, d.Cfg.Queues)
+}

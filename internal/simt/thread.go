@@ -1,0 +1,282 @@
+package simt
+
+import (
+	"fmt"
+
+	"rhythm/internal/mem"
+)
+
+// BlockID names a basic block of a Program. Blocks should be numbered in
+// (roughly) topological order: the warp scheduler picks the minimum
+// pending block among diverged lanes, which makes lanes reconverge at the
+// next common block — the standard min-PC reconvergence heuristic.
+type BlockID int
+
+// Halt is the pseudo-block a thread returns to terminate.
+const Halt BlockID = -1
+
+// Program is a SIMT kernel: a basic-block state machine executed by every
+// thread of a launch. Exec runs block b for thread t and returns the
+// successor block. Control flow may branch and loop; divergence across a
+// warp's lanes is serialized by the simulator exactly as SIMT hardware
+// serializes it.
+type Program interface {
+	// Name identifies the kernel in stats and error messages.
+	Name() string
+	// Entry is the first block every thread executes.
+	Entry() BlockID
+	// Exec executes block b for thread t.
+	Exec(b BlockID, t *Thread) BlockID
+}
+
+// FuncProgram adapts a single function into a one-block Program, for
+// kernels with no interesting control flow (e.g., memset-style kernels).
+type FuncProgram struct {
+	Label string
+	Body  func(t *Thread)
+}
+
+// Name implements Program.
+func (p FuncProgram) Name() string { return p.Label }
+
+// Entry implements Program.
+func (p FuncProgram) Entry() BlockID { return 0 }
+
+// Exec implements Program.
+func (p FuncProgram) Exec(_ BlockID, t *Thread) BlockID {
+	p.Body(t)
+	return Halt
+}
+
+// access records one memory instruction issued by a lane within a block.
+// Lockstep lanes' accesses are zipped by issue index and coalesced
+// together.
+type access struct {
+	addr    mem.Addr
+	elem    int // element size in bytes (simple: total size; strided: per element)
+	count   int // number of elements (1 for a simple access)
+	stride  int // byte stride between elements (strided only)
+	strided bool
+}
+
+// Thread is the per-lane execution context handed to Program.Exec. All
+// loads and stores go through it so the simulator can account coalescing
+// and so the bytes actually land in device memory.
+type Thread struct {
+	// ID is the global thread index within the launch.
+	ID int
+	// Lane is the index within the warp [0, WarpSize).
+	Lane int
+	// Data carries per-thread kernel arguments (set by the launch's init
+	// function).
+	Data any
+
+	mem      *mem.Memory
+	warp     *warpShared
+	ops      int64 // compute ops charged in the current block
+	accesses []access
+}
+
+// warpShared is the per-warp shared-memory scratchpad backing the
+// collectives. Slots seal at block boundaries: contributions made in
+// block k become readable from block k+1 on.
+type warpShared struct {
+	maxes map[int]*sharedSlot
+	sums  map[int]*sharedSlot
+}
+
+type sharedSlot struct {
+	v      int64
+	set    bool
+	sealed bool
+}
+
+func newWarpShared() *warpShared {
+	return &warpShared{maxes: map[int]*sharedSlot{}, sums: map[int]*sharedSlot{}}
+}
+
+func (w *warpShared) maxSlot(slot int) *sharedSlot {
+	s, ok := w.maxes[slot]
+	if !ok {
+		s = &sharedSlot{}
+		w.maxes[slot] = s
+	}
+	return s
+}
+
+func (w *warpShared) sumSlot(slot int) *sharedSlot {
+	s, ok := w.sums[slot]
+	if !ok {
+		s = &sharedSlot{}
+		w.sums[slot] = s
+	}
+	return s
+}
+
+// seal marks every contributed slot readable (called between blocks).
+func (w *warpShared) seal() {
+	for _, s := range w.maxes {
+		if s.set {
+			s.sealed = true
+		}
+	}
+	for _, s := range w.sums {
+		if s.set {
+			s.sealed = true
+		}
+	}
+}
+
+// Compute charges n ALU operations to the current block. Lanes of a warp
+// executing the same block issue in lockstep, so the warp pays
+// max-across-lanes, amortizing fetch/decode across the warp — the effect
+// the paper's efficiency argument rests on (§2.1).
+func (t *Thread) Compute(n int) {
+	if n < 0 {
+		panic("simt: negative compute charge")
+	}
+	t.ops += int64(n)
+}
+
+// Load reads n bytes at addr from device memory as one memory instruction.
+// The returned slice aliases device memory and must not be retained across
+// blocks.
+func (t *Thread) Load(addr mem.Addr, n int) []byte {
+	t.accesses = append(t.accesses, access{addr: addr, elem: n, count: 1})
+	return t.mem.Bytes(addr, n)
+}
+
+// Store writes p to device memory at addr as one memory instruction.
+func (t *Thread) Store(addr mem.Addr, p []byte) {
+	t.accesses = append(t.accesses, access{addr: addr, elem: len(p), count: 1})
+	t.mem.Write(addr, p)
+}
+
+// StoreStrided writes p in elem-byte words at addresses
+// addr, addr+stride, addr+2*stride, ... — the access pattern of a thread
+// writing its column of a transposed (column-major, word-interleaved)
+// cohort buffer. len(p) must be a multiple of elem. The simulator
+// coalesces each step across the warp's lanes, which is where the
+// transpose optimization's benefit shows up: lanes' words at one step are
+// adjacent in column-major layout and merge into one transaction.
+func (t *Thread) StoreStrided(addr mem.Addr, p []byte, elem, stride int) {
+	count := stridedCount(len(p), elem, stride)
+	if count == 0 {
+		return
+	}
+	t.accesses = append(t.accesses, access{addr: addr, elem: elem, count: count, stride: stride, strided: true})
+	last := addr + mem.Addr((count-1)*stride)
+	b := t.mem.Bytes(addr, int(last-addr)+elem)
+	for i := 0; i < count; i++ {
+		copy(b[i*stride:i*stride+elem], p[i*elem:(i+1)*elem])
+	}
+}
+
+// LoadStrided reads count elem-byte words at stride intervals starting at
+// addr, mirroring StoreStrided for column-major request buffers.
+func (t *Thread) LoadStrided(addr mem.Addr, count, elem, stride int) []byte {
+	if stride <= 0 || elem <= 0 || elem > stride {
+		panic("simt: bad strided access shape")
+	}
+	if count == 0 {
+		return nil
+	}
+	t.accesses = append(t.accesses, access{addr: addr, elem: elem, count: count, stride: stride, strided: true})
+	last := addr + mem.Addr((count-1)*stride)
+	b := t.mem.Bytes(addr, int(last-addr)+elem)
+	out := make([]byte, count*elem)
+	for i := 0; i < count; i++ {
+		copy(out[i*elem:(i+1)*elem], b[i*stride:i*stride+elem])
+	}
+	return out
+}
+
+func stridedCount(n, elem, stride int) int {
+	if stride <= 0 || elem <= 0 || elem > stride {
+		panic("simt: bad strided access shape")
+	}
+	if n%elem != 0 {
+		panic("simt: strided payload not a multiple of element size")
+	}
+	return n / elem
+}
+
+// LoadConst reads n bytes of constant memory. Constant memory is
+// broadcast to the warp and cached on-chip, so it charges an issue slot
+// but no global-memory transaction — the paper stores static HTML and hot
+// pointers there (§4.6).
+func (t *Thread) LoadConst(addr mem.Addr, n int) []byte {
+	t.ops++
+	return t.mem.Bytes(addr, n)
+}
+
+// Atomic charges an atomic read-modify-write on device memory (one
+// transaction-sized access plus serialization cost of n conflicting
+// lanes). Rhythm uses atomics for lock-free session/cohort pool updates.
+func (t *Thread) Atomic(addr mem.Addr) {
+	t.accesses = append(t.accesses, access{addr: addr, elem: 4, count: 1})
+	t.ops += 2
+}
+
+// Mem exposes the raw device memory for functional (non-accounted)
+// bookkeeping by kernel host code. Kernels should prefer Load/Store.
+func (t *Thread) Mem() *mem.Memory { return t.mem }
+
+// Warp-level collectives over shared memory: the paper's implementation
+// "perform[s] a max butterfly reduction across a warp that uses CUDA
+// shared memory to calculate the padding amount for each thread" (§4.6).
+// The protocol is two-phase, matching the hardware's synchronization
+// structure: every active lane contributes in one basic block
+// (ShareMax/ShareSum), and reads the combined value in a LATER block
+// (SharedMax/SharedSum) — reading in the same block would observe a
+// partial reduction, exactly as hardware without a barrier would.
+
+// ShareMax contributes v to the warp's max-reduction slot. Costs the
+// log2(warpSize) butterfly steps in issue slots, no global traffic.
+func (t *Thread) ShareMax(slot int, v int64) {
+	t.ops += 5 // log2(32) butterfly exchange steps
+	s := t.warp.maxSlot(slot)
+	if !s.set || v > s.v {
+		s.v = v
+		s.set = true
+	}
+}
+
+// SharedMax reads the warp's max-reduction slot. It panics if no lane
+// contributed in an earlier block — a missing barrier in the kernel.
+func (t *Thread) SharedMax(slot int) int64 {
+	t.ops++
+	s := t.warp.maxSlot(slot)
+	if !s.sealed {
+		panic(fmt.Sprintf("simt: SharedMax(%d) read in the same block as its ShareMax (missing barrier)", slot))
+	}
+	return s.v
+}
+
+// ShareSum contributes v to the warp's sum-reduction slot.
+func (t *Thread) ShareSum(slot int, v int64) {
+	t.ops += 5
+	s := t.warp.sumSlot(slot)
+	s.v += v
+	s.set = true
+}
+
+// SharedSum reads the warp's sum-reduction slot (same barrier rule as
+// SharedMax).
+func (t *Thread) SharedSum(slot int) int64 {
+	t.ops++
+	s := t.warp.sumSlot(slot)
+	if !s.sealed {
+		panic(fmt.Sprintf("simt: SharedSum(%d) read in the same block as its ShareSum (missing barrier)", slot))
+	}
+	return s.v
+}
+
+func (t *Thread) reset() {
+	t.ops = 0
+	t.accesses = t.accesses[:0]
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread(id=%d lane=%d)", t.ID, t.Lane)
+}

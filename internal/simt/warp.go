@@ -1,0 +1,265 @@
+package simt
+
+import (
+	"fmt"
+	"sort"
+
+	"rhythm/internal/mem"
+)
+
+// warpStats accumulates the cost of executing one warp to completion.
+type warpStats struct {
+	issueCycles   int64 // warp-instruction issue slots consumed
+	memBytes      int64 // bytes moved in global-memory transactions
+	transactions  int64 // coalesced transaction count
+	blockExecs    int64 // basic-block executions (full or partial mask)
+	divergentExec int64 // block executions with a partial active mask
+	maxThreadOps  int64 // serial ops of the busiest thread (critical path)
+}
+
+// maxBlockExecsPerThread guards against runaway kernels.
+const maxBlockExecsPerThread = 1 << 22
+
+// runWarp executes prog for the given threads (<= WarpSize of them) in
+// SIMT fashion: at each step the scheduler picks the minimum pending block
+// among live lanes, executes it for exactly the lanes waiting at it
+// (the active mask), and charges the warp max-ops across those lanes plus
+// the coalesced memory traffic of their zipped accesses. Lanes that
+// branched elsewhere are masked off and pay nothing, but the warp as a
+// whole serializes over the distinct blocks — divergence is lost
+// throughput, exactly as on hardware.
+func runWarp(cfg Config, prog Program, threads []*Thread) warpStats {
+	var ws warpStats
+	n := len(threads)
+	if n == 0 {
+		return ws
+	}
+	if n > cfg.WarpSize {
+		panic(fmt.Sprintf("simt: %d threads exceed warp size %d", n, cfg.WarpSize))
+	}
+	pcs := make([]BlockID, n)
+	perThreadOps := make([]int64, n)
+	shared := newWarpShared()
+	for i := range pcs {
+		pcs[i] = prog.Entry()
+		threads[i].warp = shared
+	}
+	var execs int64
+	active := make([]*Thread, 0, n)
+	activeIdx := make([]int, 0, n)
+	for {
+		// Find the minimum pending block among live lanes.
+		cur := Halt
+		live := 0
+		for _, pc := range pcs {
+			if pc == Halt {
+				continue
+			}
+			live++
+			if cur == Halt || pc < cur {
+				cur = pc
+			}
+		}
+		if cur == Halt {
+			break
+		}
+		active = active[:0]
+		activeIdx = activeIdx[:0]
+		for i, pc := range pcs {
+			if pc == cur {
+				active = append(active, threads[i])
+				activeIdx = append(activeIdx, i)
+			}
+		}
+		// Execute the block for the active mask.
+		var blockOps int64
+		for k, t := range active {
+			t.reset()
+			pcs[activeIdx[k]] = prog.Exec(cur, t)
+			if t.ops > blockOps {
+				blockOps = t.ops
+			}
+			perThreadOps[activeIdx[k]] += t.ops
+		}
+		ws.blockExecs++
+		if len(active) < live {
+			ws.divergentExec++
+		}
+		// Issue cost: one slot per ALU op (max across lanes — lockstep),
+		// plus one slot per memory instruction step.
+		ws.issueCycles += blockOps
+		steps, bytes, txns := coalesce(cfg, active)
+		ws.issueCycles += steps
+		ws.memBytes += bytes
+		ws.transactions += txns
+		shared.seal() // block boundary: collective contributions commit
+		execs++
+		if execs > maxBlockExecsPerThread {
+			panic(fmt.Sprintf("simt: kernel %s exceeded %d block executions (runaway loop?)", prog.Name(), execs))
+		}
+	}
+	for _, ops := range perThreadOps {
+		if ops > ws.maxThreadOps {
+			ws.maxThreadOps = ops
+		}
+	}
+	return ws
+}
+
+// coalesce zips the active lanes' access lists by issue index and counts
+// the unique SegmentBytes-aligned segments each lockstep access touches.
+// It returns the number of memory instruction steps, the bytes moved
+// (transactions × segment size), and the transaction count.
+func coalesce(cfg Config, lanes []*Thread) (steps, bytes, txns int64) {
+	maxLen := 0
+	for _, t := range lanes {
+		if len(t.accesses) > maxLen {
+			maxLen = len(t.accesses)
+		}
+	}
+	if maxLen == 0 {
+		return 0, 0, 0
+	}
+	seg := mem.Addr(cfg.SegmentBytes)
+	segs := make([]mem.Addr, 0, len(lanes)*2)
+	for k := 0; k < maxLen; k++ {
+		// Determine the zipped access at step k. Strided accesses expand
+		// into `count` lockstep steps.
+		var maxCount int64 = 1
+		for _, t := range lanes {
+			if k < len(t.accesses) && t.accesses[k].strided && int64(t.accesses[k].count) > maxCount {
+				maxCount = int64(t.accesses[k].count)
+			}
+		}
+		if s, b, x, ok := coalesceUniformStrided(cfg, lanes, k, maxCount); ok {
+			steps += s
+			bytes += b
+			txns += x
+			continue
+		}
+		if maxCount == 1 {
+			// Simple zipped access: coalesce lanes' ranges.
+			segs = segs[:0]
+			for _, t := range lanes {
+				if k >= len(t.accesses) {
+					continue
+				}
+				a := t.accesses[k]
+				sz := a.elem * a.count
+				if a.strided {
+					sz = 1 + (a.count-1)*a.stride
+					if a.count == 1 {
+						sz = a.elem
+					}
+				}
+				first := a.addr / seg
+				last := (a.addr + mem.Addr(sz-1)) / seg
+				for s := first; s <= last; s++ {
+					segs = append(segs, s)
+				}
+			}
+			u := uniqueSegs(segs)
+			steps++
+			txns += u
+			bytes += u * int64(cfg.SegmentBytes)
+			continue
+		}
+		// Strided lockstep expansion: step i of every lane accesses
+		// addr_l + i*stride_l. Count unique segments per expanded step.
+		for i := int64(0); i < maxCount; i++ {
+			segs = segs[:0]
+			for _, t := range lanes {
+				if k >= len(t.accesses) {
+					continue
+				}
+				a := t.accesses[k]
+				var at mem.Addr
+				var sz int
+				if a.strided {
+					if i >= int64(a.count) {
+						continue
+					}
+					at = a.addr + mem.Addr(i)*mem.Addr(a.stride)
+					sz = a.elem
+				} else {
+					if i > 0 {
+						continue
+					}
+					at = a.addr
+					sz = a.elem * a.count
+				}
+				first := at / seg
+				last := (at + mem.Addr(sz-1)) / seg
+				for s := first; s <= last; s++ {
+					segs = append(segs, s)
+				}
+			}
+			u := uniqueSegs(segs)
+			steps++
+			txns += u
+			bytes += u * int64(cfg.SegmentBytes)
+		}
+	}
+	return steps, bytes, txns
+}
+
+// coalesceUniformStrided is the fast path for the overwhelmingly common
+// kernel pattern: every active lane issues the same strided access shape
+// at step k, with bases packed contiguously lane-to-lane (a fully aligned
+// column-major cohort store). Transactions are then computable in O(steps)
+// arithmetic instead of per-step set operations. ok is false when the
+// shape does not match and the general path must run.
+func coalesceUniformStrided(cfg Config, lanes []*Thread, k int, maxCount int64) (steps, bytes, txns int64, ok bool) {
+	if maxCount <= 1 || len(lanes) == 0 {
+		return 0, 0, 0, false
+	}
+	var ref access
+	for i, t := range lanes {
+		if k >= len(t.accesses) {
+			return 0, 0, 0, false
+		}
+		a := t.accesses[k]
+		if !a.strided {
+			return 0, 0, 0, false
+		}
+		if i == 0 {
+			ref = a
+			continue
+		}
+		if a.elem != ref.elem || a.stride != ref.stride || a.count != ref.count {
+			return 0, 0, 0, false
+		}
+		// Lane bases must be packed: base_i = base_0 + i*elem.
+		if a.addr != ref.addr+mem.Addr(i*ref.elem) {
+			return 0, 0, 0, false
+		}
+	}
+	span := len(lanes) * ref.elem // contiguous bytes per step
+	if ref.stride < span {
+		return 0, 0, 0, false // steps overlap; let the general path handle it
+	}
+	seg := mem.Addr(cfg.SegmentBytes)
+	for i := 0; i < ref.count; i++ {
+		at := ref.addr + mem.Addr(i*ref.stride)
+		n := int64((at+mem.Addr(span-1))/seg - at/seg + 1)
+		txns += n
+		bytes += n * int64(cfg.SegmentBytes)
+		steps++
+	}
+	return steps, bytes, txns, true
+}
+
+// uniqueSegs counts distinct values in segs (small slices; sort in place).
+func uniqueSegs(segs []mem.Addr) int64 {
+	if len(segs) == 0 {
+		return 0
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	var n int64 = 1
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package trace
+
+import "testing"
+
+func BenchmarkMerge(b *testing.B) {
+	mk := func(rows int) Trace {
+		t := Trace{1, 2}
+		for i := 0; i < rows; i++ {
+			t = append(t, 3)
+		}
+		for i := 0; i < 200; i++ {
+			t = append(t, uint32(10+i%7))
+		}
+		return t
+	}
+	x, y := mk(2), mk(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(x, y)
+	}
+}

@@ -1,0 +1,147 @@
+// Package trace reproduces the paper's request-similarity methodology
+// (§2.3): capture dynamic basic-block traces of individual requests,
+// merge traces of independent requests of the same type the way the UNIX
+// diff utility aligns files, and measure how close the merged execution
+// comes to the ideal (fully shared) data-parallel execution.
+//
+// The paper used Pin to trace x86 basic blocks of the PHP workload; here
+// traces come from the banking programs' instrumented basic blocks, which
+// diverge across requests exactly where the real workload does — in
+// data-dependent loop trip counts and rare error paths.
+package trace
+
+// Trace is one request's dynamic basic-block sequence.
+type Trace []uint32
+
+// Merge aligns two traces and returns the shortest common supersequence —
+// the execution a SIMD machine would serialize if it ran both requests in
+// lockstep, executing shared blocks once and divergent blocks for each
+// side separately. Its length is len(a) + len(b) - LCS(a, b), the measure
+// the paper extracts with diff.
+func Merge(a, b Trace) Trace {
+	lcs := lcsTable(a, b)
+	out := make(Trace, 0, len(a)+len(b)-int(lcs[len(a)][len(b)]))
+	i, j := len(a), len(b)
+	var rev Trace
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1]:
+			rev = append(rev, a[i-1])
+			i--
+			j--
+		case j > 0 && (i == 0 || lcs[i][j-1] >= lcs[i-1][j]):
+			rev = append(rev, b[j-1])
+			j--
+		default:
+			rev = append(rev, a[i-1])
+			i--
+		}
+	}
+	for k := len(rev) - 1; k >= 0; k-- {
+		out = append(out, rev[k])
+	}
+	return out
+}
+
+// lcsTable computes the longest-common-subsequence DP table.
+func lcsTable(a, b Trace) [][]int32 {
+	t := make([][]int32, len(a)+1)
+	for i := range t {
+		t[i] = make([]int32, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			if ai == b[j-1] {
+				t[i][j] = t[i-1][j-1] + 1
+			} else if t[i-1][j] >= t[i][j-1] {
+				t[i][j] = t[i-1][j]
+			} else {
+				t[i][j] = t[i][j-1]
+			}
+		}
+	}
+	return t
+}
+
+// MergeAll folds Merge over a set of traces, mirroring the paper's
+// pairwise diff-merge of all traces for one request type.
+func MergeAll(traces []Trace) Trace {
+	if len(traces) == 0 {
+		return nil
+	}
+	merged := traces[0]
+	for _, t := range traces[1:] {
+		merged = Merge(merged, t)
+	}
+	return merged
+}
+
+// Result is the similarity outcome for one request type (one bar of
+// Fig 2).
+type Result struct {
+	// Traces is the number of merged traces.
+	Traces int
+	// TotalBlocks is the sum of individual trace lengths.
+	TotalBlocks int
+	// MergedBlocks is the merged trace length.
+	MergedBlocks int
+}
+
+// Speedup is sum-of-traces / merged — the execution speedup of cohort
+// execution on idealized SIMD hardware (§2.3).
+func (r Result) Speedup() float64 {
+	if r.MergedBlocks == 0 {
+		return 0
+	}
+	return float64(r.TotalBlocks) / float64(r.MergedBlocks)
+}
+
+// Ideal is the linear speedup bound (the number of traces).
+func (r Result) Ideal() float64 { return float64(r.Traces) }
+
+// NormalizedSpeedup is Speedup relative to ideal — the y-axis of Fig 2
+// (1.0 = perfectly identical executions).
+func (r Result) NormalizedSpeedup() float64 {
+	if r.Traces == 0 {
+		return 0
+	}
+	return r.Speedup() / r.Ideal()
+}
+
+// Analyze merges a set of traces and reports the similarity result.
+func Analyze(traces []Trace) Result {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	return Result{
+		Traces:       len(traces),
+		TotalBlocks:  total,
+		MergedBlocks: len(MergeAll(traces)),
+	}
+}
+
+// Unique returns the distinct traces in ts (the paper merges the unique
+// control paths it observed — "between 2 and 6 traces per request ...
+// with most requests having 5 unique traces").
+func Unique(ts []Trace) []Trace {
+	seen := make(map[string]bool, len(ts))
+	var out []Trace
+	for _, t := range ts {
+		k := key(t)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func key(t Trace) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

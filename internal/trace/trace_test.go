@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func eq(a, b Trace) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeIdentical(t *testing.T) {
+	a := Trace{1, 2, 3, 4}
+	m := Merge(a, a)
+	if !eq(m, a) {
+		t.Fatalf("Merge(a,a) = %v", m)
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	a := Trace{1, 2}
+	b := Trace{3, 4}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("disjoint merge length %d", len(m))
+	}
+}
+
+func TestMergeKnown(t *testing.T) {
+	// a: 1 2 3 5, b: 1 3 4 5 → SCS length 4+4-3 = 5
+	a := Trace{1, 2, 3, 5}
+	b := Trace{1, 3, 4, 5}
+	m := Merge(a, b)
+	if len(m) != 5 {
+		t.Fatalf("merge = %v (len %d), want len 5", m, len(m))
+	}
+	if !isSupersequence(m, a) || !isSupersequence(m, b) {
+		t.Fatalf("merge %v is not a common supersequence", m)
+	}
+}
+
+func isSupersequence(m, t Trace) bool {
+	i := 0
+	for _, v := range m {
+		if i < len(t) && t[i] == v {
+			i++
+		}
+	}
+	return i == len(t)
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := Trace{1, 2}
+	if m := Merge(a, nil); !eq(m, a) {
+		t.Fatalf("Merge(a, nil) = %v", m)
+	}
+	if m := Merge(nil, a); !eq(m, a) {
+		t.Fatalf("Merge(nil, a) = %v", m)
+	}
+	if m := Merge(nil, nil); len(m) != 0 {
+		t.Fatalf("Merge(nil, nil) = %v", m)
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	// Properties: the merge is a common supersequence of both inputs and
+	// no longer than their concatenation, no shorter than the longer one.
+	f := func(ra, rb []uint8) bool {
+		a := make(Trace, len(ra))
+		b := make(Trace, len(rb))
+		for i, v := range ra {
+			a[i] = uint32(v % 8)
+		}
+		for i, v := range rb {
+			b[i] = uint32(v % 8)
+		}
+		m := Merge(a, b)
+		if !isSupersequence(m, a) || !isSupersequence(m, b) {
+			return false
+		}
+		long := len(a)
+		if len(b) > long {
+			long = len(b)
+		}
+		return len(m) <= len(a)+len(b) && len(m) >= long
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAllFolds(t *testing.T) {
+	ts := []Trace{{1, 2, 3}, {1, 3}, {2, 3}}
+	m := MergeAll(ts)
+	for _, tr := range ts {
+		if !isSupersequence(m, tr) {
+			t.Fatalf("MergeAll %v misses %v", m, tr)
+		}
+	}
+	if MergeAll(nil) != nil {
+		t.Fatal("MergeAll(nil) should be nil")
+	}
+}
+
+func TestAnalyzeIdenticalIsIdeal(t *testing.T) {
+	a := Trace{5, 6, 7, 8, 9}
+	r := Analyze([]Trace{a, a, a, a})
+	if r.Speedup() != 4 {
+		t.Fatalf("Speedup = %v, want 4 (ideal)", r.Speedup())
+	}
+	if r.NormalizedSpeedup() != 1 {
+		t.Fatalf("NormalizedSpeedup = %v, want 1", r.NormalizedSpeedup())
+	}
+}
+
+func TestAnalyzeDivergent(t *testing.T) {
+	// Completely disjoint traces: merged = concatenation, speedup 1.
+	r := Analyze([]Trace{{1, 2}, {3, 4}})
+	if r.Speedup() != 1 {
+		t.Fatalf("Speedup = %v, want 1", r.Speedup())
+	}
+	if r.NormalizedSpeedup() != 0.5 {
+		t.Fatalf("NormalizedSpeedup = %v, want 0.5", r.NormalizedSpeedup())
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(nil)
+	if r.Speedup() != 0 || r.NormalizedSpeedup() != 0 {
+		t.Fatalf("empty analyze = %+v", r)
+	}
+}
+
+func TestUnique(t *testing.T) {
+	ts := []Trace{{1, 2}, {1, 2}, {1, 3}, {}, {}}
+	u := Unique(ts)
+	if len(u) != 3 {
+		t.Fatalf("Unique kept %d traces, want 3", len(u))
+	}
+}
+
+func TestUniqueNoFalseCollisions(t *testing.T) {
+	// Keys must distinguish traces that differ only in high bytes.
+	ts := []Trace{{0x01000000}, {0x00000001}}
+	if got := Unique(ts); len(got) != 2 {
+		t.Fatalf("Unique collapsed distinct traces: %v", got)
+	}
+}
+
+func TestLoopTripDivergenceNearIdeal(t *testing.T) {
+	// The banking scenario: same structure, loop trip counts 2-4. The
+	// merged trace should stay close to ideal (Fig 2's near-linear bars).
+	mk := func(rows int) Trace {
+		tr := Trace{100, 101}
+		for i := 0; i < rows; i++ {
+			tr = append(tr, 102)
+		}
+		// long identical tail (static content emission)
+		for i := 0; i < 50; i++ {
+			tr = append(tr, 103)
+		}
+		return append(tr, 104)
+	}
+	r := Analyze([]Trace{mk(2), mk(3), mk(4), mk(2), mk(3)})
+	if ns := r.NormalizedSpeedup(); ns < 0.9 {
+		t.Fatalf("NormalizedSpeedup = %.3f, want >= 0.9 for loop-trip-only divergence", ns)
+	}
+}

@@ -1,0 +1,284 @@
+package rhythm
+
+import (
+	"fmt"
+	"time"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/netmodel"
+	"rhythm/internal/pipeline"
+	"rhythm/internal/session"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+)
+
+// Platform selects the emulated system of §5.3.2.
+type Platform int
+
+// The three Rhythm platforms.
+const (
+	// TitanA is a discrete GPU behind PCIe 3.0 with a host backend and
+	// responses shipped over the bus.
+	TitanA Platform = iota
+	// TitanB emulates an SoC-style integrated NIC with the Besim backend
+	// running on the device.
+	TitanB
+	// TitanC is TitanB plus a specialized unit that performs the
+	// response transpose off the device's critical path.
+	TitanC
+)
+
+func (p Platform) String() string {
+	switch p {
+	case TitanA:
+		return "Titan A"
+	case TitanB:
+		return "Titan B"
+	case TitanC:
+		return "Titan C"
+	}
+	return "unknown"
+}
+
+// Options configures a Server.
+type Options struct {
+	// Platform picks the Titan A/B/C emulation. Default TitanB.
+	Platform Platform
+	// CohortSize is the number of requests batched per cohort (default
+	// 4096, the paper's choice).
+	CohortSize int
+	// MaxCohorts is the number of cohort contexts in flight (default 8).
+	MaxCohorts int
+	// FormationTimeout bounds how long a request may wait for its cohort
+	// to fill (default 0: saturation workloads never need it).
+	FormationTimeout time.Duration
+	// DisablePadding turns off §4.3.2 whitespace alignment (ablation).
+	DisablePadding bool
+	// DisableTranspose keeps cohort buffers row-major (ablation).
+	DisableTranspose bool
+	// ValidateEvery samples one response in every N through the SPECWeb
+	// validator (default 1024; 0 disables).
+	ValidateEvery int
+	// Sessions pre-populates this many live sessions (default 4 ×
+	// CohortSize).
+	Sessions int
+	// Seed drives the deterministic workload generator (default 1).
+	Seed int64
+
+	// Straggler handling (§3.1), meaningful on TitanA (remote backend):
+	// BackendTailProb of lookups take BackendTailFactor × the base
+	// service time; with a StragglerTimeout, cohorts stop waiting at the
+	// deadline and stragglers re-execute on the host CPU.
+	BackendTailProb   float64
+	BackendTailFactor float64
+	StragglerTimeout  time.Duration
+}
+
+func (o *Options) fill() {
+	if o.CohortSize == 0 {
+		o.CohortSize = 4096
+	}
+	if o.MaxCohorts == 0 {
+		o.MaxCohorts = 8
+	}
+	if o.ValidateEvery == 0 {
+		o.ValidateEvery = 1024
+	}
+	if o.Sessions == 0 {
+		o.Sessions = 4 * o.CohortSize
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Stats reports one run's outcome.
+type Stats struct {
+	Completed          uint64
+	Errors             uint64
+	ParseErrors        uint64
+	Images             uint64 // static assets served via the bypass path
+	Stragglers         uint64 // backend stragglers re-executed on the host
+	Validated          uint64
+	ValidationFailures uint64
+	// Throughput is requests/sec of virtual time.
+	Throughput float64
+	// MeanLatency / P99Latency are end-to-end request latencies.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// Elapsed is the virtual time the run took.
+	Elapsed time.Duration
+	// DeviceUtilization is the slot-weighted busy fraction of the device.
+	DeviceUtilization float64
+	// CohortsFormed / CohortsTimedOut describe cohort formation.
+	CohortsFormed   uint64
+	CohortsTimedOut uint64
+	// MeanOccupancy is the average cohort fill at launch.
+	MeanOccupancy float64
+}
+
+// Server is a Rhythm banking server on a simulated SIMT device. It is
+// single-goroutine: construct, serve, read stats.
+type Server struct {
+	opts     Options
+	eng      *sim.Engine
+	dev      *simt.Device
+	db       *backend.DB
+	sessions *session.Array
+	gen      *banking.Generator
+	srv      *pipeline.Server
+}
+
+// NewServer builds a server and its workload generator.
+func NewServer(opts Options) *Server {
+	opts.fill()
+	eng := sim.NewEngine()
+	po := pipelineOptions(opts)
+	var bus *sim.Pipe
+	if opts.Platform == TitanA {
+		bus = sim.NewPipe(eng, netmodel.PCIe3Bps, 1000)
+	}
+	// Size device memory for one cohort of every buffer class per
+	// context (mixed traffic binds classes on demand) plus the reader
+	// batches.
+	memBytes := int(int64(po.MaxCohorts)*banking.AllClassesDeviceBytes(po.CohortSize)) +
+		4*po.CohortSize*banking.RequestSlot + 64<<20
+	dev := simt.NewDevice(eng, simt.GTXTitan(), memBytes, bus)
+	db := backend.New()
+
+	buckets := po.CohortSize
+	if buckets < 256 {
+		buckets = 256
+	}
+	perBucket := (opts.Sessions*8)/buckets + 16
+	sessions := session.NewArray(buckets, perBucket)
+	gen := banking.NewGenerator(opts.Seed, sessions)
+	gen.Populate(opts.Sessions)
+
+	return &Server{
+		opts:     opts,
+		eng:      eng,
+		dev:      dev,
+		db:       db,
+		sessions: sessions,
+		gen:      gen,
+		srv:      pipeline.New(eng, dev, po, db, sessions),
+	}
+}
+
+func pipelineOptions(o Options) pipeline.Options {
+	po := pipeline.Options{
+		CohortSize:         o.CohortSize,
+		MaxCohorts:         o.MaxCohorts,
+		FormationTimeout:   sim.Duration(o.FormationTimeout),
+		Padding:            !o.DisablePadding,
+		ColumnMajor:        !o.DisableTranspose,
+		BackendWorkers:     8,
+		BackendServiceTime: 2_000,
+		ValidateEvery:      o.ValidateEvery,
+		BackendTailProb:    o.BackendTailProb,
+		BackendTailFactor:  o.BackendTailFactor,
+		StragglerTimeout:   sim.Duration(o.StragglerTimeout),
+		Seed:               o.Seed,
+	}
+	switch o.Platform {
+	case TitanA:
+		o2 := po
+		o2.DeviceBackend = false
+		o2.ResponseOverBus = true
+		return o2
+	case TitanC:
+		po.DeviceBackend = true
+		po.OffloadResponseTranspose = true
+	default:
+		po.DeviceBackend = true
+	}
+	return po
+}
+
+// GenerateMixed produces n requests drawn from the Table 2 mix.
+func (s *Server) GenerateMixed(n int) [][]byte {
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i], _ = s.gen.Mixed()
+	}
+	return reqs
+}
+
+// GenerateIsolated produces n requests of one type by its Table 2 name
+// (e.g., "account_summary").
+func (s *Server) GenerateIsolated(typeName string, n int) ([][]byte, error) {
+	rt, err := typeByName(typeName)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i] = s.gen.Request(rt)
+	}
+	return reqs, nil
+}
+
+// typeByName resolves a Table 2 request-type name.
+func typeByName(name string) (banking.ReqType, error) {
+	for rt := banking.ReqType(0); rt < banking.NumTypes; rt++ {
+		if rt.String() == name {
+			return rt, nil
+		}
+	}
+	return 0, fmt.Errorf("rhythm: unknown request type %q (see Table 2 names)", name)
+}
+
+// RequestTypes lists the 14 implemented request-type names.
+func RequestTypes() []string {
+	names := make([]string, banking.NumTypes)
+	for rt := banking.ReqType(0); rt < banking.NumTypes; rt++ {
+		names[rt] = rt.String()
+	}
+	return names
+}
+
+// Serve runs the given raw requests through the pipeline at saturation
+// and returns the run's statistics. Each call continues the same virtual
+// timeline and session state.
+func (s *Server) Serve(reqs [][]byte) Stats {
+	st := s.srv.Run(&pipeline.SliceSource{Reqs: reqs})
+	return convertStats(st, s.dev)
+}
+
+// ServePaced runs requests arriving at a fixed rate (requests/sec),
+// exercising cohort formation timeouts and partial cohorts.
+func (s *Server) ServePaced(reqs [][]byte, arrivalRate float64) Stats {
+	if arrivalRate <= 0 {
+		panic("rhythm: arrival rate must be positive")
+	}
+	interval := sim.Time(1e9 / arrivalRate)
+	arrivals := make([]pipeline.Arrival, len(reqs))
+	base := s.eng.Now()
+	for i, r := range reqs {
+		arrivals[i] = pipeline.Arrival{Raw: r, At: base + sim.Time(i)*interval}
+	}
+	st := s.srv.RunPaced(arrivals)
+	return convertStats(st, s.dev)
+}
+
+func convertStats(st pipeline.Stats, dev *simt.Device) Stats {
+	return Stats{
+		Completed:          st.Completed,
+		Errors:             st.Errors,
+		ParseErrors:        st.ParseErrors,
+		Images:             st.Images,
+		Stragglers:         st.Stragglers,
+		Validated:          st.Validated,
+		ValidationFailures: st.ValidationFailures,
+		Throughput:         st.Throughput(),
+		MeanLatency:        time.Duration(st.Latency.Mean()),
+		P99Latency:         time.Duration(st.Latency.Percentile(99)),
+		Elapsed:            time.Duration(st.End - st.Start),
+		DeviceUtilization:  dev.Utilization(),
+		CohortsFormed:      st.Cohort.Formed,
+		CohortsTimedOut:    st.Cohort.TimedOut,
+		MeanOccupancy:      st.Cohort.MeanOccupancy(),
+	}
+}

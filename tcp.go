@@ -1,0 +1,204 @@
+package rhythm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/httpx"
+	"rhythm/internal/session"
+)
+
+// TCPServer serves the SPECWeb Banking workload over a real TCP listener
+// using the host execution path — the same service code the device
+// kernels run, so responses are identical. It exists for end-to-end
+// demos (cmd/rhythmd, examples); performance evaluation uses Server.
+type TCPServer struct {
+	mu       sync.Mutex
+	db       *backend.DB
+	sessions *session.Array
+	ln       net.Listener
+	served   uint64
+	errors   uint64
+}
+
+// NewTCPServer builds a TCP banking server with capacity for
+// maxSessions live sessions.
+func NewTCPServer(maxSessions int) *TCPServer {
+	if maxSessions < 256 {
+		maxSessions = 256
+	}
+	return &TCPServer{
+		db:       backend.New(),
+		sessions: session.NewArray(256, maxSessions/256*4+4),
+	}
+}
+
+// Seed creates a user with a deterministic password and returns
+// (userID, password), so demo clients can log in.
+func (s *TCPServer) Seed(userID uint64) (uint64, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.db.GetProfile(userID)
+	return userID, p.Password
+}
+
+// Addr reports the bound address once Listen has been called.
+func (s *TCPServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Served reports how many requests have been answered.
+func (s *TCPServer) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Listen binds the listener without serving (so callers can learn the
+// port before Serve blocks).
+func (s *TCPServer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *TCPServer) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("rhythm: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe binds addr and serves until Close.
+func (s *TCPServer) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops the listener.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}
+
+// handle serves one keep-alive connection.
+func (s *TCPServer) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		raw, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		resp := s.respond(raw)
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// respond executes one request under the server lock (the banking state
+// is single-writer by design; see internal/session).
+func (s *TCPServer) respond(raw []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.served++
+	req, err := httpx.Parse(raw)
+	if err != nil {
+		s.errors++
+		return errorResponse(400, "Bad Request")
+	}
+	t, ok := banking.ByPath(req.Path)
+	if !ok {
+		if resp, ok := banking.ImageResponse(req.Path); ok {
+			return resp
+		}
+		s.errors++
+		return errorResponse(404, "Not Found")
+	}
+	ctx := banking.Execute(banking.ServiceFor(t), &req, s.sessions, s.db, true)
+	if ctx.Err != "" {
+		s.errors++
+	}
+	return banking.RenderAlloc(ctx)
+}
+
+func errorResponse(code int, reason string) []byte {
+	buf := make([]byte, 512)
+	w := httpx.NewResponseWriter(buf)
+	w.StartError(code, reason)
+	return w.Finish()
+}
+
+// readRequest reads one HTTP/1.1 request (headers + Content-Length body)
+// from r.
+func readRequest(r *bufio.Reader) ([]byte, error) {
+	var raw strings.Builder
+	contentLength := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		raw.WriteString(line)
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(trimmed), "content-length:"); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 0 || n > 1<<20 {
+				return nil, fmt.Errorf("rhythm: bad content length %q", v)
+			}
+			contentLength = n
+		}
+	}
+	if contentLength > 0 {
+		body := make([]byte, contentLength)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		raw.Write(body)
+	}
+	return []byte(raw.String()), nil
+}
