@@ -10,12 +10,18 @@
 //
 // Flags scale the runs; -paper uses the paper's cohort geometry
 // (4096-request cohorts, 8 contexts), which takes several minutes.
+// -json suppresses the tables and instead emits one JSON record per
+// line on stdout (experiment, metric, value, wall_clock_s) so results
+// can be tracked across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"rhythm/internal/harness"
 	"rhythm/internal/sim"
@@ -29,6 +35,7 @@ func main() {
 		gpuCoh   = flag.Int("gpu-cohorts", 0, "override cohorts per GPU isolation run")
 		cpuReqs  = flag.Int("cpu-requests", 0, "override requests per CPU isolation run")
 		seed     = flag.Int64("seed", 0, "override workload seed")
+		jsonOut  = flag.Bool("json", false, "emit JSON records instead of tables")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -57,7 +64,7 @@ func main() {
 	if what == "" {
 		what = "all"
 	}
-	if err := run(cfg, what); err != nil {
+	if err := run(cfg, what, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
 		os.Exit(1)
 	}
@@ -96,8 +103,41 @@ Flags:
 	flag.PrintDefaults()
 }
 
-func run(cfg harness.Config, what string) error {
-	out := os.Stdout
+// metric is one headline number an experiment reports in -json mode.
+type metric struct {
+	name  string
+	value float64
+}
+
+// record is the -json line format. Every experiment emits at least its
+// wall clock; experiments with headline numbers emit one record per
+// metric, each stamped with the experiment's wall clock.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	WallClockS float64 `json:"wall_clock_s"`
+}
+
+// platformMetrics reports the per-platform headline pair tracked across
+// revisions: steady-state throughput and dynamic-power efficiency.
+func platformMetrics(runs ...harness.PlatformRun) []metric {
+	var ms []metric
+	for _, r := range runs {
+		ms = append(ms,
+			metric{r.Name + "/throughput_req_s", r.Throughput},
+			metric{r.Name + "/dyn_eff_req_j", r.DynEff})
+	}
+	return ms
+}
+
+func run(cfg harness.Config, what string, jsonMode bool) error {
+	var out io.Writer = os.Stdout
+	var enc *json.Encoder
+	if jsonMode {
+		out = io.Discard
+		enc = json.NewEncoder(os.Stdout)
+	}
 	// Experiments that reuse the (expensive) Table 3 runs share one.
 	var t3 *harness.Table3Result
 	table3 := func() harness.Table3Result {
@@ -109,53 +149,105 @@ func run(cfg harness.Config, what string) error {
 		return *t3
 	}
 
-	do := map[string]func(){
-		"table1": func() { harness.Table1().Print(out) },
-		"table2": func() { harness.Table2(cfg).Render().Print(out) },
-		"table3": func() { table3().Render().Print(out) },
-		"fig2":   func() { harness.Fig2(cfg).Render().Print(out) },
-		"fig8": func() {
+	do := map[string]func() []metric{
+		"table1": func() []metric { harness.Table1().Print(out); return nil },
+		"table2": func() []metric { harness.Table2(cfg).Render().Print(out); return nil },
+		"table3": func() []metric {
+			r := table3()
+			r.Render().Print(out)
+			return platformMetrics(r.All()...)
+		},
+		"fig2": func() []metric { harness.Fig2(cfg).Render().Print(out); return nil },
+		"fig8": func() []metric {
 			r := table3()
 			harness.RenderFig8(harness.Fig8(r, false), false).Print(out)
 			harness.RenderFig8(harness.Fig8(r, true), true).Print(out)
+			return nil
 		},
-		"fig9": func() {
+		"fig9": func() []metric {
 			fmt.Fprintln(out, "running Titan A isolation runs...")
 			a := harness.RunTitan(cfg, harness.TitanRunOptions{Variant: harness.TitanA})
 			harness.RenderFig9(harness.Fig9(a)).Print(out)
+			return platformMetrics(a)
 		},
-		"fig10":     func() { harness.RenderFig10(harness.Fig10(table3())).Print(out) },
-		"scaling":   func() { harness.Scaling(table3()).Render().Print(out) },
-		"resources": func() { harness.Resources(table3()).Render().Print(out) },
-		"cohort-sweep": func() {
+		"fig10":     func() []metric { harness.RenderFig10(harness.Fig10(table3())).Print(out); return nil },
+		"scaling":   func() []metric { harness.Scaling(table3()).Render().Print(out); return nil },
+		"resources": func() []metric { harness.Resources(table3()).Render().Print(out); return nil },
+		"cohort-sweep": func() []metric {
 			sizes := []int{256, 512, 1024, 2048, 4096, 8192}
-			harness.RenderCohortSweep(harness.CohortSweep(cfg, sizes)).Print(out)
+			rows := harness.CohortSweep(cfg, sizes)
+			harness.RenderCohortSweep(rows).Print(out)
+			var ms []metric
+			for _, row := range rows {
+				ms = append(ms,
+					metric{fmt.Sprintf("cohort%d/throughput_req_s", row.Size), row.Throughput},
+					metric{fmt.Sprintf("cohort%d/latency_ms", row.Size), row.LatencyMs})
+			}
+			return ms
 		},
-		"parser":     func() { harness.RenderParser(harness.ParserStudy(cfg)).Print(out) },
-		"hyperq":     func() { harness.HyperQ(cfg).Render().Print(out) },
-		"pcie4":      func() { harness.PCIe4Projection(cfg).Render().Print(out) },
-		"stragglers": func() { harness.RenderStragglers(harness.StragglerStudy(cfg)).Print(out) },
-		"gpufs":      func() { harness.CheckImagesStudy(cfg).Render().Print(out) },
-		"quick-pay":  func() { harness.QuickPayStudy(cfg).Render().Print(out) },
-		"scale-out":  func() { harness.ScaleOutStudy(cfg, []int{1, 2, 4, 8, 16}).Render().Print(out) },
-		"cpu-simd": func() {
+		"parser": func() []metric {
+			r := harness.ParserStudy(cfg)
+			harness.RenderParser(r).Print(out)
+			return []metric{
+				{"single/throughput_req_s", r.SingleThroughput},
+				{"mixed/throughput_req_s", r.MixedThroughput},
+				{"mixed/latency_us", r.MixedLatencyUs},
+			}
+		},
+		"hyperq": func() []metric {
+			r := harness.HyperQ(cfg)
+			r.Render().Print(out)
+			return platformMetrics(r.SingleQueue, r.HyperQ)
+		},
+		"pcie4": func() []metric {
+			r := harness.PCIe4Projection(cfg)
+			r.Render().Print(out)
+			return []metric{
+				{"pcie3/throughput_req_s", r.PCIe3.Throughput},
+				{"pcie4/throughput_req_s", r.PCIe4.Throughput},
+			}
+		},
+		"stragglers": func() []metric { harness.RenderStragglers(harness.StragglerStudy(cfg)).Print(out); return nil },
+		"gpufs":      func() []metric { harness.CheckImagesStudy(cfg).Render().Print(out); return nil },
+		"quick-pay":  func() []metric { harness.QuickPayStudy(cfg).Render().Print(out); return nil },
+		"scale-out": func() []metric {
+			harness.ScaleOutStudy(cfg, []int{1, 2, 4, 8, 16}).Render().Print(out)
+			return nil
+		},
+		"cpu-simd": func() []metric {
 			c := cfg
 			if c.CohortSize > 1024 {
 				c.CohortSize = 1024 // AVX cohorts don't need GPU-scale batches
 			}
 			harness.CPUSIMDStudy(c).Render().Print(out)
+			return nil
 		},
-		"ablations": func() {
+		"ablations": func() []metric {
 			harness.RenderAblation(harness.AblatePadding(cfg)).Print(out)
 			harness.RenderAblation(harness.AblateTranspose(cfg)).Print(out)
 			harness.RenderIntra(harness.IntraVsInter(cfg)).Print(out)
+			return nil
 		},
-		"timeout": func() {
+		"timeout": func() []metric {
 			timeouts := []sim.Time{
 				sim.Time(50_000), sim.Time(200_000), sim.Time(1_000_000), sim.Time(10_000_000),
 			}
 			harness.RenderTimeouts(harness.TimeoutSweep(cfg, timeouts, 2e6)).Print(out)
+			return nil
 		},
+	}
+
+	exec := func(name string) {
+		start := time.Now()
+		metrics := do[name]()
+		wall := time.Since(start).Seconds()
+		if enc == nil {
+			return
+		}
+		enc.Encode(record{Experiment: name, Metric: "wall_clock_s", Value: wall, WallClockS: wall})
+		for _, m := range metrics {
+			enc.Encode(record{Experiment: name, Metric: m.name, Value: m.value, WallClockS: wall})
+		}
 	}
 
 	order := []string{
@@ -166,14 +258,13 @@ func run(cfg harness.Config, what string) error {
 	if what == "all" {
 		fmt.Fprintf(out, "Rhythm reproduction: full evaluation (cohort=%d contexts=%d)\n\n", cfg.CohortSize, cfg.MaxCohorts)
 		for _, name := range order {
-			do[name]()
+			exec(name)
 		}
 		return nil
 	}
-	f, ok := do[what]
-	if !ok {
+	if _, ok := do[what]; !ok {
 		return fmt.Errorf("unknown experiment %q (run with -h for the list)", what)
 	}
-	f()
+	exec(what)
 	return nil
 }

@@ -2,6 +2,7 @@ package banking
 
 import (
 	"fmt"
+	"sync"
 
 	"rhythm/internal/backend"
 	"rhythm/internal/httpx"
@@ -109,7 +110,11 @@ type DeviceCohort struct {
 	// stage boundary, so stage kernels charge only their delta.
 	stageInstr []int64
 
-	scratch []byte // render scratch, reused lane-by-lane
+	// scratch pools render buffers: emit runs concurrently across warps
+	// (simt.Config.HostParallelism > 1), so a single shared buffer would
+	// race; a pool keeps the no-allocation steady state of the old
+	// lane-by-lane reuse without sharing a live buffer between workers.
+	scratch sync.Pool
 }
 
 // NewDeviceCohort allocates the device buffers for a cohort of `size`
@@ -125,7 +130,7 @@ func NewDeviceCohort(d *simt.Device, t ReqType, size int) *DeviceCohort {
 // request type whose Rhythm buffer fits, so a pipeline context needs at
 // most one buffer set per class rather than per type.
 func NewDeviceCohortClass(d *simt.Device, bufBytes, size int) *DeviceCohort {
-	return &DeviceCohort{
+	dc := &DeviceCohort{
 		Size:       size,
 		class:      bufBytes,
 		BReqBuf:    d.Mem.Alloc(size*backend.RequestSlot, 256),
@@ -137,8 +142,9 @@ func NewDeviceCohortClass(d *simt.Device, bufBytes, size int) *DeviceCohort {
 		Reqs:       make([]httpx.Request, size),
 		Ctxs:       make([]*Ctx, size),
 		stageInstr: make([]int64, size),
-		scratch:    make([]byte, bufBytes),
 	}
+	dc.scratch.New = func() any { return make([]byte, bufBytes) }
+	return dc
 }
 
 // Bind points the cohort at a request type. The type's buffer must match
@@ -236,6 +242,23 @@ func storeColumn(t *simt.Thread, buf mem.Addr, r, rows, start int, data []byte) 
 	if len(data) > 0 {
 		addr := buf + mem.Addr((pos/wordSize)*stride+wordSize*r)
 		t.Store(addr, data)
+	}
+}
+
+// writeColumnRaw writes data (a multiple of wordSize long) into request
+// r's column starting at offset 0, functionally only — no memory traffic
+// is charged. It backs deferred device-backend stores, whose
+// identical-shape cost was already priced by a blank storeColumn from
+// the kernel block that deferred them.
+func writeColumnRaw(m *mem.Memory, buf mem.Addr, r, rows int, data []byte) {
+	if len(data)%wordSize != 0 {
+		panic("banking: raw column write not word-aligned")
+	}
+	stride := wordSize * rows
+	words := len(data) / wordSize
+	b := m.Bytes(columnBase(buf, r), (words-1)*stride+wordSize)
+	for i := 0; i < words; i++ {
+		copy(b[i*stride:i*stride+wordSize], data[i*wordSize:(i+1)*wordSize])
 	}
 }
 
@@ -408,11 +431,23 @@ func (p stageProgram) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
 		return 3
 	case 2: // on-device Besim (Titan B/C)
 		breq := loadColumn(t, dc.BReqBuf, r, dc.Size, backend.RequestSlot)
-		resp := a.Besim.Handle(breq)
 		t.Compute(besimDeviceOps)
-		slot := make([]byte, backend.ResponseSlot)
-		copy(slot, resp)
-		storeColumn(t, dc.BRespBuf, r, dc.Size, 0, slot)
+		// The store's cost is content-independent (always the full
+		// fixed-size slot), so price it now with a blank slot and defer
+		// the backend execution itself: Besim mutates one shared
+		// database, and mutation order must match the serial thread
+		// order for the rendered pages (balances, confirmation ids) to
+		// be identical to a serial run's. The response is only read by
+		// the NEXT stage kernel, so materializing it at end-of-launch is
+		// unobservable. See DESIGN.md "Host parallelism".
+		storeColumn(t, dc.BRespBuf, r, dc.Size, 0, make([]byte, backend.ResponseSlot))
+		m := t.Mem()
+		t.Defer(func() {
+			resp := a.Besim.Handle(breq)
+			slot := make([]byte, backend.ResponseSlot)
+			copy(slot, resp)
+			writeColumnRaw(m, dc.BRespBuf, r, dc.Size, slot)
+		})
 		return simt.Halt // next stage kernel reads BRespBuf
 	case 3: // final stage: render and emit the response
 		p.emit(t, r, dc.Ctxs[r])
@@ -449,7 +484,9 @@ func (p stageProgram) chargeDelta(t *simt.Thread, r int) {
 // they drift and scatter (§4.3.2).
 func (p stageProgram) emit(t *simt.Thread, r int, ctx *Ctx) {
 	dc := p.args.Cohort
-	resp := Render(ctx, dc.scratch)
+	buf := dc.scratch.Get().([]byte)
+	defer dc.scratch.Put(buf)
+	resp := Render(ctx, buf)
 	bounds := make([]int, 0, len(ctx.Page.Marks())+2)
 	bounds = append(bounds, 0)
 	for _, m := range ctx.Page.Marks() {
@@ -470,16 +507,23 @@ func (p stageProgram) emit(t *simt.Thread, r int, ctx *Ctx) {
 }
 
 // BesimProgram returns a standalone device-backend kernel (used when the
-// backend runs as its own pipeline stage rather than chained).
+// backend runs as its own pipeline stage rather than chained). Like the
+// chained block above, it prices the full-slot store inline and defers
+// the order-sensitive database execution to the serial end-of-launch
+// phase.
 func BesimProgram(dc *DeviceCohort, db *backend.DB) simt.Program {
 	return simt.FuncProgram{Label: "rhythm_besim", Body: func(t *simt.Thread) {
 		r := t.ID
 		breq := loadColumn(t, dc.BReqBuf, r, dc.Size, backend.RequestSlot)
-		resp := db.Handle(breq)
 		t.Compute(besimDeviceOps)
-		slot := make([]byte, backend.ResponseSlot)
-		copy(slot, resp)
-		storeColumn(t, dc.BRespBuf, r, dc.Size, 0, slot)
+		storeColumn(t, dc.BRespBuf, r, dc.Size, 0, make([]byte, backend.ResponseSlot))
+		m := t.Mem()
+		t.Defer(func() {
+			resp := db.Handle(breq)
+			slot := make([]byte, backend.ResponseSlot)
+			copy(slot, resp)
+			writeColumnRaw(m, dc.BRespBuf, r, dc.Size, slot)
+		})
 	}}
 }
 

@@ -7,6 +7,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"rhythm/internal/sim"
 )
@@ -32,9 +34,19 @@ type Config struct {
 	ValidateEvery int
 	// TraceRequests is the per-type request count for the Fig 2 study.
 	TraceRequests int
+	// HostParallelism bounds the host threads used to run independent
+	// experiments concurrently AND is plumbed into each simulated
+	// device's warp-level parallelism (simt.Config.HostParallelism).
+	// 0 = runtime.GOMAXPROCS(0), 1 = fully serial. Results are
+	// identical at every setting; only wall-clock changes. DefaultConfig
+	// honors the RHYTHM_HOST_PARALLELISM environment variable.
+	HostParallelism int
 }
 
-// DefaultConfig returns the quick-run configuration.
+// DefaultConfig returns the quick-run configuration. The
+// RHYTHM_HOST_PARALLELISM environment variable, when set to a
+// non-negative integer, seeds HostParallelism (1 forces fully serial
+// runs — useful for timing comparisons and determinism checks).
 func DefaultConfig() Config {
 	return Config{
 		Seed:               1,
@@ -46,7 +58,21 @@ func DefaultConfig() Config {
 		BackendServiceTime: 2_000,
 		ValidateEvery:      512,
 		TraceRequests:      61, // the paper traced 61 requests (§2.3)
+		HostParallelism:    envHostParallelism(),
 	}
+}
+
+// envHostParallelism reads the RHYTHM_HOST_PARALLELISM override.
+func envHostParallelism() int {
+	v := os.Getenv("RHYTHM_HOST_PARALLELISM")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // PaperScaleConfig returns settings matching the paper's geometry
@@ -63,7 +89,7 @@ func PaperScaleConfig() Config {
 func (c Config) gpuRequestsPerType() int { return c.GPUCohortsPerType * c.CohortSize }
 
 func (c Config) validate() {
-	if c.CohortSize <= 0 || c.MaxCohorts <= 0 || c.GPUCohortsPerType <= 0 {
+	if c.CohortSize <= 0 || c.MaxCohorts <= 0 || c.GPUCohortsPerType <= 0 || c.HostParallelism < 0 {
 		panic(fmt.Sprintf("harness: bad config %+v", c))
 	}
 }

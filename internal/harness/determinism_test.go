@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestHostParallelismDeterminism is the regression test for the host
+// parallelism determinism contract (DESIGN.md "Host parallelism"): a
+// reduced Table 3 plus a cohort-size sweep must produce IDENTICAL result
+// structs — throughput, latency, per-type stats, device-derived
+// utilizations — and byte-identical rendered tables whether the host
+// runs fully serial (HostParallelism=1) or wide (8 workers at both the
+// harness and warp level).
+func TestHostParallelismDeterminism(t *testing.T) {
+	run := func(hp int) (Table3Result, []CohortSizeRow, string) {
+		cfg := tinyConfig()
+		cfg.CPURequestsPerType = 120
+		cfg.GPUCohortsPerType = 2
+		cfg.HostParallelism = hp
+		t3 := Table3(cfg)
+		sweep := CohortSweep(cfg, []int{256, 512})
+		var buf bytes.Buffer
+		t3.Render().Print(&buf)
+		RenderCohortSweep(sweep).Print(&buf)
+		return t3, sweep, buf.String()
+	}
+
+	serialT3, serialSweep, serialOut := run(1)
+	parT3, parSweep, parOut := run(8)
+
+	if !reflect.DeepEqual(serialT3, parT3) {
+		for i, srun := range serialT3.All() {
+			prun := parT3.All()[i]
+			if reflect.DeepEqual(srun, prun) {
+				continue
+			}
+			for j := range srun.PerType {
+				if !reflect.DeepEqual(srun.PerType[j], prun.PerType[j]) {
+					t.Errorf("%s / %v diverged:\n  serial:   %+v\n  parallel: %+v",
+						srun.Name, srun.PerType[j].Type, srun.PerType[j], prun.PerType[j])
+				}
+			}
+			t.Errorf("%s aggregate diverged:\n  serial:   tput=%v lat=%v dynW=%v\n  parallel: tput=%v lat=%v dynW=%v",
+				srun.Name, srun.Throughput, srun.LatencyMs, srun.DynW,
+				prun.Throughput, prun.LatencyMs, prun.DynW)
+		}
+		t.Fatal("Table 3 results differ between serial and parallel execution")
+	}
+	if !reflect.DeepEqual(serialSweep, parSweep) {
+		t.Fatalf("cohort sweep diverged:\n  serial:   %+v\n  parallel: %+v", serialSweep, parSweep)
+	}
+	if serialOut != parOut {
+		t.Fatal("rendered tables differ between serial and parallel execution")
+	}
+}

@@ -136,12 +136,21 @@ func Table3(cfg Config) Table3Result {
 		{platform.ARMCortexA9(), 1},
 		{platform.ARMCortexA9(), 2},
 	}
-	for _, c := range cpuConfigs {
-		res.CPUs = append(res.CPUs, RunCPU(cfg, c.cpu, c.workers))
-	}
-	for _, v := range []TitanVariant{TitanA, TitanB, TitanC} {
-		res.Titans = append(res.Titans, RunTitan(cfg, TitanRunOptions{Variant: v}))
-	}
+	// Every platform run is independent (private engines throughout), so
+	// the nine Table 3 rows fan out across host workers; fixed slots keep
+	// the row order (and rendered table) identical to a serial run.
+	variants := []TitanVariant{TitanA, TitanB, TitanC}
+	res.CPUs = make([]PlatformRun, len(cpuConfigs))
+	res.Titans = make([]PlatformRun, len(variants))
+	forEach(cfg.hostWorkers(), len(cpuConfigs)+len(variants), func(i int) {
+		if i < len(cpuConfigs) {
+			c := cpuConfigs[i]
+			res.CPUs[i] = RunCPU(cfg, c.cpu, c.workers)
+		} else {
+			v := variants[i-len(cpuConfigs)]
+			res.Titans[i-len(cpuConfigs)] = RunTitan(cfg, TitanRunOptions{Variant: v})
+		}
+	})
 	return res
 }
 

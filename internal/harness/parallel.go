@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment fan-out: every platform × request-type isolation run owns a
+// private sim.Engine, device, database, session array and generator, so
+// independent runs are embarrassingly parallel. forEach is the bounded
+// errgroup-style pool they run through; callers write each result into
+// an index-addressed slot so assembly order — and therefore every
+// printed table — is byte-identical to a serial run.
+
+// forEach executes fn(0..n-1) on up to `workers` goroutines. workers <=
+// 1 runs the loop inline. Iterations are claimed with an atomic counter,
+// so fn must not depend on which goroutine runs which index or in what
+// order; fn(i) must confine its effects to slot i.
+func forEach(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// hostWorkers resolves the configured harness parallelism: 0 uses every
+// available core, 1 is serial, larger values are an explicit cap.
+func (c Config) hostWorkers() int {
+	switch {
+	case c.HostParallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case c.HostParallelism < 0:
+		panic("harness: negative HostParallelism")
+	default:
+		return c.HostParallelism
+	}
+}

@@ -86,13 +86,19 @@ func RunCPU(cfg Config, cpu platform.CPU, workers int) PlatformRun {
 		WallW: cpu.Wall(workers),
 		DynW:  cpu.Dynamic(workers),
 	}
-	for _, rt := range banking.CoreTypes() {
+	// Each type's isolation run owns a private engine, database, session
+	// array and generator, so the runs fan out across host workers;
+	// results land in fixed per-type slots to keep output order stable.
+	types := banking.CoreTypes()
+	run.PerType = make([]PerType, len(types))
+	forEach(cfg.hostWorkers(), len(types), func(i int) {
+		rt := types[i]
 		eng := sim.NewEngine()
 		db := backend.New()
 		sessions, gen := newWorkload(cfg, rt, cfg.CPURequestsPerType)
 		srv := platform.NewCPUServer(eng, cpu, workers, db, sessions, cfg.ValidateEvery)
 		res := srv.Run(isolationSource(gen, rt, cfg.CPURequestsPerType))
-		run.PerType = append(run.PerType, PerType{
+		run.PerType[i] = PerType{
 			Type:       rt,
 			Throughput: res.Throughput,
 			LatencyMs:  res.MeanLatencyMs,
@@ -101,8 +107,8 @@ func RunCPU(cfg Config, cpu platform.CPU, workers int) PlatformRun {
 			Validated:  res.Validated,
 			ValFails:   res.ValidationFailures,
 			Errors:     res.Errors,
-		})
-	}
+		}
+	})
 	run.aggregate()
 	return run
 }
@@ -206,21 +212,34 @@ func RunTitan(cfg Config, opts TitanRunOptions) PlatformRun {
 	if opts.DeviceConfig != nil {
 		run.Name = devCfg.Name
 	}
-
-	var smUtils, memUtils, busUtils []float64
-	var weights []float64
-	for _, rt := range types {
-		// Each isolation run allocates a fresh multi-GB device backing
-		// store; reclaim the previous one before the next allocation so
-		// paper-scale sweeps fit in host memory.
-		runtime.GC()
-		pt := runTitanType(cfg, opts, devCfg, rt)
-		run.PerType = append(run.PerType, pt)
-		smUtils = append(smUtils, pt.SMUtil)
-		memUtils = append(memUtils, pt.MemUtil)
-		busUtils = append(busUtils, pt.BusUtil)
-		weights = append(weights, banking.SpecFor(rt).MixPercent)
+	// Warp-level host parallelism follows the harness knob unless the
+	// study supplied a device config with its own explicit setting.
+	if devCfg.HostParallelism == 0 {
+		devCfg.HostParallelism = cfg.HostParallelism
 	}
+
+	workers := cfg.hostWorkers()
+	run.PerType = make([]PerType, len(types))
+	smUtils := make([]float64, len(types))
+	memUtils := make([]float64, len(types))
+	busUtils := make([]float64, len(types))
+	weights := make([]float64, len(types))
+	forEach(workers, len(types), func(i int) {
+		rt := types[i]
+		if workers == 1 {
+			// Each isolation run allocates a fresh multi-GB device
+			// backing store; serially, reclaim the previous one before
+			// the next allocation so paper-scale sweeps fit in host
+			// memory. (Concurrent runs hold their stores live by design.)
+			runtime.GC()
+		}
+		pt := runTitanType(cfg, opts, devCfg, rt)
+		run.PerType[i] = pt
+		smUtils[i] = pt.SMUtil
+		memUtils[i] = pt.MemUtil
+		busUtils[i] = pt.BusUtil
+		weights[i] = banking.SpecFor(rt).MixPercent
+	})
 	// Mix-weighted utilizations drive the power curve.
 	sm := stats.WeightedArithmeticMean(smUtils, weights)
 	mu := stats.WeightedArithmeticMean(memUtils, weights)

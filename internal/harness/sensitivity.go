@@ -24,8 +24,11 @@ type CohortSizeRow struct {
 // sizes. The paper swept 256-8192 and picked 4096 as the balance of
 // throughput against memory and latency (§6.4).
 func CohortSweep(cfg Config, sizes []int) []CohortSizeRow {
-	var rows []CohortSizeRow
-	for _, size := range sizes {
+	rows := make([]CohortSizeRow, len(sizes))
+	// Each sweep point builds a private engine and device; run them
+	// concurrently, assembled in size order.
+	forEach(cfg.hostWorkers(), len(sizes), func(i int) {
+		size := sizes[i]
 		c := cfg
 		c.CohortSize = size
 		// Hold total requests roughly constant across sizes.
@@ -35,13 +38,13 @@ func CohortSweep(cfg Config, sizes []int) []CohortSizeRow {
 		}
 		run := RunTitan(c, TitanRunOptions{Variant: TitanB, Types: []banking.ReqType{banking.AccountSummary}})
 		pt := run.PerType[0]
-		rows = append(rows, CohortSizeRow{
+		rows[i] = CohortSizeRow{
 			Size:       size,
 			Throughput: pt.Throughput,
 			LatencyMs:  pt.LatencyMs,
 			MemoryMB:   float64(int64(c.MaxCohorts)*banking.CohortDeviceBytes(banking.AccountSummary, size)) / (1 << 20),
-		})
-	}
+		}
+	})
 	return rows
 }
 

@@ -13,6 +13,14 @@ type Addr uint64
 // Memory is a flat device memory. All kernel loads and stores resolve into
 // it, so responses generated "on the device" are real bytes that can be
 // validated.
+//
+// Concurrency contract (simt.Config.HostParallelism > 1): concurrently
+// simulated warps may Read/Write/Bytes disjoint byte ranges of the data
+// without synchronization — Rhythm's cohort buffers are partitioned
+// per-thread (row slots or word-interleaved columns), so kernel accesses
+// never overlap across threads. Alloc (which moves brk) and any
+// overlapping access are host-side operations and must only happen from
+// the event-loop thread, i.e. outside a running kernel.
 type Memory struct {
 	data []byte
 	brk  Addr // bump pointer for Alloc

@@ -9,6 +9,8 @@ package session
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeBytes is the modeled per-session storage (paper §6.3: "at 40B per
@@ -42,18 +44,26 @@ type node struct {
 	userID uint64
 }
 
-// Array is the session table. It is deliberately not synchronized: in
-// Rhythm all mutation happens from the single-threaded event loop /
-// sequential kernel simulation (the device uses atomics, which the SIMT
-// layer charges separately).
+// Array is the session table. It is internally synchronized at bucket
+// granularity: concurrently simulated warps (simt.Config.HostParallelism
+// > 1) create, look up and delete sessions from multiple host threads,
+// so each bucket carries a host mutex standing in for the per-bucket
+// atomics the device implementation uses (whose device-side cost the
+// SIMT layer charges separately via Thread.Atomic). Bucket locking keeps
+// the occupied-slot set — and therefore every priced quantity — exactly
+// equal to a serial run's; only the (bucket, node) assignment among
+// same-bucket concurrent creates may permute, which changes cookie byte
+// values but never their length, cost, or validity (see DESIGN.md
+// "Host parallelism").
 type Array struct {
 	buckets int
 	perB    int
 	nodes   []node
-	live    int
-	// Collisions counts insertions that had to probe past their first
+	locks   []sync.Mutex // one per bucket
+	live    atomic.Int64
+	// collisions counts insertions that had to probe past their first
 	// candidate slot.
-	Collisions uint64
+	collisions atomic.Uint64
 }
 
 // NewArray builds a table of buckets × nodesPerBucket slots. The paper
@@ -67,6 +77,7 @@ func NewArray(buckets, nodesPerBucket int) *Array {
 		buckets: buckets,
 		perB:    nodesPerBucket,
 		nodes:   make([]node, buckets*nodesPerBucket),
+		locks:   make([]sync.Mutex, buckets),
 	}
 }
 
@@ -77,7 +88,14 @@ func (a *Array) Buckets() int { return a.buckets }
 func (a *Array) Capacity() int { return len(a.nodes) }
 
 // Len reports live sessions.
-func (a *Array) Len() int { return a.live }
+func (a *Array) Len() int { return int(a.live.Load()) }
+
+// Collisions reports insertions that had to probe past their first
+// candidate slot. Note that with concurrent warps the count can differ
+// from a serial run's in one corner case (two same-bucket creates with
+// different start slots racing past each other); it is a diagnostic, not
+// a priced quantity.
+func (a *Array) Collisions() uint64 { return a.collisions.Load() }
 
 // MemoryBytes reports the modeled device-memory footprint (§6.3).
 func (a *Array) MemoryBytes() int64 { return int64(len(a.nodes)) * NodeBytes }
@@ -100,15 +118,17 @@ func (a *Array) Create(userID uint64) (ID, bool) {
 	h := hash(userID)
 	b := int(h % uint64(a.buckets))
 	start := int((h >> 32) % uint64(a.perB))
+	a.locks[b].Lock()
+	defer a.locks[b].Unlock()
 	for i := 0; i < a.perB; i++ {
 		n := (start + i) % a.perB
 		idx := b*a.perB + n
 		if !a.nodes[idx].used {
 			if i > 0 {
-				a.Collisions++
+				a.collisions.Add(1)
 			}
 			a.nodes[idx] = node{used: true, userID: userID}
-			a.live++
+			a.live.Add(1)
 			return encode(b, n), true
 		}
 	}
@@ -121,7 +141,9 @@ func (a *Array) Lookup(id ID) (userID uint64, ok bool) {
 	if !ok {
 		return 0, false
 	}
+	a.locks[b].Lock()
 	nd := a.nodes[b*a.perB+n]
+	a.locks[b].Unlock()
 	if !nd.used {
 		return 0, false
 	}
@@ -135,11 +157,13 @@ func (a *Array) Delete(id ID) bool {
 		return false
 	}
 	idx := b*a.perB + n
+	a.locks[b].Lock()
+	defer a.locks[b].Unlock()
 	if !a.nodes[idx].used {
 		return false
 	}
 	a.nodes[idx] = node{}
-	a.live--
+	a.live.Add(-1)
 	return true
 }
 

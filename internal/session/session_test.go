@@ -88,7 +88,7 @@ func TestCollisionsCounted(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		a.Create(uint64(i * 977))
 	}
-	if a.Collisions == 0 {
+	if a.Collisions() == 0 {
 		t.Fatal("packing one bucket must record collisions")
 	}
 }
@@ -152,7 +152,7 @@ func TestPaperCapacityScenario(t *testing.T) {
 	if created != 16384 {
 		t.Fatalf("only created %d sessions", created)
 	}
-	frac := float64(a.Collisions) / 16384
+	frac := float64(a.Collisions()) / 16384
 	if frac > 0.40 {
 		t.Fatalf("collision fraction %.2f too high for 25%% load", frac)
 	}

@@ -2,6 +2,7 @@ package simt
 
 import (
 	"testing"
+	"time"
 
 	"rhythm/internal/mem"
 	"rhythm/internal/sim"
@@ -28,6 +29,42 @@ func BenchmarkKernelSimulation(b *testing.B) {
 		}}, threads, nil, nil)
 		eng.Run()
 	}
+}
+
+// BenchmarkHostParallelism times the identical cohort kernel at
+// HostParallelism=1 (serial) and 0 (all cores) and reports the wall-time
+// speedup — the tentpole metric of the host-parallel simulator. The
+// simulated results are identical in both modes (see
+// TestHostParallelismMatchesSerial); only host wall-clock differs.
+func BenchmarkHostParallelism(b *testing.B) {
+	const threads = 4096
+	const words = 1024
+	payload := make([]byte, words*4)
+	run := func(hp int) time.Duration {
+		cfg := GTXTitan()
+		cfg.HostParallelism = hp
+		eng := sim.NewEngine()
+		dev := NewDevice(eng, cfg, threads*words*4+1<<20, nil)
+		base := dev.Mem.Alloc(threads*words*4, 256)
+		start := time.Now()
+		dev.NewStream().Launch(FuncProgram{"bench", func(t *Thread) {
+			t.Compute(10000)
+			t.StoreStrided(base+mem.Addr(4*t.ID), payload, 4, 4*threads)
+		}}, threads, nil, nil)
+		eng.Run()
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial += run(1)
+		parallel += run(0)
+	}
+	if parallel > 0 {
+		b.ReportMetric(float64(serial)/float64(parallel), "speedup")
+	}
+	b.ReportMetric(float64(serial.Nanoseconds())/float64(b.N), "serial-ns/op")
+	b.ReportMetric(float64(parallel.Nanoseconds())/float64(b.N), "parallel-ns/op")
 }
 
 // BenchmarkWarpDivergence measures the simulator under a divergent

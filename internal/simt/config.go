@@ -39,6 +39,13 @@ type Config struct {
 	// simulator's backing store may be smaller; this value drives the
 	// §6.3 capacity checks.
 	MemBytes int64
+	// HostParallelism caps the host worker threads that execute a
+	// launch's warps concurrently. 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. This is a purely
+	// host-side knob: simulated results (durations, stats, response
+	// bytes) are identical at every setting — see DESIGN.md
+	// "Host parallelism" for the determinism contract.
+	HostParallelism int
 }
 
 // GTXTitan returns the configuration of the paper's GTX Titan card
@@ -119,5 +126,7 @@ func (c Config) validate() {
 		panic("simt: SegmentBytes must be a positive power of two")
 	case c.Queues <= 0:
 		panic("simt: Queues must be positive")
+	case c.HostParallelism < 0:
+		panic("simt: HostParallelism must be non-negative")
 	}
 }

@@ -344,16 +344,29 @@ func (s *Stream) Barrier(done func()) {
 	})
 }
 
+// warpResult is one warp's outcome, produced by whichever host worker
+// executed it and consumed in warp-index order by the reduction.
+type warpResult struct {
+	stats    warpStats
+	deferred []func()
+}
+
 // runKernel executes every warp of the launch functionally and prices the
-// launch with the roofline model.
+// launch with the roofline model. Warps run concurrently on up to
+// Cfg.HostParallelism host workers (see hostpool.go); simulated results
+// are identical to the serial path because each warp owns its thread
+// scratch, per-warp stats are reduced in warp-index order below, and
+// order-sensitive side effects are deferred (Thread.Defer) to the serial
+// phase at the end of this function.
 func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) LaunchStats {
 	cfg := d.Cfg
 	warps := (n + cfg.WarpSize - 1) / cfg.WarpSize
-	var total warpStats
-	var maxWarpCycles int64
-	threads := make([]*Thread, 0, cfg.WarpSize)
-	for w := 0; w < warps; w++ {
-		threads = threads[:0]
+	results := make([]warpResult, warps)
+	parallelFor(cfg.hostWorkers(), warps, func(w int) {
+		// Every warp builds its own thread slice — sharing one scratch
+		// across warps would let a kernel's captured *Thread pointers be
+		// overwritten by the next warp, serial or not.
+		threads := make([]*Thread, 0, cfg.WarpSize)
 		for lane := 0; lane < cfg.WarpSize; lane++ {
 			id := w*cfg.WarpSize + lane
 			if id >= n {
@@ -365,7 +378,15 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 			}
 			threads = append(threads, t)
 		}
-		ws := runWarp(cfg, prog, threads)
+		results[w].stats, results[w].deferred = runWarp(cfg, prog, threads)
+	})
+	// Reduce in warp-index order. The stats are integer counters, so the
+	// sums are exact regardless of order, but fixed order keeps the
+	// reduction trivially schedule-independent.
+	var total warpStats
+	var maxWarpCycles int64
+	for w := range results {
+		ws := results[w].stats
 		total.issueCycles += ws.issueCycles
 		total.memBytes += ws.memBytes
 		total.transactions += ws.transactions
@@ -373,6 +394,13 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 		total.divergentExec += ws.divergentExec
 		if ws.issueCycles > maxWarpCycles {
 			maxWarpCycles = ws.issueCycles
+		}
+	}
+	// Serial phase: deferred side effects run in (warp, issue) order —
+	// the order a fully serial simulation would have produced.
+	for w := range results {
+		for _, fn := range results[w].deferred {
+			fn()
 		}
 	}
 	dur := d.price(warps, total.issueCycles, maxWarpCycles, total.memBytes)

@@ -1,0 +1,101 @@
+package simt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the host-side execution backend for warp-parallel kernel
+// simulation. Warps of one launch are independent given the kernel
+// safety contract (see DESIGN.md "Host parallelism"): each warp owns its
+// thread scratch and warpShared scratchpad, kernels write disjoint
+// per-thread ranges of device memory, and anything genuinely shared is
+// either internally synchronized (the session array) or deferred to the
+// serial end-of-launch phase (Thread.Defer). Pricing stays deterministic
+// because per-warp stats are reduced in warp-index order after the
+// parallel section.
+
+// hostPool is the process-wide persistent worker pool. Workers are
+// spawned lazily up to the largest parallelism any device has requested
+// and then reused by every launch, so steady-state kernel execution
+// never pays goroutine startup.
+var hostPool = struct {
+	mu      sync.Mutex
+	jobs    chan func()
+	workers int
+}{jobs: make(chan func(), 256)}
+
+// ensureHostWorkers grows the pool to at least n workers.
+func ensureHostWorkers(n int) {
+	hostPool.mu.Lock()
+	defer hostPool.mu.Unlock()
+	for hostPool.workers < n {
+		hostPool.workers++
+		go func() {
+			for job := range hostPool.jobs {
+				job()
+			}
+		}()
+	}
+}
+
+// parallelFor executes fn(0..n-1) across up to `workers` host threads.
+// workers <= 1 runs the loop inline (the serial path — no goroutines, no
+// atomics). Otherwise the calling goroutine participates alongside
+// pool workers, so progress never depends on pool availability; if the
+// pool's queue is saturated (deep nesting) the call simply runs with
+// fewer helpers. Iterations are claimed with an atomic counter
+// (work-stealing order), so fn must not care which worker runs which
+// index or in what order.
+func parallelFor(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ensureHostWorkers(workers - 1)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	loop := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		select {
+		case hostPool.jobs <- loop:
+		default:
+			// Queue full: every pool worker is busy and backlogged. The
+			// caller's own loop below still guarantees completion.
+			wg.Done()
+		}
+	}
+	wg.Add(1)
+	loop()
+	wg.Wait()
+}
+
+// hostWorkers resolves the configured host parallelism for one launch:
+// 0 (the default) uses every available core, 1 forces the serial path,
+// and any larger value is an explicit worker cap.
+func (c Config) hostWorkers() int {
+	switch {
+	case c.HostParallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case c.HostParallelism < 0:
+		panic("simt: negative HostParallelism")
+	default:
+		return c.HostParallelism
+	}
+}

@@ -83,6 +83,10 @@ type Thread struct {
 type warpShared struct {
 	maxes map[int]*sharedSlot
 	sums  map[int]*sharedSlot
+	// deferred collects Thread.Defer callbacks in the exact order the
+	// warp's lanes issued them (the serial execution order within the
+	// warp), for the end-of-launch serial phase.
+	deferred []func()
 }
 
 type sharedSlot struct {
@@ -221,6 +225,25 @@ func (t *Thread) Atomic(addr mem.Addr) {
 // Mem exposes the raw device memory for functional (non-accounted)
 // bookkeeping by kernel host code. Kernels should prefer Load/Store.
 func (t *Thread) Mem() *mem.Memory { return t.mem }
+
+// Defer schedules fn to run after every warp of the current launch has
+// executed, on the host thread that issued the launch. Deferred
+// callbacks run in (warp index, issue order within the warp) order —
+// exactly the order a fully serial simulation would have reached them —
+// so kernels use Defer for functional side effects on genuinely shared
+// host state (the device backend database) whose outcome depends on
+// operation order. The cost of the operation must still be charged
+// inline (Compute/Store/Atomic) from the kernel block that defers it;
+// Defer itself is free and purely functional.
+func (t *Thread) Defer(fn func()) {
+	if t.warp == nil {
+		// Detached thread (unit-test harnesses build Threads without
+		// runWarp); run inline, which is trivially serial order.
+		fn()
+		return
+	}
+	t.warp.deferred = append(t.warp.deferred, fn)
+}
 
 // Warp-level collectives over shared memory: the paper's implementation
 // "perform[s] a max butterfly reduction across a warp that uses CUDA

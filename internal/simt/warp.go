@@ -27,12 +27,14 @@ const maxBlockExecsPerThread = 1 << 22
 // the coalesced memory traffic of their zipped accesses. Lanes that
 // branched elsewhere are masked off and pay nothing, but the warp as a
 // whole serializes over the distinct blocks — divergence is lost
-// throughput, exactly as on hardware.
-func runWarp(cfg Config, prog Program, threads []*Thread) warpStats {
+// throughput, exactly as on hardware. The second result is the warp's
+// Thread.Defer callbacks in issue order, to be run serially once every
+// warp of the launch has finished.
+func runWarp(cfg Config, prog Program, threads []*Thread) (warpStats, []func()) {
 	var ws warpStats
 	n := len(threads)
 	if n == 0 {
-		return ws
+		return ws, nil
 	}
 	if n > cfg.WarpSize {
 		panic(fmt.Sprintf("simt: %d threads exceed warp size %d", n, cfg.WarpSize))
@@ -103,7 +105,7 @@ func runWarp(cfg Config, prog Program, threads []*Thread) warpStats {
 			ws.maxThreadOps = ops
 		}
 	}
-	return ws
+	return ws, shared.deferred
 }
 
 // coalesce zips the active lanes' access lists by issue index and counts
