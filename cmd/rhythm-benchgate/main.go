@@ -1,0 +1,125 @@
+// Command rhythm-benchgate compares a rhythm-bench -json run against a
+// committed baseline and fails if throughput regressed. It reads the
+// newline-delimited records both files share, keys on every metric
+// ending in /throughput_req_s (the Table 3 rows), and exits non-zero
+// when the current value falls below baseline*(1-tolerance) or a
+// baseline row is missing from the current run.
+//
+// The simulator reports throughput in virtual device time, so the
+// numbers are machine-independent: a regression here means a real
+// modeling or kernel change, not CI-runner noise. The tolerance exists
+// to absorb intentional small reshuffles (e.g. a scheduler tweak that
+// shifts work between stages) without blocking every PR; anything past
+// it should update the baseline deliberately.
+//
+// Usage:
+//
+//	rhythm-bench -json table3 > current.json
+//	rhythm-benchgate -baseline BENCH_baseline.json -current current.json [-tolerance 0.15]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type record struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline rhythm-bench -json output")
+		currentPath  = flag.String("current", "", "current rhythm-bench -json output (required)")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop before failing")
+		suffix       = flag.String("suffix", "/throughput_req_s", "metric suffix to gate on")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "rhythm-benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath, *suffix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath, *suffix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-benchgate:", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "rhythm-benchgate: no %q metrics in baseline %s\n", *suffix, *baselinePath)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := 0
+	for _, k := range keys {
+		base := baseline[k]
+		cur, ok := current[k]
+		if !ok {
+			fmt.Printf("FAIL %-40s baseline %.0f, missing from current run\n", k, base)
+			failed++
+			continue
+		}
+		floor := base * (1 - *tolerance)
+		delta := 100 * (cur - base) / base
+		if cur < floor {
+			fmt.Printf("FAIL %-40s %.0f -> %.0f (%+.1f%%, floor %.0f)\n", k, base, cur, delta, floor)
+			failed++
+		} else {
+			fmt.Printf("ok   %-40s %.0f -> %.0f (%+.1f%%)\n", k, base, cur, delta)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("rhythm-benchgate: %d of %d metrics regressed beyond %.0f%%\n",
+			failed, len(keys), 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("rhythm-benchgate: %d metrics within %.0f%% of baseline\n", len(keys), 100**tolerance)
+}
+
+// load reads newline-delimited rhythm-bench records, keeping metrics
+// with the gated suffix, keyed experiment-qualified so the same row
+// name in two experiments can't collide.
+func load(path, suffix string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal([]byte(text), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		if strings.HasSuffix(r.Metric, suffix) {
+			out[r.Experiment+"::"+r.Metric] = r.Value
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,223 @@
+// Command rhythm-load is a closed-loop load generator for rhythmd: each
+// connection logs in once, then issues banking requests back-to-back on
+// its keep-alive socket for the run duration. It reports client-side
+// throughput and p50/p99/max latency, and — when the server exposes
+// /rhythm-stats — the server-side cohort behaviour over the run window
+// (cohorts formed, mean occupancy at launch, timeout-vs-full ratio), so
+// batching on the wire is directly visible:
+//
+//	rhythmd -cohort &
+//	rhythm-load -addr 127.0.0.1:8080 -conns 16 -duration 10s
+//
+// Against a cohort-mode server, rising -conns raises mean occupancy:
+// more concurrent requests of a type land inside one formation window.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rhythm"
+	"rhythm/internal/backend"
+	"rhythm/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "server address")
+		conns    = flag.Int("conns", 16, "concurrent keep-alive connections")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		users    = flag.Int("users", 64, "distinct user accounts (deterministic passwords)")
+		first    = flag.Uint64("first-user", 1001, "first user id")
+		paths    = flag.String("paths", "/account_summary.php,/profile.php,/transfer.php",
+			"comma-separated request paths to cycle through")
+	)
+	flag.Parse()
+
+	targets := strings.Split(*paths, ",")
+	for i := range targets {
+		targets[i] = strings.TrimSpace(targets[i])
+	}
+
+	before, beforeOK := fetchStats(*addr)
+
+	type result struct {
+		lat      *stats.LatencyRecorder
+		ok, errs uint64
+		fail     error
+	}
+	results := make([]result, *conns)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			r.lat = stats.NewLatencyRecorder()
+			uid := *first + uint64(i)%uint64(*users)
+			if err := drive(*addr, uid, targets, deadline, r.lat, &r.ok, &r.errs); err != nil {
+				r.fail = err
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	lat := stats.NewLatencyRecorder()
+	var ok, errs uint64
+	failures := 0
+	for i := range results {
+		if results[i].fail != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "rhythm-load: conn %d: %v\n", i, results[i].fail)
+			continue
+		}
+		lat.Merge(results[i].lat)
+		ok += results[i].ok
+		errs += results[i].errs
+	}
+	elapsed := duration.Seconds()
+
+	fmt.Printf("rhythm-load: %d conns x %v against %s\n", *conns, *duration, *addr)
+	fmt.Printf("  requests:   %d ok, %d non-200 (503/504 shed), %d dead conns\n", ok, errs, failures)
+	fmt.Printf("  throughput: %.1f req/s\n", float64(ok)/elapsed)
+	fmt.Printf("  latency:    p50 %v  p99 %v  max %v\n",
+		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)), time.Duration(lat.Max()))
+
+	after, afterOK := fetchStats(*addr)
+	if !beforeOK || !afterOK {
+		fmt.Println("  (no /rhythm-stats endpoint reachable: server-side cohort stats skipped)")
+		return
+	}
+	if after.Mode != "cohort" {
+		fmt.Printf("  server mode: %s (no cohort batching)\n", after.Mode)
+		return
+	}
+	formed := after.CohortsFormed - before.CohortsFormed
+	batched := after.RequestsBatched - before.RequestsBatched
+	timedOut := after.CohortsTimedOut - before.CohortsTimedOut
+	filled := after.CohortsFilled - before.CohortsFilled
+	fmt.Printf("server cohort stats over the run:\n")
+	if formed == 0 {
+		fmt.Println("  no cohorts launched")
+		return
+	}
+	fmt.Printf("  cohorts:    %d launched (%d filled, %d timed out), %d requests batched\n",
+		formed, filled, timedOut, batched)
+	fmt.Printf("  occupancy:  %.2f mean at launch (max seen %d), timeout ratio %.0f%%\n",
+		float64(batched)/float64(formed), after.MaxOccupancy, 100*float64(timedOut)/float64(formed))
+	fmt.Printf("  formation:  %.2fms mean wait, %.2fms p99; launch %.0fus mean device time\n",
+		after.FormWaitMsMean, after.FormWaitMsP99, after.LaunchDevUsMean)
+}
+
+// drive runs one closed-loop connection: login, then cycle targets
+// until the deadline.
+func drive(addr string, uid uint64, targets []string, deadline time.Time, lat *stats.LatencyRecorder, ok, errs *uint64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	body := fmt.Sprintf("userid=%d&passwd=%s", uid, backend.PasswordFor(uid))
+	fmt.Fprintf(conn, "POST /login.php HTTP/1.1\r\nHost: load\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	status, hdrs, _, err := readResponse(r)
+	if err != nil {
+		return fmt.Errorf("login read: %w", err)
+	}
+	if status != 200 {
+		return fmt.Errorf("login status %d", status)
+	}
+	cookie := hdrs["set-cookie"]
+	if !strings.HasPrefix(cookie, "MY_ID=") {
+		return fmt.Errorf("no session cookie (got %q)", cookie)
+	}
+
+	for i := 0; time.Now().Before(deadline); i++ {
+		path := targets[i%len(targets)]
+		start := time.Now()
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\nCookie: %s\r\n\r\n", path, cookie)
+		status, _, _, err := readResponse(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		lat.Record(float64(time.Since(start)))
+		if status == 200 {
+			*ok++
+		} else {
+			*errs++
+		}
+	}
+	return nil
+}
+
+// readResponse reads one HTTP/1.1 response with a Content-Length body.
+// Header names are lower-cased in the returned map.
+func readResponse(r *bufio.Reader) (int, map[string]string, []byte, error) {
+	statusLine, err := r.ReadString('\n')
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	parts := strings.SplitN(statusLine, " ", 3)
+	if len(parts) < 2 {
+		return 0, nil, nil, fmt.Errorf("bad status line %q", statusLine)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("bad status line %q", statusLine)
+	}
+	hdrs := map[string]string{}
+	cl := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		k, v, _ := strings.Cut(line, ":")
+		hdrs[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	if v, ok := hdrs["content-length"]; ok {
+		if cl, err = strconv.Atoi(v); err != nil || cl < 0 {
+			return 0, nil, nil, fmt.Errorf("bad content length %q", v)
+		}
+	}
+	body := make([]byte, cl)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, nil, err
+	}
+	return status, hdrs, body, nil
+}
+
+// fetchStats grabs /rhythm-stats on a throwaway connection.
+func fetchStats(addr string) (rhythm.CohortServerStats, bool) {
+	var st rhythm.CohortServerStats
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return st, false
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", rhythm.StatsPath)
+	status, _, body, err := readResponse(bufio.NewReader(conn))
+	if err != nil || status != 200 {
+		return st, false
+	}
+	if json.Unmarshal(body, &st) != nil {
+		return st, false
+	}
+	return st, true
+}

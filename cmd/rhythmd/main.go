@@ -1,45 +1,120 @@
-// Command rhythmd serves the SPECWeb2009 Banking workload over real TCP
-// using the reproduction's host execution path — the same services the
-// SIMT kernels run, so the pages are byte-identical to what the device
-// pipeline generates. Use it to poke the workload with curl or a
-// browser.
+// Command rhythmd serves the SPECWeb2009 Banking workload over real TCP.
+//
+// The default mode uses the reproduction's host execution path — the
+// same services the SIMT kernels run, so the pages are byte-identical to
+// what the device pipeline generates. With -cohort it instead serves
+// through the paper's live cohort path: requests are classified, batched
+// into cohorts under the §3.1 formation timeout, and executed as stage
+// kernels on the modeled SIMT device. Either way, poke it with curl or
+// drive it with cmd/rhythm-load; live counters are at /rhythm-stats.
 //
 // Usage:
 //
-//	rhythmd [-addr :8080] [-seed-users 8]
+//	rhythmd [-addr :8080] [-seed-users 8] [-cohort]
+//	        [-cohort-size 128] [-contexts 4] [-formation-timeout 2ms]
+//	        [-deadline 5s]
 //
 // It prints demo credentials at startup; log in with
-// POST /login.php (userid, passwd) and browse.
+// POST /login.php (userid, passwd) and browse. SIGINT/SIGTERM drains
+// gracefully in cohort mode (partial cohorts flush before exit).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"rhythm"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	seedUsers := flag.Int("seed-users", 8, "demo user accounts to print credentials for")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seedUsers = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
+		cohortOn  = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
+		size      = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
+		contexts  = flag.Int("contexts", 4, "cohort contexts in flight (cohort mode)")
+		formation = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
+		deadline  = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
+	)
 	flag.Parse()
 
+	if *cohortOn {
+		runCohort(*addr, *seedUsers, rhythm.CohortOptions{
+			CohortSize:       *size,
+			MaxCohorts:       *contexts,
+			FormationTimeout: *formation,
+			RequestDeadline:  *deadline,
+		})
+		return
+	}
+	runHost(*addr, *seedUsers)
+}
+
+func runHost(addr string, seedUsers int) {
 	srv := rhythm.NewTCPServer(1 << 16)
-	if err := srv.Listen(*addr); err != nil {
+	if err := srv.Listen(addr); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rhythmd: SPECWeb Banking on http://%s\n", srv.Addr())
-	fmt.Println("demo credentials (POST /login.php with userid & passwd):")
-	for i := 1; i <= *seedUsers; i++ {
-		uid, pw := srv.Seed(uint64(1000 + i))
-		fmt.Printf("  userid=%d passwd=%s\n", uid, pw)
-	}
-	fmt.Println("example:")
-	uid, pw := srv.Seed(1001)
-	fmt.Printf("  curl -si -c /tmp/jar -d 'userid=%d&passwd=%s' http://%s/login.php | head -5\n", uid, pw, srv.Addr())
-	fmt.Printf("  curl -si -b /tmp/jar http://%s/account_summary.php | head -20\n", srv.Addr())
+	fmt.Printf("rhythmd: SPECWeb Banking on http://%s (host mode)\n", srv.Addr())
+	printCreds(srv.Addr().String(), seedUsers, srv.Seed)
+	go func() {
+		waitForSignal()
+		srv.Close()
+	}()
 	if err := srv.Serve(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func runCohort(addr string, seedUsers int, opts rhythm.CohortOptions) {
+	srv := rhythm.NewCohortServer(opts)
+	if err := srv.Listen(addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rhythmd: SPECWeb Banking on http://%s (cohort mode: size=%d contexts=%d timeout=%v)\n",
+		srv.Addr(), opts.CohortSize, opts.MaxCohorts, opts.FormationTimeout)
+	printCreds(srv.Addr().String(), seedUsers, srv.Seed)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		waitForSignal()
+		fmt.Println("rhythmd: draining (flushing partial cohorts)...")
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("rhythmd: drain: %v", err)
+		}
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	<-drained
+	st := srv.Stats()
+	fmt.Printf("rhythmd: served %d responses, %d cohorts (%.1f mean occupancy, %d timed out)\n",
+		st.Served, st.CohortsFormed, st.MeanOccupancy, st.CohortsTimedOut)
+}
+
+func printCreds(addr string, seedUsers int, seed func(uint64) (uint64, string)) {
+	fmt.Println("demo credentials (POST /login.php with userid & passwd):")
+	for i := 1; i <= seedUsers; i++ {
+		uid, pw := seed(uint64(1000 + i))
+		fmt.Printf("  userid=%d passwd=%s\n", uid, pw)
+	}
+	fmt.Println("example:")
+	uid, pw := seed(1001)
+	fmt.Printf("  curl -si -c /tmp/jar -d 'userid=%d&passwd=%s' http://%s/login.php | head -5\n", uid, pw, addr)
+	fmt.Printf("  curl -si -b /tmp/jar http://%s/account_summary.php | head -20\n", addr)
+	fmt.Printf("  curl -s http://%s/rhythm-stats\n", addr)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
 }

@@ -1,0 +1,848 @@
+package rhythm
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/cohort"
+	"rhythm/internal/httpx"
+	"rhythm/internal/session"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+	"rhythm/internal/stats"
+)
+
+// StatsPath is the endpoint both TCP servers expose for live counters.
+const StatsPath = "/rhythm-stats"
+
+// CohortOptions tunes the live cohort-batched server.
+type CohortOptions struct {
+	// CohortSize is the number of requests batched per cohort (default
+	// 128 — live traffic forms far smaller cohorts than the offline
+	// saturation harness).
+	CohortSize int
+	// MaxCohorts is the number of cohort contexts (and device streams)
+	// in flight (default 4).
+	MaxCohorts int
+	// FormationTimeout is the wall-clock §3.1 formation deadline
+	// measured from a cohort's first request (default 2ms; negative
+	// disables timeouts, for tests that exercise drain of partial
+	// cohorts).
+	FormationTimeout time.Duration
+	// RequestDeadline bounds a request's end-to-end residence including
+	// formation delay; past it the connection gets a 504 (default 5s).
+	// The request may still complete server-side — the deadline releases
+	// the connection, not the cohort slot.
+	RequestDeadline time.Duration
+	// AdmitQueue bounds the admission queue between connection handlers
+	// and the device loop (default 4×CohortSize). A full queue sheds
+	// with 503 + Retry-After.
+	AdmitQueue int
+	// OverflowLimit bounds requests parked because every cohort context
+	// is Busy (default 2×CohortSize; negative means no parking — reject
+	// the moment the pool has no free context).
+	OverflowLimit int
+	// MaxSessions sizes the session array (default 1<<16). The bucket
+	// geometry matches NewTCPServer so host and cohort mode create
+	// identical session ids for identical request streams.
+	MaxSessions int
+	// RetryAfter is the hint on 503 responses (default 1s).
+	RetryAfter time.Duration
+	// HostParallelism caps the host workers executing kernel warps
+	// (0 = all cores; see DESIGN.md §8).
+	HostParallelism int
+}
+
+func (o *CohortOptions) fill() {
+	if o.CohortSize == 0 {
+		o.CohortSize = 128
+	}
+	if o.MaxCohorts == 0 {
+		o.MaxCohorts = 4
+	}
+	if o.FormationTimeout == 0 {
+		o.FormationTimeout = 2 * time.Millisecond
+	}
+	if o.RequestDeadline == 0 {
+		o.RequestDeadline = 5 * time.Second
+	}
+	if o.AdmitQueue == 0 {
+		o.AdmitQueue = 4 * o.CohortSize
+	}
+	if o.OverflowLimit == 0 {
+		o.OverflowLimit = 2 * o.CohortSize
+	} else if o.OverflowLimit < 0 {
+		o.OverflowLimit = 0
+	}
+	if o.MaxSessions < 256 {
+		o.MaxSessions = 1 << 16
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+}
+
+// liveReq is one in-flight request: the parsed form handed to the device
+// loop plus the channel its rendered response comes back on.
+type liveReq struct {
+	req  httpx.Request
+	t    banking.ReqType
+	enq  time.Time
+	resp chan []byte // buffered(1): the loop never blocks delivering
+}
+
+// flushMsg asks the loop to launch the forming cohort for a key; gen
+// guards against a stale timer firing after that cohort already launched
+// and a new one opened under the same key.
+type flushMsg struct {
+	key string
+	gen uint64
+}
+
+type formingTimer struct {
+	timer *time.Timer
+	gen   uint64
+}
+
+// perStage accumulates one pipeline stage's launch count and device time
+// for a request type.
+type perStage struct {
+	Launches uint64  `json:"launches"`
+	DeviceUs float64 `json:"device_us_total"`
+}
+
+type typeCounters struct {
+	cohorts, filled, timedOut, requests uint64
+	sumOccup                            uint64
+	maxOccup                            int
+	stages                              []perStage
+}
+
+// CohortTypeStats is the per-request-type section of CohortServerStats.
+type CohortTypeStats struct {
+	Cohorts       uint64     `json:"cohorts"`
+	Filled        uint64     `json:"filled"`
+	TimedOut      uint64     `json:"timed_out"`
+	Requests      uint64     `json:"requests"`
+	MeanOccupancy float64    `json:"mean_occupancy"`
+	MaxOccupancy  int        `json:"max_occupancy"`
+	Stages        []perStage `json:"stages"`
+}
+
+// CohortServerStats is the /rhythm-stats document of a cohort-mode
+// server (cmd/rhythm-load decodes it to report server-side batching).
+type CohortServerStats struct {
+	Mode            string  `json:"mode"`
+	Served          uint64  `json:"served"`
+	KernelErrors    uint64  `json:"kernel_errors"`
+	ParseErrors     uint64  `json:"parse_errors"`
+	NotFound        uint64  `json:"not_found"`
+	Images          uint64  `json:"images"`
+	RejectedQueue   uint64  `json:"rejected_queue"`
+	RejectedPool    uint64  `json:"rejected_pool"`
+	DeadlineMisses  uint64  `json:"deadline_misses"`
+	CohortsFormed   uint64  `json:"cohorts_formed"`
+	CohortsFilled   uint64  `json:"cohorts_filled"`
+	CohortsTimedOut uint64  `json:"cohorts_timed_out"`
+	RequestsBatched uint64  `json:"requests_batched"`
+	AdmissionStalls uint64  `json:"admission_stalls"`
+	SumOccupancy    uint64  `json:"sum_occupancy"`
+	MeanOccupancy   float64 `json:"mean_occupancy"`
+	MaxOccupancy    int     `json:"max_occupancy"`
+	MaxContexts     int     `json:"max_contexts_in_use"`
+	FormWaitMsMean  float64 `json:"formation_wait_ms_mean"`
+	FormWaitMsP99   float64 `json:"formation_wait_ms_p99"`
+	LaunchDevUsMean float64 `json:"launch_device_us_mean"`
+	LatencyMsP50    float64 `json:"latency_ms_p50"`
+	LatencyMsP99    float64 `json:"latency_ms_p99"`
+
+	Types map[string]CohortTypeStats `json:"types"`
+}
+
+// liveConn wraps an accepted connection with a busy flag so graceful
+// shutdown can close idle (reading) connections while letting a handler
+// mid-response finish its write.
+type liveConn struct {
+	net.Conn
+	busy atomic.Bool
+}
+
+// CohortServer serves the Banking workload over TCP through the paper's
+// cohort pipeline: connection handlers parse and classify requests on
+// the host, a single device-loop goroutine batches them into
+// cohort.Pool contexts under the §3.1 formation timeout, and each full
+// (or timed-out) cohort runs its stage kernels on the modeled SIMT
+// device, one asynchronous stream per context. Responses are extracted
+// from device memory after the response transpose and are byte-identical
+// to TCPServer's host path (the differential test in cohortserver_test.go
+// asserts this for every request type).
+//
+// Wall clock drives admission and formation; the simulation engine
+// remains a purely virtual device timeline, stepped by the loop while
+// launches are in flight.
+type CohortServer struct {
+	opts     CohortOptions
+	eng      *sim.Engine
+	dev      *simt.Device
+	db       *backend.DB
+	sessions *session.Array
+	pool     *cohort.Pool[*liveReq]
+	streams  []*simt.Stream
+	dcs      []map[int]*banking.DeviceCohort // per context, by buffer class
+
+	admitCh chan *liveReq
+	flushCh chan flushMsg
+	doCh    chan func()
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+
+	stopOnce sync.Once
+	closing  atomic.Bool
+
+	mu sync.Mutex // listener only
+	ln net.Listener
+
+	connMu sync.Mutex
+	conns  map[*liveConn]struct{}
+	connWG sync.WaitGroup
+
+	// Handler-side counters (many goroutines).
+	served         atomic.Uint64
+	parseErrors    atomic.Uint64
+	notFound       atomic.Uint64
+	images         atomic.Uint64
+	rejectedQueue  atomic.Uint64
+	deadlineMisses atomic.Uint64
+
+	// Loop-owned state (no locking: single goroutine until doneCh).
+	draining     bool
+	inflight     int
+	overflow     []*liveReq
+	forming      map[string]*formingTimer
+	nextGen      uint64
+	rejectedPool uint64
+	kernelErrors uint64
+	perType      map[string]*typeCounters
+	maxOccup     int
+	formWait     *stats.LatencyRecorder
+	launchLat    *stats.LatencyRecorder
+	reqLat       *stats.LatencyRecorder
+}
+
+// NewCohortServer builds the server and starts its device loop. Callers
+// then Listen + Serve, and Shutdown to drain.
+func NewCohortServer(opts CohortOptions) *CohortServer {
+	opts.fill()
+	eng := sim.NewEngine()
+	cfg := simt.GTXTitan()
+	cfg.HostParallelism = opts.HostParallelism
+	// One cohort of every buffer class per context, plus slack for the
+	// constant chrome.
+	memBytes := int(int64(opts.MaxCohorts)*banking.AllClassesDeviceBytes(opts.CohortSize)) + 64<<20
+	dev := simt.NewDevice(eng, cfg, memBytes, nil) // nil bus: integrated NIC (Titan B)
+	s := &CohortServer{
+		opts:      opts,
+		eng:       eng,
+		dev:       dev,
+		db:        backend.New(),
+		sessions:  session.NewArray(256, opts.MaxSessions/256*4+4),
+		admitCh:   make(chan *liveReq, opts.AdmitQueue),
+		flushCh:   make(chan flushMsg, 256),
+		doCh:      make(chan func(), 16),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		conns:     make(map[*liveConn]struct{}),
+		forming:   make(map[string]*formingTimer),
+		perType:   make(map[string]*typeCounters),
+		formWait:  stats.NewLatencyRecorder(),
+		launchLat: stats.NewLatencyRecorder(),
+		reqLat:    stats.NewLatencyRecorder(),
+	}
+	// Pool timeout 0: formation deadlines run on wall-clock timers (the
+	// engine only advances while kernels are in flight, so an engine
+	// timer could never fire for an idle server).
+	s.pool = cohort.NewPool[*liveReq](eng, opts.MaxCohorts, opts.CohortSize, 0, s.onReady)
+	for i := 0; i < opts.MaxCohorts; i++ {
+		s.streams = append(s.streams, dev.NewStream())
+		s.dcs = append(s.dcs, make(map[int]*banking.DeviceCohort))
+	}
+	go s.loop()
+	return s
+}
+
+// Seed creates a user with a deterministic password and returns
+// (userID, password). Safe to call while serving.
+func (s *CohortServer) Seed(userID uint64) (uint64, string) {
+	reply := make(chan string, 1)
+	select {
+	case s.doCh <- func() { reply <- s.db.GetProfile(userID).Password }:
+		return userID, <-reply
+	case <-s.doneCh:
+		return userID, backend.PasswordFor(userID)
+	}
+}
+
+// Addr reports the bound address once Listen has been called.
+func (s *CohortServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Served reports how many responses have been produced (including error
+// and shed responses).
+func (s *CohortServer) Served() uint64 { return s.served.Load() }
+
+// Listen binds the listener without serving.
+func (s *CohortServer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Serve accepts connections until the listener closes (Shutdown).
+func (s *CohortServer) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("rhythm: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *CohortServer) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains gracefully: stop accepting, reject new admissions,
+// flush partially-full cohorts, wait for in-flight launches to write
+// their responses back, then close connections (idle ones immediately,
+// busy ones after their current write). ctx bounds the wait.
+func (s *CohortServer) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	select {
+	case <-s.doneCh:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Every admitted request now has its response delivered; handlers
+	// parked in a read will never produce another admission (the closing
+	// flag sheds), so closing them is safe. Handlers mid-write finish
+	// first — the busy flag protects them.
+	//
+	// Barrier: a handler that saw closing==false completes its WaitGroup
+	// registration (under connMu) before we start waiting.
+	//lint:ignore SA2001 the empty critical section is the barrier
+	s.connMu.Lock()
+	s.connMu.Unlock()
+	waited := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(waited)
+	}()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.connMu.Lock()
+		for lc := range s.conns {
+			if !lc.busy.Load() {
+				lc.Close()
+			}
+		}
+		s.connMu.Unlock()
+		select {
+		case <-waited:
+			return nil
+		case <-ctx.Done():
+			s.connMu.Lock()
+			for lc := range s.conns {
+				lc.Close()
+			}
+			s.connMu.Unlock()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// handle serves one keep-alive connection.
+func (s *CohortServer) handle(conn net.Conn) {
+	lc := &liveConn{Conn: conn}
+	s.connMu.Lock()
+	if s.closing.Load() {
+		s.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[lc] = struct{}{}
+	s.connWG.Add(1)
+	s.connMu.Unlock()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, lc)
+		s.connMu.Unlock()
+		s.connWG.Done()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		raw, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		lc.busy.Store(true)
+		resp := s.respond(raw)
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		_, werr := conn.Write(resp)
+		lc.busy.Store(false)
+		if werr != nil || s.closing.Load() {
+			return
+		}
+	}
+}
+
+// respond parses and classifies one request on the host, then either
+// answers it directly (stats, images, errors) or admits it to the
+// device loop and waits for the cohort path's response.
+func (s *CohortServer) respond(raw []byte) []byte {
+	s.served.Add(1)
+	req, err := httpx.Parse(raw)
+	if err != nil {
+		s.parseErrors.Add(1)
+		return errorResponse(400, "Bad Request")
+	}
+	if req.Path == StatsPath {
+		return s.statsResponse()
+	}
+	t, ok := banking.ByPath(req.Path)
+	if !ok {
+		if resp, ok := banking.ImageResponse(req.Path); ok {
+			s.images.Add(1)
+			return resp
+		}
+		s.notFound.Add(1)
+		return errorResponse(404, "Not Found")
+	}
+	if s.closing.Load() {
+		s.rejectedQueue.Add(1)
+		return busyResponse(s.opts.RetryAfter)
+	}
+	lr := &liveReq{req: req, t: t, enq: time.Now(), resp: make(chan []byte, 1)}
+	select {
+	case s.admitCh <- lr:
+	default:
+		s.rejectedQueue.Add(1)
+		return busyResponse(s.opts.RetryAfter)
+	}
+	deadline := time.NewTimer(s.opts.RequestDeadline)
+	defer deadline.Stop()
+	select {
+	case resp := <-lr.resp:
+		return resp
+	case <-deadline.C:
+		s.deadlineMisses.Add(1)
+		return errorResponse(504, "Gateway Timeout")
+	case <-s.doneCh:
+		// The loop exited while we waited. Either our response raced the
+		// exit (delivered, then doneCh closed — the buffered channel
+		// still holds it) or the request was never consumed.
+		select {
+		case resp := <-lr.resp:
+			return resp
+		default:
+			s.rejectedQueue.Add(1)
+			return busyResponse(s.opts.RetryAfter)
+		}
+	}
+}
+
+// loop is the device loop: the only goroutine that touches the engine,
+// device, pool, sessions, and DB. While device work is pending it polls
+// the channels and steps the engine; idle, it blocks.
+func (s *CohortServer) loop() {
+	defer close(s.doneCh)
+	stop := s.stopCh
+	for {
+		if s.eng.Pending() > 0 {
+			select {
+			case lr := <-s.admitCh:
+				s.admit(lr)
+			case m := <-s.flushCh:
+				s.flush(m)
+			case fn := <-s.doCh:
+				fn()
+			case <-stop:
+				stop = nil
+				s.beginDrain()
+			default:
+				s.eng.Step()
+			}
+			continue
+		}
+		if s.draining && s.idle() {
+			return
+		}
+		select {
+		case lr := <-s.admitCh:
+			s.admit(lr)
+		case m := <-s.flushCh:
+			s.flush(m)
+		case fn := <-s.doCh:
+			fn()
+		case <-stop:
+			stop = nil
+			s.beginDrain()
+		}
+	}
+}
+
+// idle reports whether the drained loop may exit: nothing queued,
+// forming, launching, or pending on the engine.
+func (s *CohortServer) idle() bool {
+	return len(s.admitCh) == 0 && len(s.flushCh) == 0 && len(s.doCh) == 0 &&
+		len(s.overflow) == 0 && len(s.forming) == 0 && s.inflight == 0 &&
+		s.eng.Pending() == 0 && s.pool.FreeContexts() == s.opts.MaxCohorts
+}
+
+// beginDrain stops formation timers and launches everything forming.
+// Admissions still queued are served (admit flushes immediately while
+// draining), so every accepted request gets a real response.
+func (s *CohortServer) beginDrain() {
+	s.draining = true
+	for _, f := range s.forming {
+		f.timer.Stop()
+	}
+	s.forming = make(map[string]*formingTimer)
+	s.pool.Flush("")
+}
+
+// admit routes one request into the pool, parking it in the bounded
+// overflow when every context is Busy and shedding with 503 past that.
+func (s *CohortServer) admit(lr *liveReq) {
+	if s.place(lr) {
+		return
+	}
+	if len(s.overflow) >= s.opts.OverflowLimit {
+		s.rejectedPool++
+		lr.resp <- busyResponse(s.opts.RetryAfter)
+		return
+	}
+	s.overflow = append(s.overflow, lr)
+}
+
+// place tries pool admission; on success it manages the wall-clock
+// formation timer for the (possibly newly opened) forming cohort.
+func (s *CohortServer) place(lr *liveReq) bool {
+	key := lr.t.String()
+	if !s.pool.Add(key, lr) {
+		return false
+	}
+	if s.draining {
+		// No timers during drain: launch whatever the Add left forming.
+		s.pool.Flush(key)
+		return true
+	}
+	if s.opts.FormationTimeout > 0 && s.pool.Forming(key) && s.forming[key] == nil {
+		s.nextGen++
+		gen := s.nextGen
+		t := time.AfterFunc(s.opts.FormationTimeout, func() {
+			select {
+			case s.flushCh <- flushMsg{key: key, gen: gen}:
+			case <-s.doneCh:
+			}
+		})
+		s.forming[key] = &formingTimer{timer: t, gen: gen}
+	}
+	return true
+}
+
+// flush handles a formation-timeout message, ignoring stale generations
+// (the cohort the timer was armed for already launched).
+func (s *CohortServer) flush(m flushMsg) {
+	f := s.forming[m.key]
+	if f == nil || f.gen != m.gen {
+		return
+	}
+	delete(s.forming, m.key)
+	s.pool.Flush(m.key)
+}
+
+// drainOverflow retries parked requests after a context frees,
+// preserving order per type while letting other types pass a starved
+// head (same policy as the offline pipeline's dispatch).
+func (s *CohortServer) drainOverflow() {
+	if len(s.overflow) == 0 {
+		return
+	}
+	pending := s.overflow
+	s.overflow = s.overflow[:0]
+	for _, lr := range pending {
+		if !s.place(lr) {
+			s.overflow = append(s.overflow, lr)
+		}
+	}
+}
+
+// onReady fires (synchronously from pool.Add or Flush) when a cohort
+// fills or times out: account formation stats and launch the kernels.
+func (s *CohortServer) onReady(c *cohort.Context[*liveReq], why cohort.Reason) {
+	if f := s.forming[c.Key]; f != nil {
+		f.timer.Stop()
+		delete(s.forming, c.Key)
+	}
+	c.MarkBusy()
+	s.inflight++
+	s.launch(c, why)
+}
+
+// typeStats returns (creating on demand) the counters for a request
+// type, with one stage slot per stage kernel.
+func (s *CohortServer) typeStats(t banking.ReqType) *typeCounters {
+	key := t.String()
+	tc := s.perType[key]
+	if tc == nil {
+		tc = &typeCounters{stages: make([]perStage, banking.ServiceFor(t).Spec.Backends+1)}
+		s.perType[key] = tc
+	}
+	return tc
+}
+
+// launch runs the stage-kernel chain for one cohort on its context's
+// stream: n backend + n+1 process stages with Besim chained in-kernel
+// (Titan B semantics), then the response transpose and writeback.
+func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
+	reqs := c.Requests()
+	t := reqs[0].t
+	svc := banking.ServiceFor(t)
+	dc := s.deviceCohort(c.ID, t)
+	count := len(reqs)
+	dc.Reset(count)
+	now := time.Now()
+	for i, lr := range reqs {
+		dc.Reqs[i] = lr.req
+		s.record(s.formWait, float64(now.Sub(lr.enq)))
+	}
+	tc := s.typeStats(t)
+	tc.cohorts++
+	tc.requests += uint64(count)
+	tc.sumOccup += uint64(count)
+	if count > tc.maxOccup {
+		tc.maxOccup = count
+	}
+	if count > s.maxOccup {
+		s.maxOccup = count
+	}
+	if why == cohort.Filled {
+		tc.filled++
+	} else {
+		tc.timedOut++
+	}
+	stream := s.streams[c.ID]
+	launchStart := s.eng.Now()
+	var nextStage func(k int)
+	nextStage = func(k int) {
+		args := banking.StageArgs{
+			Cohort:   dc,
+			Service:  svc,
+			Stage:    k,
+			Sessions: s.sessions,
+			Padding:  true,
+			ColMajor: true,
+			Besim:    s.db, // device backend: Besim chains inside the kernel
+		}
+		stream.Launch(banking.NewStageProgram(args), count, nil, func(st simt.LaunchStats) {
+			tc.stages[k].Launches++
+			tc.stages[k].DeviceUs += float64(st.Duration) / 1e3
+			if k < svc.Spec.Backends {
+				nextStage(k + 1)
+				return
+			}
+			s.writeback(c, dc, stream, count, launchStart)
+		})
+	}
+	nextStage(0)
+}
+
+// writeback transposes the cohort's responses back to row-major,
+// extracts each request's fixed-size page from device memory, and
+// delivers it to the waiting connection handler.
+func (s *CohortServer) writeback(c *cohort.Context[*liveReq], dc *banking.DeviceCohort, stream *simt.Stream, count int, launchStart sim.Time) {
+	buf := dc.Spec.BufferBytes()
+	stream.TransposeLive(dc.RespRow, dc.RespCol, buf/4, dc.Size, 4, buf/4, count, nil)
+	stream.Barrier(func() {
+		reqs := c.Requests()
+		now := time.Now()
+		for i := 0; i < count; i++ {
+			if ctx := dc.Ctxs[i]; ctx != nil && ctx.Err != "" {
+				s.kernelErrors++
+			}
+			reqs[i].resp <- dc.ResponseRow(s.dev.Mem, i)
+			s.record(s.reqLat, float64(now.Sub(reqs[i].enq)))
+		}
+		s.record(s.launchLat, float64(s.eng.Now()-launchStart))
+		s.pool.Release(c)
+		s.inflight--
+		s.drainOverflow()
+	})
+}
+
+// maxLatencySamples bounds the stats recorders so a long-lived server
+// doesn't grow without bound; past the cap the percentiles freeze on the
+// first N samples (counters keep counting).
+const maxLatencySamples = 1 << 20
+
+func (s *CohortServer) record(r *stats.LatencyRecorder, v float64) {
+	if r.Count() < maxLatencySamples {
+		if v < 0 {
+			v = 0
+		}
+		r.Record(v)
+	}
+}
+
+// deviceCohort returns (allocating on first use) the device buffers for
+// context id serving type t, keyed by buffer class and rebound across
+// types — the same lazy-preallocation scheme as the offline pipeline.
+func (s *CohortServer) deviceCohort(id int, t banking.ReqType) *banking.DeviceCohort {
+	class := banking.SpecFor(t).BufferBytes()
+	dc, ok := s.dcs[id][class]
+	if !ok {
+		dc = banking.NewDeviceCohortClass(s.dev, class, s.opts.CohortSize)
+		s.dcs[id][class] = dc
+	}
+	dc.Bind(t)
+	return dc
+}
+
+// Stats snapshots the live counters. Safe to call at any time; while
+// the loop runs the snapshot is taken on the loop goroutine.
+func (s *CohortServer) Stats() CohortServerStats {
+	reply := make(chan CohortServerStats, 1)
+	select {
+	case s.doCh <- func() { reply <- s.snapshot() }:
+		select {
+		case st := <-reply:
+			return st
+		case <-s.doneCh:
+			return s.snapshot() // loop exited without running the closure
+		}
+	case <-s.doneCh:
+		return s.snapshot() // loop gone: its state is quiescent, safe to read
+	}
+}
+
+func (s *CohortServer) snapshot() CohortServerStats {
+	ps := s.pool.Stats()
+	st := CohortServerStats{
+		Mode:            "cohort",
+		Served:          s.served.Load(),
+		KernelErrors:    s.kernelErrors,
+		ParseErrors:     s.parseErrors.Load(),
+		NotFound:        s.notFound.Load(),
+		Images:          s.images.Load(),
+		RejectedQueue:   s.rejectedQueue.Load(),
+		RejectedPool:    s.rejectedPool,
+		DeadlineMisses:  s.deadlineMisses.Load(),
+		CohortsFormed:   ps.Formed,
+		CohortsFilled:   ps.Filled,
+		CohortsTimedOut: ps.TimedOut,
+		RequestsBatched: ps.Requests,
+		AdmissionStalls: ps.Stalls,
+		SumOccupancy:    ps.SumOccup,
+		MeanOccupancy:   ps.MeanOccupancy(),
+		MaxOccupancy:    s.maxOccup,
+		MaxContexts:     ps.MaxInUse,
+		FormWaitMsMean:  s.formWait.Mean() / 1e6,
+		FormWaitMsP99:   s.formWait.Percentile(99) / 1e6,
+		LaunchDevUsMean: s.launchLat.Mean() / 1e3,
+		LatencyMsP50:    s.reqLat.Percentile(50) / 1e6,
+		LatencyMsP99:    s.reqLat.Percentile(99) / 1e6,
+		Types:           make(map[string]CohortTypeStats, len(s.perType)),
+	}
+	for key, tc := range s.perType {
+		ts := CohortTypeStats{
+			Cohorts:      tc.cohorts,
+			Filled:       tc.filled,
+			TimedOut:     tc.timedOut,
+			Requests:     tc.requests,
+			MaxOccupancy: tc.maxOccup,
+			Stages:       append([]perStage(nil), tc.stages...),
+		}
+		if tc.cohorts > 0 {
+			ts.MeanOccupancy = float64(tc.sumOccup) / float64(tc.cohorts)
+		}
+		st.Types[key] = ts
+	}
+	return st
+}
+
+func (s *CohortServer) statsResponse() []byte {
+	return jsonResponse(s.Stats())
+}
+
+// jsonResponse renders v as a keep-alive application/json response.
+func jsonResponse(v any) []byte {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return errorResponse(500, "Internal Server Error")
+	}
+	body = append(body, '\n')
+	buf := make([]byte, len(body)+256)
+	w := httpx.NewResponseWriter(buf)
+	w.StartOK("application/json", "")
+	w.Write(body)
+	return w.Finish()
+}
+
+// busyResponse is the backpressure answer: 503 with a Retry-After hint.
+// Hand-built because ResponseWriter has no custom-header hook and the
+// standard error path closes the connection — load shedding should keep
+// it open so clients can retry on the same socket.
+func busyResponse(retryAfter time.Duration) []byte {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	body := "503 cohort pool saturated\n"
+	return []byte(fmt.Sprintf("HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: %d\r\nConnection: keep-alive\r\nContent-Length: %d\r\n\r\n%s",
+		secs, len(body), body))
+}

@@ -1,0 +1,424 @@
+package rhythm
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startCohortServer boots a CohortServer on an ephemeral port and
+// registers a drain on test cleanup.
+func startCohortServer(t *testing.T, opts CohortOptions) *CohortServer {
+	t.Helper()
+	srv := NewCohortServer(opts)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+func dialT(t *testing.T, addr net.Addr) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// readRawResponse reads one full HTTP response — status line, headers,
+// and Content-Length body — returning the exact bytes for differential
+// comparison.
+func readRawResponse(t *testing.T, r *bufio.Reader) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cl := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response: %v (got %q so far)", err, buf.String())
+		}
+		buf.WriteString(line)
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(trimmed), "content-length:"); ok {
+			fmt.Sscanf(strings.TrimSpace(v), "%d", &cl)
+		}
+	}
+	body := make([]byte, cl)
+	if _, err := io.ReadFull(r, body); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// TestCohortServerDifferentialAllTypes drives the same request sequence
+// through a host-path TCPServer and a cohort-mode CohortServer in lock
+// step and asserts every response — headers, cookies, and page bytes —
+// is identical. The sequence covers all 15 implemented request types
+// plus the expired-session error page.
+func TestCohortServerDifferentialAllTypes(t *testing.T) {
+	host := NewTCPServer(4096)
+	if err := host.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	go host.Serve()
+
+	dev := startCohortServer(t, CohortOptions{
+		CohortSize:       8,
+		MaxCohorts:       4,
+		FormationTimeout: 2 * time.Millisecond,
+		RequestDeadline:  30 * time.Second,
+		MaxSessions:      4096, // same session geometry as NewTCPServer(4096)
+	})
+
+	hostConn := dialT(t, host.Addr())
+	devConn := dialT(t, dev.Addr())
+	hostR := bufio.NewReader(hostConn)
+	devR := bufio.NewReader(devConn)
+
+	// exchange sends the same raw request to both servers (host first,
+	// serially, so any DB/session mutations happen in the same order)
+	// and asserts byte-identical responses.
+	exchange := func(label, raw string) []byte {
+		t.Helper()
+		if _, err := io.WriteString(hostConn, raw); err != nil {
+			t.Fatal(err)
+		}
+		want := readRawResponse(t, hostR)
+		if _, err := io.WriteString(devConn, raw); err != nil {
+			t.Fatal(err)
+		}
+		got := readRawResponse(t, devR)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s: cohort response differs from host\nhost %d bytes: %.300q\ncohort %d bytes: %.300q",
+				label, len(want), want, len(got), got)
+		}
+		return got
+	}
+
+	uid, pw := host.Seed(7777)
+	if _, dpw := dev.Seed(7777); dpw != pw {
+		t.Fatalf("password mismatch: host %q cohort %q", pw, dpw)
+	}
+
+	body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
+	login := exchange("login", fmt.Sprintf(
+		"POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body))
+
+	// Both servers issued the same session id (identical array geometry
+	// + creation order); reuse it for the session'd requests.
+	var cookie string
+	for _, line := range strings.Split(string(login), "\r\n") {
+		if v, ok := strings.CutPrefix(line, "Set-Cookie: "); ok {
+			cookie = v
+		}
+	}
+	if !strings.HasPrefix(cookie, "MY_ID=") {
+		t.Fatalf("no session cookie in login response")
+	}
+
+	get := func(uri string) string {
+		return fmt.Sprintf("GET %s HTTP/1.1\r\nHost: t\r\nCookie: %s\r\n\r\n", uri, cookie)
+	}
+	post := func(uri, body string) string {
+		return fmt.Sprintf("POST %s HTTP/1.1\r\nHost: t\r\nCookie: %s\r\nContent-Length: %d\r\n\r\n%s",
+			uri, cookie, len(body), body)
+	}
+
+	seq := []struct{ label, raw string }{
+		{"account_summary", get("/account_summary.php")},
+		{"add_payee", get("/add_payee.php")},
+		{"bill_pay", get("/bill_pay.php")},
+		{"bill_pay_status_output", get("/bill_pay_status_output.php")},
+		{"change_profile", get("/change_profile.php")},
+		{"check_detail_html", get("/check_detail_html.php?check_no=1234")},
+		{"order_check", get("/order_check.php")},
+		{"place_check_order", post("/place_check_order.php", "style=standard&quantity=100")},
+		{"post_payee", post("/post_payee.php", "name=Vendor0001&account=P-000001")},
+		{"post_transfer", post("/post_transfer.php", "from=0&to=1&amount=0.42")},
+		{"profile", get("/profile.php")},
+		{"transfer", get("/transfer.php")},
+		{"quick_pay", post("/quick_pay.php", "payee1=Vendor0001&amount1=2.00&payee2=Vendor0002&amount2=3.25")},
+		{"logout", get("/logout.php")},
+		{"expired session", get("/profile.php")}, // error page, still identical
+	}
+	for _, s := range seq {
+		exchange(s.label, s.raw)
+	}
+
+	st := dev.Stats()
+	// 16 banking requests, each its own single-request cohort (serial
+	// lock-step can never batch), all launched by the formation timeout.
+	if st.CohortsFormed != 16 || st.CohortsTimedOut != 16 {
+		t.Fatalf("cohorts formed=%d timed_out=%d, want 16/16", st.CohortsFormed, st.CohortsTimedOut)
+	}
+	if len(st.Types) != 15 {
+		t.Fatalf("stats cover %d types, want 15", len(st.Types))
+	}
+}
+
+// TestCohortServerBatchesConcurrent proves batching on the wire: N
+// concurrent account_summary requests from distinct connections land in
+// one cohort (occupancy > 1) and every response still matches the host
+// path byte for byte.
+func TestCohortServerBatchesConcurrent(t *testing.T) {
+	const users = 6
+	host := NewTCPServer(4096)
+	if err := host.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	go host.Serve()
+
+	dev := startCohortServer(t, CohortOptions{
+		CohortSize:       64,
+		MaxCohorts:       4,
+		FormationTimeout: 100 * time.Millisecond, // wide window: one cohort
+		RequestDeadline:  30 * time.Second,
+		MaxSessions:      4096,
+	})
+
+	// Serial logins on both servers keep session-id creation order
+	// identical.
+	type client struct {
+		conn   net.Conn
+		r      *bufio.Reader
+		cookie string
+	}
+	login := func(addr net.Addr, uid uint64, pw string) client {
+		c := client{conn: dialT(t, addr)}
+		c.r = bufio.NewReader(c.conn)
+		body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
+		fmt.Fprintf(c.conn, "POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+		resp := readRawResponse(t, c.r)
+		for _, line := range strings.Split(string(resp), "\r\n") {
+			if v, ok := strings.CutPrefix(line, "Set-Cookie: "); ok {
+				c.cookie = v
+			}
+		}
+		if c.cookie == "" {
+			t.Fatalf("login for uid %d returned no cookie", uid)
+		}
+		return c
+	}
+	var hostClients, devClients [users]client
+	for i := 0; i < users; i++ {
+		uid, pw := host.Seed(uint64(9001 + i))
+		dev.Seed(uid)
+		hostClients[i] = login(host.Addr(), uid, pw)
+		devClients[i] = login(dev.Addr(), uid, pw)
+		if hostClients[i].cookie != devClients[i].cookie {
+			t.Fatalf("session ids diverged for uid %d: %q vs %q", uid, hostClients[i].cookie, devClients[i].cookie)
+		}
+	}
+
+	// Expected pages from the host path (account_summary is read-only,
+	// so per-user content is order-independent).
+	var want [users][]byte
+	for i := range hostClients {
+		fmt.Fprintf(hostClients[i].conn, "GET /account_summary.php HTTP/1.1\r\nHost: t\r\nCookie: %s\r\n\r\n", hostClients[i].cookie)
+		want[i] = readRawResponse(t, hostClients[i].r)
+	}
+
+	// Concurrent burst at the cohort server: all requests inside one
+	// formation window.
+	var wg sync.WaitGroup
+	got := make([][]byte, users)
+	start := make(chan struct{})
+	for i := range devClients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			fmt.Fprintf(devClients[i].conn, "GET /account_summary.php HTTP/1.1\r\nHost: t\r\nCookie: %s\r\n\r\n", devClients[i].cookie)
+			got[i] = readRawResponse(t, devClients[i].r)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range got {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("user %d: batched cohort response differs from host path", i)
+		}
+	}
+	st := dev.Stats()
+	if st.MaxOccupancy < 2 {
+		t.Fatalf("max occupancy %d: concurrent burst did not batch", st.MaxOccupancy)
+	}
+}
+
+// TestCohortServerSingleRequestTimeout: the §3.1 formation timeout must
+// fire for a cohort holding exactly one request.
+func TestCohortServerSingleRequestTimeout(t *testing.T) {
+	srv := startCohortServer(t, CohortOptions{
+		CohortSize:       32,
+		FormationTimeout: 20 * time.Millisecond,
+		RequestDeadline:  30 * time.Second,
+	})
+	uid, pw := srv.Seed(1234)
+	conn := dialT(t, srv.Addr())
+	body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
+	startAt := time.Now()
+	fmt.Fprintf(conn, "POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	resp := readRawResponse(t, bufio.NewReader(conn))
+	if !bytes.Contains(resp, []byte("Login successful")) {
+		t.Fatalf("timeout-launched cohort produced a bad page: %.200q", resp)
+	}
+	if waited := time.Since(startAt); waited < 20*time.Millisecond {
+		t.Fatalf("response after %v, before the formation timeout", waited)
+	}
+	st := srv.Stats()
+	if st.CohortsFormed != 1 || st.CohortsTimedOut != 1 || st.CohortsFilled != 0 {
+		t.Fatalf("cohort stats formed=%d timeout=%d filled=%d, want 1/1/0",
+			st.CohortsFormed, st.CohortsTimedOut, st.CohortsFilled)
+	}
+	if st.MeanOccupancy != 1 {
+		t.Fatalf("mean occupancy %v, want 1", st.MeanOccupancy)
+	}
+}
+
+// TestCohortServerShutdownFlushesPartial: Shutdown while a cohort is
+// PartiallyFull (timeouts disabled, so it would otherwise wait forever)
+// must flush it and deliver the real response before closing.
+func TestCohortServerShutdownFlushesPartial(t *testing.T) {
+	srv := NewCohortServer(CohortOptions{
+		CohortSize:       32,
+		FormationTimeout: -1, // never: only drain can launch this cohort
+		RequestDeadline:  30 * time.Second,
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	uid, pw := srv.Seed(55)
+	conn := dialT(t, srv.Addr())
+	body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
+	fmt.Fprintf(conn, "POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+
+	// Let the request reach the pool, then drain.
+	time.Sleep(100 * time.Millisecond)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	resp := readRawResponse(t, bufio.NewReader(conn))
+	if !bytes.Contains(resp, []byte("Login successful")) {
+		t.Fatalf("drained cohort produced a bad page: %.200q", resp)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := srv.Stats(); st.CohortsFormed != 1 {
+		t.Fatalf("cohorts formed = %d, want 1 (the drain flush)", st.CohortsFormed)
+	}
+	// The listener is gone.
+	if _, err := net.Dial("tcp", srv.Addr().String()); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}
+
+// TestCohortServerRejectsWhenSaturated: with one context pinned by a
+// never-launching cohort and no overflow allowance, a request of a
+// different type must shed with 503 + Retry-After.
+func TestCohortServerRejectsWhenSaturated(t *testing.T) {
+	srv := startCohortServer(t, CohortOptions{
+		CohortSize:       4,
+		MaxCohorts:       1,
+		FormationTimeout: -1, // pin the only context as PartiallyFull
+		OverflowLimit:    -1, // no parking: reject immediately
+		RequestDeadline:  30 * time.Second,
+	})
+
+	conn1 := dialT(t, srv.Addr())
+	fmt.Fprintf(conn1, "GET /account_summary.php HTTP/1.1\r\nHost: t\r\nCookie: MY_ID=0-0-0\r\n\r\n")
+	time.Sleep(100 * time.Millisecond) // let it occupy the context
+
+	conn2 := dialT(t, srv.Addr())
+	fmt.Fprintf(conn2, "GET /profile.php HTTP/1.1\r\nHost: t\r\nCookie: MY_ID=0-0-0\r\n\r\n")
+	resp := string(readRawResponse(t, bufio.NewReader(conn2)))
+	if !strings.HasPrefix(resp, "HTTP/1.1 503 ") {
+		t.Fatalf("saturated pool answered %.100q, want 503", resp)
+	}
+	if !strings.Contains(resp, "Retry-After: ") {
+		t.Fatalf("503 without Retry-After: %.200q", resp)
+	}
+	st := srv.Stats()
+	if st.RejectedPool != 1 {
+		t.Fatalf("rejected_pool = %d, want 1", st.RejectedPool)
+	}
+	if st.AdmissionStalls == 0 {
+		t.Fatal("pool admission stall not counted")
+	}
+	// conn1's parked request is answered by the cleanup Shutdown's drain
+	// flush (delivery is asserted by TestCohortServerShutdownFlushesPartial).
+}
+
+// TestCohortServerRequestDeadline: a request stuck in formation past
+// RequestDeadline gets a 504 and the connection stays usable.
+func TestCohortServerRequestDeadline(t *testing.T) {
+	srv := startCohortServer(t, CohortOptions{
+		CohortSize:       32,
+		FormationTimeout: -1, // never launch: the deadline must fire
+		RequestDeadline:  60 * time.Millisecond,
+	})
+	conn := dialT(t, srv.Addr())
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "GET /transfer.php HTTP/1.1\r\nHost: t\r\nCookie: MY_ID=0-0-0\r\n\r\n")
+	resp := string(readRawResponse(t, r))
+	if !strings.HasPrefix(resp, "HTTP/1.1 504 ") {
+		t.Fatalf("deadline answered %.100q, want 504", resp)
+	}
+	if srv.Stats().DeadlineMisses != 1 {
+		t.Fatalf("deadline_misses = %d, want 1", srv.Stats().DeadlineMisses)
+	}
+}
+
+// TestCohortServerStatsEndpoint: /rhythm-stats serves JSON in both modes.
+func TestCohortServerStatsEndpoint(t *testing.T) {
+	srv := startCohortServer(t, CohortOptions{FormationTimeout: 5 * time.Millisecond})
+	conn := dialT(t, srv.Addr())
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "GET /rhythm-stats HTTP/1.1\r\nHost: t\r\n\r\n")
+	resp := string(readRawResponse(t, r))
+	if !strings.HasPrefix(resp, "HTTP/1.1 200 ") || !strings.Contains(resp, `"mode": "cohort"`) {
+		t.Fatalf("cohort stats endpoint: %.200q", resp)
+	}
+
+	host := NewTCPServer(256)
+	if err := host.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	go host.Serve()
+	hconn := dialT(t, host.Addr())
+	hr := bufio.NewReader(hconn)
+	fmt.Fprintf(hconn, "GET /rhythm-stats HTTP/1.1\r\nHost: t\r\n\r\n")
+	hresp := string(readRawResponse(t, hr))
+	if !strings.HasPrefix(hresp, "HTTP/1.1 200 ") || !strings.Contains(hresp, `"mode": "host"`) {
+		t.Fatalf("host stats endpoint: %.200q", hresp)
+	}
+}

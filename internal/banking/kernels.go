@@ -199,6 +199,19 @@ func (dc *DeviceCohort) Reset(count int) {
 	}
 }
 
+// ResponseRow returns a copy of request r's rendered response from the
+// row-major response buffer. Responses have the fixed geometry of
+// Spec.BufferBytes(), so no length bookkeeping is needed; the copy is
+// safe to hand to another goroutine. Valid after the response transpose
+// (or directly after the final stage in row-major mode).
+func (dc *DeviceCohort) ResponseRow(m *mem.Memory, r int) []byte {
+	if r < 0 || r >= dc.Count {
+		panic(fmt.Sprintf("banking: response row %d out of range (count %d)", r, dc.Count))
+	}
+	buf := dc.Spec.BufferBytes()
+	return m.Read(dc.RespRow+mem.Addr(r*buf), buf)
+}
+
 // columnBase returns the base address of request r's column in a
 // word-interleaved buffer starting at buf.
 func columnBase(buf mem.Addr, r int) mem.Addr { return buf + mem.Addr(wordSize*r) }

@@ -155,6 +155,16 @@ func (p *Pool[T]) Stats() Stats { return p.stats }
 // FreeContexts reports how many contexts are Free.
 func (p *Pool[T]) FreeContexts() int { return len(p.free) }
 
+// Forming reports whether a cohort is currently forming
+// (PartiallyFull) for key. Callers that manage formation deadlines
+// outside the simulation engine (the live TCP path runs on wall clock)
+// use this to decide whether an Add opened a new cohort that needs a
+// timer.
+func (p *Pool[T]) Forming(key string) bool {
+	_, ok := p.open[key]
+	return ok
+}
+
 // Add routes one request into the forming cohort for key, opening a new
 // context if needed. It reports false — a structural hazard; the caller
 // must stall or shed — when no context is available.

@@ -202,9 +202,10 @@ func (d *Device) AllocConst(data []byte) mem.Addr {
 // stream serialize; operations in different streams may overlap, subject
 // to the hardware queue mapping and the compute engine.
 type Stream struct {
-	dev  *Device
-	q    *hwQueue
-	tail *gate
+	dev     *Device
+	q       *hwQueue
+	tail    *gate
+	pending int
 }
 
 // NewStream creates a stream, mapping it round-robin onto a hardware
@@ -215,10 +216,17 @@ func (d *Device) NewStream() *Stream {
 	return &Stream{dev: d, q: q, tail: firedGate()}
 }
 
+// Pending reports how many enqueued operations have not yet completed.
+// A drain sequence can poll it (stepping the engine in between) to know
+// when the stream has gone quiet.
+func (s *Stream) Pending() int { return s.pending }
+
 // enqueue chains op behind the stream tail and the hardware queue tail.
 // op must invoke its argument exactly once when the operation completes.
 func (s *Stream) enqueue(op func(complete func())) {
 	done := newGate()
+	s.pending++
+	done.wait(func() { s.pending-- })
 	sPrev, qPrev := s.tail, s.q.tail
 	s.tail = done
 	s.q.tail = done

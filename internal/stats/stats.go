@@ -80,6 +80,15 @@ func (r *LatencyRecorder) Record(ns float64) {
 	r.sorted = false
 }
 
+// Merge folds every sample of o into r (o is left untouched), so
+// per-worker recorders can be combined without sharing one recorder
+// across goroutines.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	r.samples = append(r.samples, o.samples...)
+	r.sum += o.sum
+	r.sorted = len(o.samples) == 0 && r.sorted
+}
+
 // Count reports the number of samples.
 func (r *LatencyRecorder) Count() int { return len(r.samples) }
 

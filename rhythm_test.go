@@ -236,6 +236,72 @@ func readFull(r *bufio.Reader, p []byte) (int, error) {
 	return n, nil
 }
 
+// TestTCPServerConcurrentKeepAlive holds two keep-alive connections open
+// and interleaves requests on both while a third connection stalls
+// mid-request — the lock-scope fix means a slow client must not
+// serialize (or block) the others.
+func TestTCPServerConcurrentKeepAlive(t *testing.T) {
+	srv := NewTCPServer(1024)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve()
+
+	// A stalled connection: half a request line, then silence.
+	staller, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer staller.Close()
+	fmt.Fprintf(staller, "GET /account_su")
+
+	const perConn = 25
+	run := func(uid uint64) error {
+		_, pw := srv.Seed(uid)
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
+		fmt.Fprintf(conn, "POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+		_, hdrs, page := readTestResponse(t, r)
+		if !strings.Contains(page, "Login successful") {
+			return fmt.Errorf("uid %d: login failed", uid)
+		}
+		cookie := hdrs["Set-Cookie"]
+		for i := 0; i < perConn; i++ {
+			fmt.Fprintf(conn, "GET /account_summary.php HTTP/1.1\r\nHost: t\r\nCookie: %s\r\n\r\n", cookie)
+			status, _, page := readTestResponse(t, r)
+			if status != 200 || !strings.Contains(page, "Account Summary") {
+				return fmt.Errorf("uid %d request %d: status %d", uid, i, status)
+			}
+		}
+		return nil
+	}
+
+	errs := make(chan error, 2)
+	for _, uid := range []uint64{8801, 8802} {
+		go func(uid uint64) { errs <- run(uid) }(uid)
+	}
+	deadline := time.After(15 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("concurrent keep-alive connections did not make progress")
+		}
+	}
+	if got := srv.Served(); got < 2*(perConn+1) {
+		t.Fatalf("Served = %d, want >= %d", got, 2*(perConn+1))
+	}
+}
+
 func TestTCPServerServesImages(t *testing.T) {
 	srv := NewTCPServer(256)
 	if err := srv.Listen("127.0.0.1:0"); err != nil {

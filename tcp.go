@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhythm/internal/backend"
@@ -22,12 +23,16 @@ import (
 // kernels run, so responses are identical. It exists for end-to-end
 // demos (cmd/rhythmd, examples); performance evaluation uses Server.
 type TCPServer struct {
+	// mu guards the banking state (db + sessions are single-writer by
+	// design) and the listener. It is held only across Execute — never
+	// across connection I/O — so a slow client can't serialize the
+	// server (request parsing and page rendering run lock-free).
 	mu       sync.Mutex
 	db       *backend.DB
 	sessions *session.Array
 	ln       net.Listener
-	served   uint64
-	errors   uint64
+	served   atomic.Uint64
+	errors   atomic.Uint64
 }
 
 // NewTCPServer builds a TCP banking server with capacity for
@@ -62,11 +67,11 @@ func (s *TCPServer) Addr() net.Addr {
 }
 
 // Served reports how many requests have been answered.
-func (s *TCPServer) Served() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.served
-}
+func (s *TCPServer) Served() uint64 { return s.served.Load() }
+
+// Errors reports how many answered requests failed (parse errors,
+// unknown paths, failed service executions).
+func (s *TCPServer) Errors() uint64 { return s.errors.Load() }
 
 // Listen binds the listener without serving (so callers can learn the
 // port before Serve blocks).
@@ -137,30 +142,45 @@ func (s *TCPServer) handle(conn net.Conn) {
 	}
 }
 
-// respond executes one request under the server lock (the banking state
-// is single-writer by design; see internal/session).
+// respond answers one request. Only the service execution itself takes
+// the server lock; parsing happens before it and rendering after (the
+// ctx is private to this goroutine once Execute returns).
 func (s *TCPServer) respond(raw []byte) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.served++
+	s.served.Add(1)
 	req, err := httpx.Parse(raw)
 	if err != nil {
-		s.errors++
+		s.errors.Add(1)
 		return errorResponse(400, "Bad Request")
+	}
+	if req.Path == StatsPath {
+		return jsonResponse(hostStats{
+			Mode:   "host",
+			Served: s.served.Load(),
+			Errors: s.errors.Load(),
+		})
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
 		if resp, ok := banking.ImageResponse(req.Path); ok {
 			return resp
 		}
-		s.errors++
+		s.errors.Add(1)
 		return errorResponse(404, "Not Found")
 	}
+	s.mu.Lock()
 	ctx := banking.Execute(banking.ServiceFor(t), &req, s.sessions, s.db, true)
+	s.mu.Unlock()
 	if ctx.Err != "" {
-		s.errors++
+		s.errors.Add(1)
 	}
 	return banking.RenderAlloc(ctx)
+}
+
+// hostStats is the /rhythm-stats document of a host-mode server.
+type hostStats struct {
+	Mode   string `json:"mode"`
+	Served uint64 `json:"served"`
+	Errors uint64 `json:"errors"`
 }
 
 func errorResponse(code int, reason string) []byte {
