@@ -78,4 +78,57 @@ echo "$STATS" | grep -q '"cohorts_formed": 0' && {
     exit 1
 }
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host and cohort modes)"
+# check_metrics <name> <addr> <family...>: scrape /metrics, assert it is
+# parseable Prometheus text format and every listed family is declared.
+check_metrics() {
+    local name=$1 addr=$2; shift 2
+    local doc="$WORK/$name.metrics"
+    curl -sf -o "$doc" "http://$addr/metrics" || {
+        echo "e2e-smoke: $name /metrics scrape failed" >&2
+        exit 1
+    }
+    for fam in "$@"; do
+        grep -q "^# TYPE $fam " "$doc" || {
+            echo "e2e-smoke: $name /metrics missing family $fam" >&2
+            cat "$doc" >&2
+            exit 1
+        }
+    done
+    # Every sample line must be exactly `name{labels} value`.
+    if awk '!/^#/ && NF != 2 { print; bad=1 } END { exit bad }' "$doc" >"$WORK/$name.badlines"; then
+        :
+    else
+        echo "e2e-smoke: $name /metrics has unparseable sample lines:" >&2
+        cat "$WORK/$name.badlines" >&2
+        exit 1
+    fi
+}
+check_metrics host "$HOST_ADDR" \
+    rhythm_build_info rhythm_requests_served_total rhythm_requests_total \
+    rhythm_request_latency_seconds
+check_metrics cohort "$COHORT_ADDR" \
+    rhythm_build_info rhythm_requests_served_total rhythm_requests_total \
+    rhythm_request_latency_seconds rhythm_cohorts_total \
+    rhythm_formation_wait_seconds rhythm_cohort_occupancy \
+    rhythm_device_launches_total rhythm_device_divergent_execs_total \
+    rhythm_device_mem_transactions_total
+grep -q 'rhythm_request_latency_seconds_bucket{type="login",le="' "$WORK/cohort.metrics" || {
+    echo "e2e-smoke: cohort /metrics missing per-type latency buckets" >&2
+    exit 1
+}
+
+# The trace endpoint must return a Chrome trace-event document with both
+# request-lifecycle spans and device kernel launches.
+curl -sf -o "$WORK/cohort.trace" "http://$COHORT_ADDR/rhythm-trace" || {
+    echo "e2e-smoke: /rhythm-trace scrape failed" >&2
+    exit 1
+}
+for needle in '"traceEvents"' '"formation-wait"' '"launch_seq"'; do
+    grep -q "$needle" "$WORK/cohort.trace" || {
+        echo "e2e-smoke: trace document missing $needle" >&2
+        head -50 "$WORK/cohort.trace" >&2
+        exit 1
+    }
+done
+
+echo "e2e-smoke: PASS (4 pages byte-identical across host and cohort modes; /metrics + /rhythm-trace healthy in both)"

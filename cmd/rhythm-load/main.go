@@ -40,6 +40,7 @@ func main() {
 		first    = flag.Uint64("first-user", 1001, "first user id")
 		paths    = flag.String("paths", "/account_summary.php,/profile.php,/transfer.php",
 			"comma-separated request paths to cycle through")
+		hist = flag.Bool("hist", false, "print the client-side latency histogram (cumulative buckets)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,9 @@ func main() {
 	fmt.Printf("  throughput: %.1f req/s\n", float64(ok)/elapsed)
 	fmt.Printf("  latency:    p50 %v  p99 %v  max %v\n",
 		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)), time.Duration(lat.Max()))
+	if *hist {
+		printHistogram(lat)
+	}
 
 	after, afterOK := fetchStats(*addr)
 	if !beforeOK || !afterOK {
@@ -117,6 +121,37 @@ func main() {
 		float64(batched)/float64(formed), after.MaxOccupancy, 100*float64(timedOut)/float64(formed))
 	fmt.Printf("  formation:  %.2fms mean wait, %.2fms p99; launch %.0fus mean device time\n",
 		after.FormWaitMsMean, after.FormWaitMsP99, after.LaunchDevUsMean)
+}
+
+// printHistogram renders the merged latency samples over the same
+// fixed buckets the server's /metrics histograms use (0.25ms doubling),
+// cumulative counts plus a per-bucket bar.
+func printHistogram(lat *stats.LatencyRecorder) {
+	bounds := stats.LatencyBucketsNs()
+	cum := lat.Buckets(bounds)
+	total := cum[len(cum)-1]
+	if total == 0 {
+		fmt.Println("  histogram:  no samples")
+		return
+	}
+	fmt.Println("  histogram (cumulative):")
+	prev := uint64(0)
+	for i, c := range cum {
+		label := "+Inf"
+		if i < len(bounds) {
+			label = time.Duration(bounds[i]).String()
+		}
+		inBucket := c - prev
+		prev = c
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(40*inBucket/total))
+		fmt.Printf("    le %-8s %8d (%5.1f%%) %s\n", label, c, 100*float64(c)/float64(total), bar)
+		if c == total && i < len(bounds) {
+			break
+		}
+	}
 }
 
 // drive runs one closed-loop connection: login, then cycle targets

@@ -12,7 +12,13 @@
 //
 //	rhythmd [-addr :8080] [-seed-users 8] [-cohort]
 //	        [-cohort-size 128] [-contexts 4] [-formation-timeout 2ms]
-//	        [-deadline 5s]
+//	        [-deadline 5s] [-profile-off] [-pprof 127.0.0.1:6060]
+//
+// Observability (both modes): Prometheus counters and histograms at
+// /metrics, request-lifecycle traces (Chrome trace-event JSON, loadable
+// in Perfetto) at /rhythm-trace?secs=N, raw JSON counters at
+// /rhythm-stats. -pprof starts a net/http/pprof side listener for Go
+// runtime profiles of the serving process itself.
 //
 // It prints demo credentials at startup; log in with
 // POST /login.php (userid, passwd) and browse. SIGINT/SIGTERM drains
@@ -24,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,15 +42,28 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		seedUsers = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
-		cohortOn  = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
-		size      = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
-		contexts  = flag.Int("contexts", 4, "cohort contexts in flight (cohort mode)")
-		formation = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
-		deadline  = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seedUsers  = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
+		cohortOn   = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
+		size       = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
+		contexts   = flag.Int("contexts", 4, "cohort contexts in flight (cohort mode)")
+		formation  = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
+		deadline   = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
+		profileOff = flag.Bool("profile-off", false, "disable the kernel-launch profiler (cohort mode)")
+		pprofAddr  = flag.String("pprof", "", "start a net/http/pprof listener on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Side listener only: the banking port keeps its hand-rolled
+		// HTTP path, pprof gets the stdlib mux it needs.
+		go func() {
+			log.Printf("rhythmd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("rhythmd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	if *cohortOn {
 		runCohort(*addr, *seedUsers, rhythm.CohortOptions{
@@ -50,6 +71,7 @@ func main() {
 			MaxCohorts:       *contexts,
 			FormationTimeout: *formation,
 			RequestDeadline:  *deadline,
+			ProfileOff:       *profileOff,
 		})
 		return
 	}
@@ -111,6 +133,8 @@ func printCreds(addr string, seedUsers int, seed func(uint64) (uint64, string)) 
 	fmt.Printf("  curl -si -c /tmp/jar -d 'userid=%d&passwd=%s' http://%s/login.php | head -5\n", uid, pw, addr)
 	fmt.Printf("  curl -si -b /tmp/jar http://%s/account_summary.php | head -20\n", addr)
 	fmt.Printf("  curl -s http://%s/rhythm-stats\n", addr)
+	fmt.Printf("  curl -s http://%s/metrics\n", addr)
+	fmt.Printf("  curl -s 'http://%s/rhythm-trace?secs=5' > trace.json   # load in Perfetto\n", addr)
 }
 
 func waitForSignal() {

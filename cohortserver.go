@@ -15,6 +15,7 @@ import (
 	"rhythm/internal/banking"
 	"rhythm/internal/cohort"
 	"rhythm/internal/httpx"
+	"rhythm/internal/obs"
 	"rhythm/internal/session"
 	"rhythm/internal/sim"
 	"rhythm/internal/simt"
@@ -60,6 +61,15 @@ type CohortOptions struct {
 	// HostParallelism caps the host workers executing kernel warps
 	// (0 = all cores; see DESIGN.md §8).
 	HostParallelism int
+	// ProfileOff disables the device's kernel-launch profiler
+	// (simt.Config.ProfileOff). On by default: recording is
+	// zero-allocation and costs <2% (BenchmarkProfilerOverhead).
+	ProfileOff bool
+	// ProfileRing sizes the launch-record ring (0 = simt default, 4096).
+	ProfileRing int
+	// TraceCapacity bounds the request-trace recorder behind
+	// /rhythm-trace (0 = obs default, 1024).
+	TraceCapacity int
 }
 
 func (o *CohortOptions) fill() {
@@ -93,11 +103,22 @@ func (o *CohortOptions) fill() {
 
 // liveReq is one in-flight request: the parsed form handed to the device
 // loop plus the channel its rendered response comes back on.
+//
+// spans is shared between the handler and the device loop without a
+// lock; the resp channel is the fence. The handler appends before
+// admission, the loop appends between consuming the request and sending
+// on resp, and the handler only touches spans again after receiving from
+// resp (channel happens-before). On the paths where the handler answers
+// without a loop response (504 deadline, loop exit) it must NOT read
+// spans — the loop may still be appending — so those responses go
+// untraced.
 type liveReq struct {
-	req  httpx.Request
-	t    banking.ReqType
-	enq  time.Time
-	resp chan []byte // buffered(1): the loop never blocks delivering
+	req      httpx.Request
+	t        banking.ReqType
+	enq      time.Time
+	admitted time.Time // loop pickup (set by admit)
+	spans    []obs.Span
+	resp     chan []byte // buffered(1): the loop never blocks delivering
 }
 
 // flushMsg asks the loop to launch the forming cohort for a key; gen
@@ -165,6 +186,13 @@ type CohortServerStats struct {
 	LatencyMsP50    float64 `json:"latency_ms_p50"`
 	LatencyMsP99    float64 `json:"latency_ms_p99"`
 
+	// Device is the SIMT device's cumulative counter set, snapshotted on
+	// the loop goroutine alongside the server counters.
+	Device simt.DeviceStats `json:"device"`
+	// ProfiledLaunches is how many launches the kernel profiler has
+	// recorded (0 when profiling is off).
+	ProfiledLaunches uint64 `json:"profiled_launches"`
+
 	Types map[string]CohortTypeStats `json:"types"`
 }
 
@@ -223,6 +251,13 @@ type CohortServer struct {
 	rejectedQueue  atomic.Uint64
 	deadlineMisses atomic.Uint64
 
+	// Observability surfaces, safe from any goroutine: the request-trace
+	// ring behind /rhythm-trace and the atomic histograms behind /metrics.
+	tracer    *obs.Recorder
+	latHist   []*stats.Histogram // per banking.ReqType, nanoseconds
+	formHist  *stats.Histogram   // formation wait, nanoseconds
+	occupHist *stats.Histogram   // cohort occupancy at launch
+
 	// Loop-owned state (no locking: single goroutine until doneCh).
 	draining     bool
 	inflight     int
@@ -245,6 +280,8 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	eng := sim.NewEngine()
 	cfg := simt.GTXTitan()
 	cfg.HostParallelism = opts.HostParallelism
+	cfg.ProfileOff = opts.ProfileOff
+	cfg.ProfileRing = opts.ProfileRing
 	// One cohort of every buffer class per context, plus slack for the
 	// constant chrome.
 	memBytes := int(int64(opts.MaxCohorts)*banking.AllClassesDeviceBytes(opts.CohortSize)) + 64<<20
@@ -266,6 +303,10 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		formWait:  stats.NewLatencyRecorder(),
 		launchLat: stats.NewLatencyRecorder(),
 		reqLat:    stats.NewLatencyRecorder(),
+		tracer:    obs.NewRecorder(opts.TraceCapacity),
+		latHist:   newLatencyHistograms(int(banking.NumTypes)),
+		formHist:  stats.NewHistogram(stats.LatencyBucketsNs()),
+		occupHist: stats.NewHistogram(stats.PowersOfTwoBuckets(opts.CohortSize)),
 	}
 	// Pool timeout 0: formation deadlines run on wall-clock timers (the
 	// engine only advances while kernels are in flight, so an engine
@@ -430,10 +471,17 @@ func (s *CohortServer) handle(conn net.Conn) {
 			return
 		}
 		lc.busy.Store(true)
-		resp := s.respond(raw)
+		resp, lr := s.respond(raw)
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		wstart := time.Now()
 		_, werr := conn.Write(resp)
 		lc.busy.Store(false)
+		if lr != nil {
+			// Response came through lr.resp, so the loop is done with the
+			// span slice (channel happens-before); finish and commit it.
+			lr.spans = append(lr.spans, obs.Span{Name: "write", Start: wstart, Dur: time.Since(wstart)})
+			s.tracer.Add(obs.RequestTrace{Type: lr.t.String(), Spans: lr.spans})
+		}
 		if werr != nil || s.closing.Load() {
 			return
 		}
@@ -441,56 +489,65 @@ func (s *CohortServer) handle(conn net.Conn) {
 }
 
 // respond parses and classifies one request on the host, then either
-// answers it directly (stats, images, errors) or admits it to the
-// device loop and waits for the cohort path's response.
-func (s *CohortServer) respond(raw []byte) []byte {
+// answers it directly (stats, metrics, traces, images, errors) or admits
+// it to the device loop and waits for the cohort path's response. The
+// returned liveReq is non-nil only when the response was delivered over
+// lr.resp — the caller may then read lr.spans to finish the trace.
+func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 	s.served.Add(1)
+	start := time.Now()
 	req, err := httpx.Parse(raw)
 	if err != nil {
 		s.parseErrors.Add(1)
-		return errorResponse(400, "Bad Request")
+		return errorResponse(400, "Bad Request"), nil
 	}
-	if req.Path == StatsPath {
-		return s.statsResponse()
+	switch req.Path {
+	case StatsPath:
+		return s.statsResponse(), nil
+	case MetricsPath:
+		return s.metricsResponse(), nil
+	case TracePath:
+		return s.traceResponse(&req), nil
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
 		if resp, ok := banking.ImageResponse(req.Path); ok {
 			s.images.Add(1)
-			return resp
+			return resp, nil
 		}
 		s.notFound.Add(1)
-		return errorResponse(404, "Not Found")
+		return errorResponse(404, "Not Found"), nil
 	}
 	if s.closing.Load() {
 		s.rejectedQueue.Add(1)
-		return busyResponse(s.opts.RetryAfter)
+		return busyResponse(s.opts.RetryAfter), nil
 	}
 	lr := &liveReq{req: req, t: t, enq: time.Now(), resp: make(chan []byte, 1)}
+	lr.spans = append(lr.spans, obs.Span{Name: "classify", Start: start, Dur: lr.enq.Sub(start)})
 	select {
 	case s.admitCh <- lr:
 	default:
 		s.rejectedQueue.Add(1)
-		return busyResponse(s.opts.RetryAfter)
+		return busyResponse(s.opts.RetryAfter), nil
 	}
 	deadline := time.NewTimer(s.opts.RequestDeadline)
 	defer deadline.Stop()
 	select {
 	case resp := <-lr.resp:
-		return resp
+		return resp, lr
 	case <-deadline.C:
 		s.deadlineMisses.Add(1)
-		return errorResponse(504, "Gateway Timeout")
+		return errorResponse(504, "Gateway Timeout"), nil
 	case <-s.doneCh:
 		// The loop exited while we waited. Either our response raced the
 		// exit (delivered, then doneCh closed — the buffered channel
 		// still holds it) or the request was never consumed.
 		select {
 		case resp := <-lr.resp:
-			return resp
+			return resp, lr
 		default:
 			s.rejectedQueue.Add(1)
-			return busyResponse(s.opts.RetryAfter)
+			return busyResponse(s.opts.RetryAfter), nil
 		}
 	}
 }
@@ -558,6 +615,8 @@ func (s *CohortServer) beginDrain() {
 // admit routes one request into the pool, parking it in the bounded
 // overflow when every context is Busy and shedding with 503 past that.
 func (s *CohortServer) admit(lr *liveReq) {
+	lr.admitted = time.Now()
+	lr.spans = append(lr.spans, obs.Span{Name: "admit-queue", Start: lr.enq, Dur: lr.admitted.Sub(lr.enq)})
 	if s.place(lr) {
 		return
 	}
@@ -659,8 +718,12 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 	now := time.Now()
 	for i, lr := range reqs {
 		dc.Reqs[i] = lr.req
-		s.record(s.formWait, float64(now.Sub(lr.enq)))
+		wait := float64(now.Sub(lr.enq))
+		s.record(s.formWait, wait)
+		s.formHist.Observe(wait)
+		lr.spans = append(lr.spans, obs.Span{Name: "formation-wait", Start: lr.admitted, Dur: now.Sub(lr.admitted)})
 	}
+	s.occupHist.Observe(float64(count))
 	tc := s.typeStats(t)
 	tc.cohorts++
 	tc.requests += uint64(count)
@@ -689,9 +752,21 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 			ColMajor: true,
 			Besim:    s.db, // device backend: Besim chains inside the kernel
 		}
+		wallStart := time.Now()
 		stream.Launch(banking.NewStageProgram(args), count, nil, func(st simt.LaunchStats) {
 			tc.stages[k].Launches++
 			tc.stages[k].DeviceUs += float64(st.Duration) / 1e3
+			// One span per request, sharing the launch-record linkage args
+			// (the map is read-only once built).
+			span := obs.Span{
+				Name:  fmt.Sprintf("stage-%d", k),
+				Start: wallStart,
+				Dur:   time.Since(wallStart),
+				Args:  stageArgs(st),
+			}
+			for _, lr := range reqs {
+				lr.spans = append(lr.spans, span)
+			}
 			if k < svc.Spec.Backends {
 				nextStage(k + 1)
 				return
@@ -715,8 +790,14 @@ func (s *CohortServer) writeback(c *cohort.Context[*liveReq], dc *banking.Device
 			if ctx := dc.Ctxs[i]; ctx != nil && ctx.Err != "" {
 				s.kernelErrors++
 			}
-			reqs[i].resp <- dc.ResponseRow(s.dev.Mem, i)
-			s.record(s.reqLat, float64(now.Sub(reqs[i].enq)))
+			lr := reqs[i]
+			rstart := time.Now()
+			body := dc.ResponseRow(s.dev.Mem, i)
+			lr.spans = append(lr.spans, obs.Span{Name: "render", Start: rstart, Dur: time.Since(rstart)})
+			lr.resp <- body
+			lat := float64(now.Sub(lr.enq))
+			s.record(s.reqLat, lat)
+			s.latHist[lr.t].Observe(lat)
 		}
 		s.record(s.launchLat, float64(s.eng.Now()-launchStart))
 		s.pool.Release(c)
@@ -773,30 +854,32 @@ func (s *CohortServer) Stats() CohortServerStats {
 func (s *CohortServer) snapshot() CohortServerStats {
 	ps := s.pool.Stats()
 	st := CohortServerStats{
-		Mode:            "cohort",
-		Served:          s.served.Load(),
-		KernelErrors:    s.kernelErrors,
-		ParseErrors:     s.parseErrors.Load(),
-		NotFound:        s.notFound.Load(),
-		Images:          s.images.Load(),
-		RejectedQueue:   s.rejectedQueue.Load(),
-		RejectedPool:    s.rejectedPool,
-		DeadlineMisses:  s.deadlineMisses.Load(),
-		CohortsFormed:   ps.Formed,
-		CohortsFilled:   ps.Filled,
-		CohortsTimedOut: ps.TimedOut,
-		RequestsBatched: ps.Requests,
-		AdmissionStalls: ps.Stalls,
-		SumOccupancy:    ps.SumOccup,
-		MeanOccupancy:   ps.MeanOccupancy(),
-		MaxOccupancy:    s.maxOccup,
-		MaxContexts:     ps.MaxInUse,
-		FormWaitMsMean:  s.formWait.Mean() / 1e6,
-		FormWaitMsP99:   s.formWait.Percentile(99) / 1e6,
-		LaunchDevUsMean: s.launchLat.Mean() / 1e3,
-		LatencyMsP50:    s.reqLat.Percentile(50) / 1e6,
-		LatencyMsP99:    s.reqLat.Percentile(99) / 1e6,
-		Types:           make(map[string]CohortTypeStats, len(s.perType)),
+		Mode:             "cohort",
+		Served:           s.served.Load(),
+		KernelErrors:     s.kernelErrors,
+		ParseErrors:      s.parseErrors.Load(),
+		NotFound:         s.notFound.Load(),
+		Images:           s.images.Load(),
+		RejectedQueue:    s.rejectedQueue.Load(),
+		RejectedPool:     s.rejectedPool,
+		DeadlineMisses:   s.deadlineMisses.Load(),
+		CohortsFormed:    ps.Formed,
+		CohortsFilled:    ps.Filled,
+		CohortsTimedOut:  ps.TimedOut,
+		RequestsBatched:  ps.Requests,
+		AdmissionStalls:  ps.Stalls,
+		SumOccupancy:     ps.SumOccup,
+		MeanOccupancy:    ps.MeanOccupancy(),
+		MaxOccupancy:     s.maxOccup,
+		MaxContexts:      ps.MaxInUse,
+		FormWaitMsMean:   s.formWait.Mean() / 1e6,
+		FormWaitMsP99:    s.formWait.Percentile(99) / 1e6,
+		LaunchDevUsMean:  s.launchLat.Mean() / 1e3,
+		LatencyMsP50:     s.reqLat.Percentile(50) / 1e6,
+		LatencyMsP99:     s.reqLat.Percentile(99) / 1e6,
+		Device:           s.dev.Stats(),
+		ProfiledLaunches: s.dev.ProfiledLaunches(),
+		Types:            make(map[string]CohortTypeStats, len(s.perType)),
 	}
 	for key, tc := range s.perType {
 		ts := CohortTypeStats{
@@ -817,6 +900,68 @@ func (s *CohortServer) snapshot() CohortServerStats {
 
 func (s *CohortServer) statsResponse() []byte {
 	return jsonResponse(s.Stats())
+}
+
+// metricsResponse renders the Prometheus /metrics document. Loop-owned
+// counters come through the Stats() snapshot (taken on the loop
+// goroutine); histograms and the launch profile are atomic/locked and
+// read directly.
+func (s *CohortServer) metricsResponse() []byte {
+	st := s.Stats()
+	w := obs.NewPromWriter()
+	w.Family("rhythm_build_info", "gauge", "Serving mode of this rhythmd process.")
+	w.Value("rhythm_build_info", obs.Label("mode", "cohort"), 1)
+	w.Family("rhythm_requests_served_total", "counter", "Responses produced, including errors and sheds.")
+	w.Value("rhythm_requests_served_total", "", float64(st.Served))
+	names := sortedTypeKeys(st.Types)
+	w.Family("rhythm_requests_total", "counter", "Requests executed through the cohort pipeline, by type.")
+	for _, name := range names {
+		w.Value("rhythm_requests_total", obs.Label("type", name), float64(st.Types[name].Requests))
+	}
+	w.Family("rhythm_cohorts_total", "counter", "Cohorts launched, by type and formation result.")
+	for _, name := range names {
+		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="filled"`, float64(st.Types[name].Filled))
+		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="timeout"`, float64(st.Types[name].TimedOut))
+	}
+	w.Family("rhythm_requests_batched_total", "counter", "Requests that rode a cohort launch.")
+	w.Value("rhythm_requests_batched_total", "", float64(st.RequestsBatched))
+	w.Family("rhythm_http_errors_total", "counter", "Error responses by status code (503 = shed, 504 = deadline miss).")
+	w.Value("rhythm_http_errors_total", obs.Label("code", "400"), float64(st.ParseErrors))
+	w.Value("rhythm_http_errors_total", obs.Label("code", "404"), float64(st.NotFound))
+	w.Value("rhythm_http_errors_total", obs.Label("code", "503"), float64(st.RejectedQueue+st.RejectedPool))
+	w.Value("rhythm_http_errors_total", obs.Label("code", "504"), float64(st.DeadlineMisses))
+	w.Family("rhythm_images_total", "counter", "Static image responses.")
+	w.Value("rhythm_images_total", "", float64(st.Images))
+	w.Family("rhythm_kernel_errors_total", "counter", "Requests whose kernel execution reported an error.")
+	w.Value("rhythm_kernel_errors_total", "", float64(st.KernelErrors))
+	writeLatencyFamilies(w, typeNames(), s.latHist)
+	w.Family("rhythm_formation_wait_seconds", "histogram", "Admission-to-launch wait (the Fig. 4 formation delay).")
+	w.Histogram("rhythm_formation_wait_seconds", "", s.formHist.Snapshot(), 1e-9)
+	w.Family("rhythm_cohort_occupancy", "histogram", "Requests per launched cohort.")
+	w.Histogram("rhythm_cohort_occupancy", "", s.occupHist.Snapshot(), 1)
+	writeDeviceFamilies(w, st.Device, st.ProfiledLaunches)
+	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
+	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
+	return bodyResponse(promContentType, w.Bytes())
+}
+
+// traceResponse renders the Chrome trace-event document for
+// /rhythm-trace, optionally blocking for a ?secs=N capture window.
+func (s *CohortServer) traceResponse(req *httpx.Request) []byte {
+	secs, ok := captureSecs(req)
+	if !ok {
+		return errorResponse(400, "Bad Request")
+	}
+	var since time.Time
+	var floor uint64
+	wait := secs > 0
+	if wait {
+		since = time.Now()
+		floor = s.dev.ProfiledLaunches()
+		time.Sleep(time.Duration(secs) * time.Second)
+	}
+	body := traceDocument(s.tracer, since, wait, s.dev.Profile(), floor)
+	return bodyResponse("application/json", body)
 }
 
 // jsonResponse renders v as a keep-alive application/json response.

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+
+	"rhythm/internal/stats"
+)
+
+// PromWriter accumulates a Prometheus text-format (version 0.0.4)
+// exposition document: the format every Prometheus-compatible scraper
+// ingests. It is a plain string builder — the caller declares a family
+// once and then emits its samples.
+type PromWriter struct {
+	b strings.Builder
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter { return &PromWriter{} }
+
+// Family emits the # HELP / # TYPE header for a metric family. typ is
+// one of counter, gauge, histogram.
+func (w *PromWriter) Family(name, typ, help string) {
+	w.b.WriteString("# HELP ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(help)
+	w.b.WriteString("\n# TYPE ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(typ)
+	w.b.WriteByte('\n')
+}
+
+// Value emits one sample. labels is a preformatted comma-separated
+// label list without braces (`type="login"`) or "" for none.
+func (w *PromWriter) Value(name, labels string, v float64) {
+	w.b.WriteString(name)
+	if labels != "" {
+		w.b.WriteByte('{')
+		w.b.WriteString(labels)
+		w.b.WriteByte('}')
+	}
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	w.b.WriteByte('\n')
+}
+
+// Histogram emits the _bucket/_sum/_count series of one histogram
+// sample set. scale multiplies bounds and sum on the way out (1e-9
+// converts the repo's nanosecond recordings to Prometheus' base-unit
+// seconds). The caller must have declared the family with type
+// histogram.
+func (w *PromWriter) Histogram(name, labels string, s stats.HistogramSnapshot, scale float64) {
+	for i, bound := range s.Bounds {
+		w.bucket(name, labels, strconv.FormatFloat(bound*scale, 'g', -1, 64), s.Counts[i])
+	}
+	w.bucket(name, labels, "+Inf", s.Count)
+	sep := ""
+	if labels != "" {
+		sep = "{" + labels + "}"
+	}
+	w.b.WriteString(name)
+	w.b.WriteString("_sum")
+	w.b.WriteString(sep)
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatFloat(s.Sum*scale, 'g', -1, 64))
+	w.b.WriteByte('\n')
+	w.b.WriteString(name)
+	w.b.WriteString("_count")
+	w.b.WriteString(sep)
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatUint(s.Count, 10))
+	w.b.WriteByte('\n')
+}
+
+func (w *PromWriter) bucket(name, labels, le string, count uint64) {
+	w.b.WriteString(name)
+	w.b.WriteString(`_bucket{`)
+	if labels != "" {
+		w.b.WriteString(labels)
+		w.b.WriteByte(',')
+	}
+	w.b.WriteString(`le="`)
+	w.b.WriteString(le)
+	w.b.WriteString(`"} `)
+	w.b.WriteString(strconv.FormatUint(count, 10))
+	w.b.WriteByte('\n')
+}
+
+// Bytes returns the document.
+func (w *PromWriter) Bytes() []byte { return []byte(w.b.String()) }
+
+// Label formats one label pair, escaping the value per the text format.
+func Label(key, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(value) + `"`
+}

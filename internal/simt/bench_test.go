@@ -67,6 +67,44 @@ func BenchmarkHostParallelism(b *testing.B) {
 	b.ReportMetric(float64(parallel.Nanoseconds())/float64(b.N), "parallel-ns/op")
 }
 
+// BenchmarkProfilerOverhead times the same cohort kernel with the
+// launch profiler on (default ring) and off, and reports the relative
+// cost as overhead-pct — the acceptance bound is < 2%. Recording is one
+// mutex acquisition plus a LaunchRecord copy per launch
+// (TestProfileRecordNoAllocs pins the zero-allocation claim), against a
+// kernel simulation costing milliseconds, so the measured overhead is
+// typically noise around 0.
+func BenchmarkProfilerOverhead(b *testing.B) {
+	const threads = 4096
+	const words = 1024
+	payload := make([]byte, words*4)
+	run := func(off bool) time.Duration {
+		cfg := GTXTitan()
+		cfg.ProfileOff = off
+		eng := sim.NewEngine()
+		dev := NewDevice(eng, cfg, threads*words*4+1<<20, nil)
+		base := dev.Mem.Alloc(threads*words*4, 256)
+		start := time.Now()
+		dev.NewStream().Launch(FuncProgram{"bench", func(t *Thread) {
+			t.Compute(10000)
+			t.StoreStrided(base+mem.Addr(4*t.ID), payload, 4, 4*threads)
+		}}, threads, nil, nil)
+		eng.Run()
+		return time.Since(start)
+	}
+	var on, off time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off += run(true)
+		on += run(false)
+	}
+	if off > 0 {
+		b.ReportMetric(100*(float64(on)-float64(off))/float64(off), "overhead-pct")
+	}
+	b.ReportMetric(float64(on.Nanoseconds())/float64(b.N), "profiled-ns/op")
+	b.ReportMetric(float64(off.Nanoseconds())/float64(b.N), "unprofiled-ns/op")
+}
+
 // BenchmarkWarpDivergence measures the simulator under a divergent
 // kernel (the general coalescing path).
 func BenchmarkWarpDivergence(b *testing.B) {

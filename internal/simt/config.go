@@ -46,6 +46,27 @@ type Config struct {
 	// bytes) are identical at every setting — see DESIGN.md
 	// "Host parallelism" for the determinism contract.
 	HostParallelism int
+
+	// ProfileOff disables the per-launch profiler ring (DESIGN.md §10).
+	// Profiling is on by default: recording is one mutex acquisition and
+	// a struct copy per launch (zero heap allocations), which
+	// BenchmarkProfilerOverhead bounds under 2% of simulation cost. The
+	// knob exists so that bound can be measured and so allocation-
+	// sensitive micro-benchmarks can opt out.
+	ProfileOff bool
+	// ProfileRing is the launch-record ring capacity (0 = default 4096).
+	ProfileRing int
+
+	// PowerBaseWatts/PowerSMWatts/PowerMemWatts parameterize the
+	// per-launch modeled dynamic energy in LaunchRecord: for a launch's
+	// duration the card draws Base out-of-idle watts, plus SM watts
+	// scaled by issue-slot occupancy and the compute-bound time fraction,
+	// plus Mem watts scaled by the bandwidth-bound fraction. The Titan
+	// values match internal/platform's TitanPower curve (calibrated to
+	// Table 3's operating points). All zero = no energy model.
+	PowerBaseWatts float64
+	PowerSMWatts   float64
+	PowerMemWatts  float64
 }
 
 // GTXTitan returns the configuration of the paper's GTX Titan card
@@ -62,6 +83,9 @@ func GTXTitan() Config {
 		Queues:          32,
 		LaunchOverhead:  5_000,
 		MemBytes:        6 << 30,
+		PowerBaseWatts:  55,  // platform.GTXTitanPower().BaseDyn
+		PowerSMWatts:    145, // .SMMax
+		PowerMemWatts:   45,  // .MemMax
 	}
 }
 
@@ -96,6 +120,12 @@ func CoreI7SIMD() Config {
 		Queues:          32,   // software queues: no false dependencies
 		LaunchOverhead:  200,  // a function call, not a PCIe doorbell
 		MemBytes:        16 << 30,
+		// The i7-2600's measured 4-worker dynamic draw is ~102 W
+		// (platform.CoreI7()); split mostly into core power with a small
+		// uncore/DRAM share.
+		PowerBaseWatts: 15,
+		PowerSMWatts:   76,
+		PowerMemWatts:  11,
 	}
 }
 
@@ -128,5 +158,7 @@ func (c Config) validate() {
 		panic("simt: Queues must be positive")
 	case c.HostParallelism < 0:
 		panic("simt: HostParallelism must be non-negative")
+	case c.ProfileRing < 0:
+		panic("simt: ProfileRing must be non-negative")
 	}
 }

@@ -16,9 +16,17 @@ type LaunchStats struct {
 	IssueCycles   int64 // total warp-instruction issue slots
 	MemBytes      int64 // global-memory traffic (transactions × segment)
 	Transactions  int64
+	IdealTxns     int64 // perfectly-coalesced transaction floor
 	BlockExecs    int64
 	DivergentExec int64 // block executions under a partial mask
 	Duration      sim.Time
+	// Seq is the profiler's launch-record sequence number (0 when
+	// profiling is off), linking this launch to Device.Profile().
+	Seq uint64
+	// Occupancy is the issue-slot occupancy (min(warps, slots)/slots).
+	Occupancy float64
+	// EnergyJ is the modeled dynamic energy of the launch.
+	EnergyJ float64
 }
 
 // DeviceStats aggregates device activity over a run.
@@ -29,7 +37,10 @@ type DeviceStats struct {
 	IssueCycles   int64
 	MemBytes      int64
 	Transactions  int64
+	IdealTxns     int64 // perfectly-coalesced transaction floor
 	DivergentExec int64
+	BlockExecs    int64
+	EnergyJ       float64  // modeled dynamic energy of all launches
 	BusyTime      sim.Time // time the compute engine spent executing
 }
 
@@ -50,7 +61,9 @@ type Device struct {
 	compute *warpPool
 	queues  []*hwQueue
 	nextQ   int
+	nextSID int
 	stats   DeviceStats
+	prof    *launchRing // nil when Cfg.ProfileOff
 
 	constBrk mem.Addr // constant memory is carved from the low addresses
 }
@@ -173,6 +186,13 @@ func NewDevice(eng *sim.Engine, cfg Config, memBytes int, bus *sim.Pipe) *Device
 	for i := range d.queues {
 		d.queues[i] = &hwQueue{tail: firedGate()}
 	}
+	if !cfg.ProfileOff {
+		ring := cfg.ProfileRing
+		if ring == 0 {
+			ring = defaultProfileRing
+		}
+		d.prof = newLaunchRing(ring)
+	}
 	return d
 }
 
@@ -204,6 +224,7 @@ func (d *Device) AllocConst(data []byte) mem.Addr {
 type Stream struct {
 	dev     *Device
 	q       *hwQueue
+	id      int
 	tail    *gate
 	pending int
 }
@@ -213,8 +234,13 @@ type Stream struct {
 func (d *Device) NewStream() *Stream {
 	q := d.queues[d.nextQ%len(d.queues)]
 	d.nextQ++
-	return &Stream{dev: d, q: q, tail: firedGate()}
+	s := &Stream{dev: d, q: q, id: d.nextSID, tail: firedGate()}
+	d.nextSID++
+	return s
 }
+
+// ID reports the stream's device-unique id (creation order, from 0).
+func (s *Stream) ID() int { return s.id }
 
 // Pending reports how many enqueued operations have not yet completed.
 // A drain sequence can poll it (stepping the engine in between) to know
@@ -254,10 +280,32 @@ func (s *Stream) Launch(prog Program, n int, init func(i int, t *Thread), done f
 		d.stats.IssueCycles += st.IssueCycles
 		d.stats.MemBytes += st.MemBytes
 		d.stats.Transactions += st.Transactions
+		d.stats.IdealTxns += st.IdealTxns
 		d.stats.DivergentExec += st.DivergentExec
+		d.stats.BlockExecs += st.BlockExecs
+		d.stats.EnergyJ += st.EnergyJ
 		d.stats.BusyTime += st.Duration
 		slots := st.Warps
+		start := d.eng.Now()
 		d.compute.submit(slots, st.Duration, func() {
+			if d.prof != nil {
+				st.Seq = d.prof.add(LaunchRecord{
+					Kernel:            st.Kernel,
+					Stream:            s.id,
+					Threads:           st.Threads,
+					Warps:             st.Warps,
+					Start:             start,
+					End:               d.eng.Now(),
+					IssueCycles:       st.IssueCycles,
+					BlockExecs:        st.BlockExecs,
+					DivergentExec:     st.DivergentExec,
+					Transactions:      st.Transactions,
+					IdealTransactions: st.IdealTxns,
+					MemBytes:          st.MemBytes,
+					Occupancy:         st.Occupancy,
+					EnergyJ:           st.EnergyJ,
+				})
+			}
 			if done != nil {
 				done(st)
 			}
@@ -327,12 +375,33 @@ func (s *Stream) TransposeLive(dst, src mem.Addr, rows, cols, elem, liveRows, li
 		mem.TransposeElemsRange(d.Mem, dst, src, rows, cols, elem, liveRows, liveCols)
 		bytes := int64(mem.TransposeBytes(rows, cols*elem))
 		dur := sim.Time(float64(bytes)/d.Cfg.MemBandwidth*1e9) + sim.Time(d.Cfg.LaunchOverhead)
+		txns := (bytes + int64(d.Cfg.SegmentBytes) - 1) / int64(d.Cfg.SegmentBytes)
+		slots := d.Cfg.maxConcurrentWarps()
+		energy := d.energyOf(slots, 0, bytes, dur)
 		d.stats.Launches++
 		d.stats.MemBytes += bytes
+		d.stats.Transactions += txns
+		d.stats.IdealTxns += txns // streams full segments: already ideal
+		d.stats.EnergyJ += energy
 		d.stats.BusyTime += dur
+		start := d.eng.Now()
 		// A transpose saturates the memory system: it owns every slot,
 		// creating the pipeline bubbles the paper observes (§6.1.2).
-		d.compute.submit(d.Cfg.maxConcurrentWarps(), dur, func() {
+		d.compute.submit(slots, dur, func() {
+			if d.prof != nil {
+				d.prof.add(LaunchRecord{
+					Kernel:            "transpose",
+					Stream:            s.id,
+					Warps:             slots,
+					Start:             start,
+					End:               d.eng.Now(),
+					Transactions:      txns,
+					IdealTransactions: txns,
+					MemBytes:          bytes,
+					Occupancy:         1,
+					EnergyJ:           energy,
+				})
+			}
 			if done != nil {
 				done()
 			}
@@ -398,6 +467,7 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 		total.issueCycles += ws.issueCycles
 		total.memBytes += ws.memBytes
 		total.transactions += ws.transactions
+		total.accessBytes += ws.accessBytes
 		total.blockExecs += ws.blockExecs
 		total.divergentExec += ws.divergentExec
 		if ws.issueCycles > maxWarpCycles {
@@ -412,6 +482,12 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 		}
 	}
 	dur := d.price(warps, total.issueCycles, maxWarpCycles, total.memBytes)
+	// The ideal-coalescing floor: the transactions a kernel requesting
+	// the same bytes would issue if every access merged perfectly into
+	// full segments. Actual/ideal is the coalescing efficiency the
+	// column-major transpose optimization (§4.3) buys back.
+	seg := int64(cfg.SegmentBytes)
+	idealTxns := (total.accessBytes + seg - 1) / seg
 	return LaunchStats{
 		Kernel:        prog.Name(),
 		Threads:       n,
@@ -419,9 +495,12 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 		IssueCycles:   total.issueCycles,
 		MemBytes:      total.memBytes,
 		Transactions:  total.transactions,
+		IdealTxns:     idealTxns,
 		BlockExecs:    total.blockExecs,
 		DivergentExec: total.divergentExec,
 		Duration:      dur,
+		Occupancy:     d.occupancyOf(warps),
+		EnergyJ:       d.energyOf(warps, total.issueCycles, total.memBytes, dur),
 	}
 }
 

@@ -1,0 +1,172 @@
+package simt
+
+import (
+	"sync"
+
+	"rhythm/internal/sim"
+)
+
+// LaunchRecord is one completed kernel launch as the profiler saw it:
+// what ran, where, when (virtual device time), and what it cost. The
+// counters are exactly the ones the paper's figures are built from —
+// divergence serializations (Fig. 8), memory transactions against the
+// ideal fully-coalesced floor (Fig. 9), issue-slot occupancy and modeled
+// energy (Fig. 10, Table 3) — captured per launch instead of summed away
+// into DeviceStats.
+type LaunchRecord struct {
+	// Seq numbers launches from 1 in completion order; it is the handle
+	// request-lifecycle spans use to link a stage span to its kernel.
+	Seq uint64
+	// Kernel is the program name (Program.Name()).
+	Kernel string
+	// Stream is the issuing stream's id (Device-unique, from 0).
+	Stream int
+	// Threads and Warps are the launch geometry; for a cohort kernel
+	// Threads is the cohort occupancy at launch.
+	Threads, Warps int
+	// Start and End bound the launch on the virtual device timeline
+	// (Start: issue to the compute engine; End: completion).
+	Start, End sim.Time
+	// IssueCycles is warp-instruction issue slots consumed.
+	IssueCycles int64
+	// BlockExecs counts basic-block executions; DivergentExec counts the
+	// subset executed under a partial active mask — each one is a
+	// divergence serialization.
+	BlockExecs, DivergentExec int64
+	// Transactions is the coalesced global-memory transaction count;
+	// IdealTransactions is the floor a perfectly coalesced kernel would
+	// issue for the same requested bytes. Their ratio is the coalescing
+	// efficiency the transpose optimization exists to fix.
+	Transactions, IdealTransactions int64
+	// MemBytes is global-memory traffic (transactions × segment).
+	MemBytes int64
+	// Occupancy is the fraction of the device's warp-issue slots this
+	// launch could fill (min(warps, slots)/slots).
+	Occupancy float64
+	// EnergyJ is the launch's modeled dynamic energy in Joules (see
+	// Config power fields; 0 when the config carries no power model).
+	EnergyJ float64
+}
+
+// launchRing is a bounded ring of LaunchRecords. Recording is a mutex
+// acquisition plus a struct copy into a preallocated slot — zero heap
+// allocations on the hot path — so the profiler can stay on by default
+// (BenchmarkProfilerOverhead holds it under 2%). The mutex makes
+// snapshots safe from any goroutine (metrics scrapes, trace captures)
+// while the device loop keeps recording.
+type launchRing struct {
+	mu   sync.Mutex
+	recs []LaunchRecord // preallocated to capacity
+	seq  uint64         // total records ever appended
+}
+
+// defaultProfileRing is the ring capacity when Config.ProfileRing is 0.
+// 4096 launches cover ~20s of a saturated live server (a cohort is
+// 2-4 launches) at ~350 KB — cheap enough to keep always-on.
+const defaultProfileRing = 4096
+
+func newLaunchRing(capacity int) *launchRing {
+	return &launchRing{recs: make([]LaunchRecord, capacity)}
+}
+
+// add stamps rec with the next sequence number, stores it (evicting the
+// oldest once full), and returns the sequence number.
+func (r *launchRing) add(rec LaunchRecord) uint64 {
+	r.mu.Lock()
+	r.seq++
+	rec.Seq = r.seq
+	r.recs[(r.seq-1)%uint64(len(r.recs))] = rec
+	r.mu.Unlock()
+	return rec.Seq
+}
+
+// snapshot copies the buffered records in sequence order (oldest first).
+func (r *launchRing) snapshot() []LaunchRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seq
+	capacity := uint64(len(r.recs))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]LaunchRecord, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.recs[(r.seq-n+i)%capacity]
+	}
+	return out
+}
+
+// total reports how many records were ever appended (>= len(snapshot());
+// the difference is how many the ring evicted).
+func (r *launchRing) total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Profile returns the buffered launch records, oldest first. It returns
+// nil when profiling is disabled (Config.ProfileOff).
+func (d *Device) Profile() []LaunchRecord {
+	if d.prof == nil {
+		return nil
+	}
+	return d.prof.snapshot()
+}
+
+// ProfiledLaunches reports how many launches the profiler has recorded
+// since the device was created (including records the ring has evicted).
+func (d *Device) ProfiledLaunches() uint64 {
+	if d.prof == nil {
+		return 0
+	}
+	return d.prof.total()
+}
+
+// energyOf models a launch's dynamic energy: for its duration the card
+// draws the baseline out-of-idle power plus compute power scaled by how
+// many issue slots the launch fills for what fraction of its time, plus
+// memory power scaled by how close to bandwidth-bound it ran. The
+// constants live on Config (calibrated against the same Table 3
+// operating points as internal/platform's TitanPower curve); a config
+// without them reports 0.
+func (d *Device) energyOf(warps int, issueCycles, memBytes int64, dur sim.Time) float64 {
+	cfg := d.Cfg
+	if cfg.PowerBaseWatts == 0 && cfg.PowerSMWatts == 0 && cfg.PowerMemWatts == 0 {
+		return 0
+	}
+	sec := float64(dur) / 1e9
+	if sec <= 0 {
+		return 0
+	}
+	occ := d.occupancyOf(warps)
+	parallel := warps
+	if slots := cfg.maxConcurrentWarps(); parallel > slots {
+		parallel = slots
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	computeFrac := (float64(issueCycles) / (float64(parallel) * cfg.ClockHz)) / sec
+	memFrac := (float64(memBytes) / cfg.MemBandwidth) / sec
+	return sec * (cfg.PowerBaseWatts + cfg.PowerSMWatts*occ*clampFrac(computeFrac) + cfg.PowerMemWatts*clampFrac(memFrac))
+}
+
+// occupancyOf is the fraction of warp-issue slots a launch of `warps`
+// warps can fill.
+func (d *Device) occupancyOf(warps int) float64 {
+	slots := d.Cfg.maxConcurrentWarps()
+	if warps > slots {
+		warps = slots
+	}
+	return float64(warps) / float64(slots)
+}
+
+func clampFrac(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -12,6 +12,7 @@ type warpStats struct {
 	issueCycles   int64 // warp-instruction issue slots consumed
 	memBytes      int64 // bytes moved in global-memory transactions
 	transactions  int64 // coalesced transaction count
+	accessBytes   int64 // bytes the lanes actually requested (ideal-coalescing floor)
 	blockExecs    int64 // basic-block executions (full or partial mask)
 	divergentExec int64 // block executions with a partial active mask
 	maxThreadOps  int64 // serial ops of the busiest thread (critical path)
@@ -94,6 +95,11 @@ func runWarp(cfg Config, prog Program, threads []*Thread) (warpStats, []func()) 
 		ws.issueCycles += steps
 		ws.memBytes += bytes
 		ws.transactions += txns
+		for _, t := range active {
+			for _, a := range t.accesses {
+				ws.accessBytes += int64(a.elem * a.count)
+			}
+		}
 		shared.seal() // block boundary: collective contributions commit
 		execs++
 		if execs > maxBlockExecsPerThread {

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free atomic counters,
+// safe for concurrent Observe and Snapshot (live servers record on hot
+// paths while /metrics scrapes snapshot). Bucket semantics follow the
+// Prometheus convention: bucket i counts observations <= bounds[i], and
+// an implicit +Inf bucket catches everything past the last bound.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds (exclusive of +Inf)
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // sum of observations, truncated to integer units
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// It panics on an empty or unsorted bound list.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d (%v <= %v)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// Observe records one value. Negative values clamp to 0 (they land in
+// the first bucket); values past the last bound land in +Inf. The sum is
+// accumulated in integer units of the observed value (fine for the
+// nanosecond latencies and occupancy counts this repo records).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.total.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// export: cumulative counts per bound plus the +Inf total, following the
+// Prometheus text format's `le` convention. (Counts are read without a
+// global lock; a scrape racing an Observe may be off by the in-flight
+// observation, which Prometheus semantics permit.)
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending
+	Counts []uint64  // cumulative count of observations <= Bounds[i]
+	Count  uint64    // total observations (the +Inf cumulative count)
+	Sum    float64   // sum of observed values (integer-truncated units)
+}
+
+// Snapshot exports the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)),
+		Sum:    float64(h.sum.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	s.Count = cum + h.inf.Load()
+	return s
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// LatencyBucketsNs returns the default latency bucket bounds in
+// nanoseconds: 0.25 ms doubling to ~8 s (16 buckets), wide enough for
+// sub-millisecond device launches and multi-second deadline misses.
+func LatencyBucketsNs() []float64 {
+	out := make([]float64, 16)
+	b := 250e3 // 0.25 ms
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// PowersOfTwoBuckets returns 1, 2, 4, ... up to the first power of two
+// >= max — the cohort-occupancy distribution buckets.
+func PowersOfTwoBuckets(max int) []float64 {
+	if max < 1 {
+		max = 1
+	}
+	var out []float64
+	for b := 1; ; b *= 2 {
+		out = append(out, float64(b))
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// Buckets bins the recorder's samples into the given ascending upper
+// bounds, returning cumulative counts; the last element is the total
+// sample count (the +Inf bucket). This is the recorder's fixed-bucket
+// histogram export — rhythm-load uses it for client-side -hist output.
+func (r *LatencyRecorder) Buckets(bounds []float64) []uint64 {
+	out := make([]uint64, len(bounds)+1)
+	for _, v := range r.samples {
+		i := sort.SearchFloat64s(bounds, v)
+		out[i]++
+	}
+	var cum uint64
+	for i := range out {
+		cum += out[i]
+		out[i] = cum
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+
+	h.Observe(0)    // zero → first bucket
+	h.Observe(-5)   // negative clamps to 0 → first bucket
+	h.Observe(10)   // exactly on a bound → that bucket (le convention)
+	h.Observe(11)   // just past a bound → next bucket
+	h.Observe(1000) // exactly the max bound → last finite bucket
+	h.Observe(1001) // past the last bound → +Inf overflow
+
+	s := h.Snapshot()
+	wantCum := []uint64{3, 4, 5}
+	if !reflect.DeepEqual(s.Counts, wantCum) {
+		t.Fatalf("cumulative counts = %v, want %v", s.Counts, wantCum)
+	}
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0+0+10+11+1000+1001 {
+		t.Fatalf("Sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {5, 5}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBucketsNs())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%20) * 1e6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestLatencyRecorderBuckets(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, v := range []float64{0, 5, 10, 50, 200} {
+		r.Record(v)
+	}
+	got := r.Buckets([]float64{10, 100})
+	// <=10: {0,5,10}; <=100: +{50}; +Inf: +{200}
+	want := []uint64{3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Buckets = %v, want %v", got, want)
+	}
+	if empty := NewLatencyRecorder().Buckets([]float64{1}); !reflect.DeepEqual(empty, []uint64{0, 0}) {
+		t.Fatalf("empty Buckets = %v", empty)
+	}
+}
+
+func TestPowersOfTwoBuckets(t *testing.T) {
+	if got := PowersOfTwoBuckets(128); len(got) != 8 || got[7] != 128 {
+		t.Fatalf("PowersOfTwoBuckets(128) = %v", got)
+	}
+	if got := PowersOfTwoBuckets(100); got[len(got)-1] != 128 {
+		t.Fatalf("PowersOfTwoBuckets(100) = %v", got)
+	}
+	if got := PowersOfTwoBuckets(0); !reflect.DeepEqual(got, []float64{1}) {
+		t.Fatalf("PowersOfTwoBuckets(0) = %v", got)
+	}
+}

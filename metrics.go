@@ -1,0 +1,166 @@
+package rhythm
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"rhythm/internal/banking"
+	"rhythm/internal/httpx"
+	"rhythm/internal/obs"
+	"rhythm/internal/simt"
+	"rhythm/internal/stats"
+)
+
+// MetricsPath is the Prometheus text-format endpoint both TCP servers
+// expose (DESIGN.md §10).
+const MetricsPath = "/metrics"
+
+// TracePath is the Chrome trace-event capture endpoint both TCP servers
+// expose. A bare GET returns the buffered request traces; ?secs=N (1-60)
+// records for N seconds and returns only that window. The document loads
+// directly in Perfetto / chrome://tracing.
+const TracePath = "/rhythm-trace"
+
+// maxTraceCaptureSecs bounds the blocking capture window.
+const maxTraceCaptureSecs = 60
+
+// bodyResponse wraps a prebuilt body in a 200 keep-alive response.
+func bodyResponse(contentType string, body []byte) []byte {
+	buf := make([]byte, len(body)+256)
+	w := httpx.NewResponseWriter(buf)
+	w.StartOK(contentType, "")
+	w.Write(body)
+	return w.Finish()
+}
+
+// promContentType is the Prometheus text exposition format version both
+// endpoints speak.
+const promContentType = "text/plain; version=0.0.4"
+
+// captureSecs parses the optional ?secs=N capture parameter. secs 0
+// means "no window — dump the buffered traces"; ok=false means a
+// malformed or out-of-range value (the caller answers 400).
+func captureSecs(req *httpx.Request) (secs int, ok bool) {
+	v := req.Param("secs")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 || n > maxTraceCaptureSecs {
+		return 0, false
+	}
+	return n, true
+}
+
+// traceDocument snapshots tracer (and, when a device is present, its
+// launch profile) into Chrome trace-event JSON. When wait is set the
+// request track is filtered to traces starting at or after since, and
+// launchFloor filters the device track to launches recorded after the
+// capture started.
+func traceDocument(tracer *obs.Recorder, since time.Time, wait bool, launches []simt.LaunchRecord, launchFloor uint64) []byte {
+	var traces []obs.RequestTrace
+	if tracer != nil {
+		if wait {
+			traces = tracer.Since(since)
+		} else {
+			traces = tracer.Snapshot()
+		}
+	}
+	if launchFloor > 0 {
+		kept := launches[:0]
+		for _, lr := range launches {
+			if lr.Seq > launchFloor {
+				kept = append(kept, lr)
+			}
+		}
+		launches = kept
+	}
+	return obs.ChromeTrace(traces, launches)
+}
+
+// stageArgs is the launch-record linkage a stage span carries: enough to
+// find the kernel in the device profile (launch_seq) and to explain its
+// cost without leaving the trace viewer.
+func stageArgs(st simt.LaunchStats) map[string]any {
+	return map[string]any{
+		"kernel":             st.Kernel,
+		"launch_seq":         st.Seq,
+		"cohort":             st.Threads,
+		"device_us":          float64(st.Duration) / 1e3,
+		"issue_cycles":       st.IssueCycles,
+		"divergent_execs":    st.DivergentExec,
+		"transactions":       st.Transactions,
+		"ideal_transactions": st.IdealTxns,
+		"occupancy":          st.Occupancy,
+		"energy_j":           st.EnergyJ,
+	}
+}
+
+// typeNames returns the banking request-type labels indexed by ReqType.
+func typeNames() []string {
+	out := make([]string, banking.NumTypes)
+	for i := range out {
+		out[i] = banking.ReqType(i).String()
+	}
+	return out
+}
+
+// sortedTypeKeys returns the per-type stat keys in stable label order.
+func sortedTypeKeys(m map[string]CohortTypeStats) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newLatencyHistograms builds one request-latency histogram per banking
+// request type (atomic: recorded on serving paths, scraped from any
+// goroutine).
+func newLatencyHistograms(n int) []*stats.Histogram {
+	out := make([]*stats.Histogram, n)
+	for i := range out {
+		out[i] = stats.NewHistogram(stats.LatencyBucketsNs())
+	}
+	return out
+}
+
+// writeLatencyFamilies emits the per-type request latency histograms
+// (seconds) for every type that has observations.
+func writeLatencyFamilies(w *obs.PromWriter, names []string, hists []*stats.Histogram) {
+	w.Family("rhythm_request_latency_seconds", "histogram",
+		"End-to-end request latency by request type.")
+	for i, h := range hists {
+		if h.Count() == 0 {
+			continue
+		}
+		w.Histogram("rhythm_request_latency_seconds", obs.Label("type", names[i]), h.Snapshot(), 1e-9)
+	}
+}
+
+// writeDeviceFamilies emits the SIMT device counters the paper's
+// figures are built from.
+func writeDeviceFamilies(w *obs.PromWriter, ds simt.DeviceStats, profiled uint64) {
+	w.Family("rhythm_device_launches_total", "counter", "Kernel launches (including transposes).")
+	w.Value("rhythm_device_launches_total", "", float64(ds.Launches))
+	w.Family("rhythm_device_issue_cycles_total", "counter", "Warp-instruction issue slots consumed.")
+	w.Value("rhythm_device_issue_cycles_total", "", float64(ds.IssueCycles))
+	w.Family("rhythm_device_divergent_execs_total", "counter", "Basic-block executions under a partial active mask (divergence serializations).")
+	w.Value("rhythm_device_divergent_execs_total", "", float64(ds.DivergentExec))
+	w.Family("rhythm_device_block_execs_total", "counter", "Basic-block executions.")
+	w.Value("rhythm_device_block_execs_total", "", float64(ds.BlockExecs))
+	w.Family("rhythm_device_mem_transactions_total", "counter", "Coalesced global-memory transactions.")
+	w.Value("rhythm_device_mem_transactions_total", "", float64(ds.Transactions))
+	w.Family("rhythm_device_ideal_mem_transactions_total", "counter", "Perfectly-coalesced transaction floor for the same requested bytes.")
+	w.Value("rhythm_device_ideal_mem_transactions_total", "", float64(ds.IdealTxns))
+	w.Family("rhythm_device_mem_bytes_total", "counter", "Global-memory traffic in bytes.")
+	w.Value("rhythm_device_mem_bytes_total", "", float64(ds.MemBytes))
+	w.Family("rhythm_device_energy_joules_total", "counter", "Modeled dynamic energy of all launches.")
+	w.Value("rhythm_device_energy_joules_total", "", ds.EnergyJ)
+	w.Family("rhythm_device_busy_seconds_total", "counter", "Virtual device time spent executing.")
+	w.Value("rhythm_device_busy_seconds_total", "", float64(ds.BusyTime)/1e9)
+	w.Family("rhythm_device_profiled_launches_total", "counter", "Launches recorded by the profiler ring (0 when profiling is off).")
+	w.Value("rhythm_device_profiled_launches_total", "", float64(profiled))
+}

@@ -15,7 +15,9 @@ import (
 	"rhythm/internal/backend"
 	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
+	"rhythm/internal/obs"
 	"rhythm/internal/session"
+	"rhythm/internal/stats"
 )
 
 // TCPServer serves the SPECWeb Banking workload over a real TCP listener
@@ -33,6 +35,13 @@ type TCPServer struct {
 	ln       net.Listener
 	served   atomic.Uint64
 	errors   atomic.Uint64
+
+	// Observability surfaces (all safe from any goroutine): per-type
+	// request counts and latency histograms behind /metrics, and the
+	// request-trace ring behind /rhythm-trace.
+	typeCounts []atomic.Uint64
+	latHist    []*stats.Histogram
+	tracer     *obs.Recorder
 }
 
 // NewTCPServer builds a TCP banking server with capacity for
@@ -42,8 +51,11 @@ func NewTCPServer(maxSessions int) *TCPServer {
 		maxSessions = 256
 	}
 	return &TCPServer{
-		db:       backend.New(),
-		sessions: session.NewArray(256, maxSessions/256*4+4),
+		db:         backend.New(),
+		sessions:   session.NewArray(256, maxSessions/256*4+4),
+		typeCounts: make([]atomic.Uint64, banking.NumTypes),
+		latHist:    newLatencyHistograms(int(banking.NumTypes)),
+		tracer:     obs.NewRecorder(0),
 	}
 }
 
@@ -134,9 +146,15 @@ func (s *TCPServer) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := s.respond(raw)
+		resp, tr := s.respond(raw)
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
-		if _, err := conn.Write(resp); err != nil {
+		wstart := time.Now()
+		_, werr := conn.Write(resp)
+		if tr != nil {
+			tr.Spans = append(tr.Spans, obs.Span{Name: "write", Start: wstart, Dur: time.Since(wstart)})
+			s.tracer.Add(*tr)
+		}
+		if werr != nil {
 			return
 		}
 	}
@@ -144,36 +162,98 @@ func (s *TCPServer) handle(conn net.Conn) {
 
 // respond answers one request. Only the service execution itself takes
 // the server lock; parsing happens before it and rendering after (the
-// ctx is private to this goroutine once Execute returns).
-func (s *TCPServer) respond(raw []byte) []byte {
+// ctx is private to this goroutine once Execute returns). For banking
+// requests it also returns the request's lifecycle trace (minus the
+// write span, which the caller appends before committing).
+func (s *TCPServer) respond(raw []byte) ([]byte, *obs.RequestTrace) {
 	s.served.Add(1)
+	start := time.Now()
 	req, err := httpx.Parse(raw)
 	if err != nil {
 		s.errors.Add(1)
-		return errorResponse(400, "Bad Request")
+		return errorResponse(400, "Bad Request"), nil
 	}
-	if req.Path == StatsPath {
+	switch req.Path {
+	case StatsPath:
 		return jsonResponse(hostStats{
 			Mode:   "host",
 			Served: s.served.Load(),
 			Errors: s.errors.Load(),
-		})
+		}), nil
+	case MetricsPath:
+		return s.metricsResponse(), nil
+	case TracePath:
+		return s.traceResponse(&req), nil
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
 		if resp, ok := banking.ImageResponse(req.Path); ok {
-			return resp
+			return resp, nil
 		}
 		s.errors.Add(1)
-		return errorResponse(404, "Not Found")
+		return errorResponse(404, "Not Found"), nil
 	}
+	s.typeCounts[t].Add(1)
+	classified := time.Now()
 	s.mu.Lock()
 	ctx := banking.Execute(banking.ServiceFor(t), &req, s.sessions, s.db, true)
 	s.mu.Unlock()
+	executed := time.Now()
 	if ctx.Err != "" {
 		s.errors.Add(1)
 	}
-	return banking.RenderAlloc(ctx)
+	resp := banking.RenderAlloc(ctx)
+	rendered := time.Now()
+	s.latHist[t].Observe(float64(rendered.Sub(start)))
+	return resp, &obs.RequestTrace{
+		Type: t.String(),
+		Spans: []obs.Span{
+			{Name: "classify", Start: start, Dur: classified.Sub(start)},
+			{Name: "execute", Start: classified, Dur: executed.Sub(classified)},
+			{Name: "render", Start: executed, Dur: rendered.Sub(executed)},
+		},
+	}
+}
+
+// metricsResponse renders the host-mode Prometheus /metrics document.
+// Every counter here is atomic, so the scrape is race-free without
+// touching the banking lock.
+func (s *TCPServer) metricsResponse() []byte {
+	w := obs.NewPromWriter()
+	w.Family("rhythm_build_info", "gauge", "Serving mode of this rhythmd process.")
+	w.Value("rhythm_build_info", obs.Label("mode", "host"), 1)
+	w.Family("rhythm_requests_served_total", "counter", "Responses produced, including errors.")
+	w.Value("rhythm_requests_served_total", "", float64(s.served.Load()))
+	w.Family("rhythm_request_errors_total", "counter", "Requests that failed (parse, unknown path, service error).")
+	w.Value("rhythm_request_errors_total", "", float64(s.errors.Load()))
+	names := typeNames()
+	w.Family("rhythm_requests_total", "counter", "Requests executed on the host path, by type.")
+	for i := range s.typeCounts {
+		if n := s.typeCounts[i].Load(); n > 0 {
+			w.Value("rhythm_requests_total", obs.Label("type", names[i]), float64(n))
+		}
+	}
+	writeLatencyFamilies(w, names, s.latHist)
+	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
+	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
+	return bodyResponse(promContentType, w.Bytes())
+}
+
+// traceResponse renders the Chrome trace-event document for
+// /rhythm-trace. Host mode has no device, so the document carries only
+// the request track.
+func (s *TCPServer) traceResponse(req *httpx.Request) []byte {
+	secs, ok := captureSecs(req)
+	if !ok {
+		return errorResponse(400, "Bad Request")
+	}
+	var since time.Time
+	wait := secs > 0
+	if wait {
+		since = time.Now()
+		time.Sleep(time.Duration(secs) * time.Second)
+	}
+	return bodyResponse("application/json", traceDocument(s.tracer, since, wait, nil, 0))
 }
 
 // hostStats is the /rhythm-stats document of a host-mode server.
