@@ -10,17 +10,30 @@ set -euo pipefail
 BIN=${BIN:-$(mktemp -d)/rhythmd}
 HOST_ADDR=127.0.0.1:18601
 COHORT_ADDR=127.0.0.1:18602
+CLUSTER_ADDR=127.0.0.1:18603
 WORK=$(mktemp -d)
-trap 'kill $HOST_PID $COHORT_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 
 if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/rhythmd
 fi
 
+# Fault plan for the multi-device leg: kill the device that owns the
+# demo user's shard group (userid 1001 hashes to bucket 131, group
+# 131%4 = 3 — deterministic, same hash the server uses) right after its
+# first cohort. The login lands cleanly, then the device is lost and
+# the rest of the session must fail over with identical pages.
+cat >"$WORK/faults.json" <<'EOF'
+{"faults": [{"device": 3, "kind": "loss", "after_units": 1}]}
+EOF
+
 "$BIN" -addr "$HOST_ADDR" >"$WORK/host.log" 2>&1 &
 HOST_PID=$!
 "$BIN" -cohort -addr "$COHORT_ADDR" -cohort-size 8 -formation-timeout 2ms >"$WORK/cohort.log" 2>&1 &
 COHORT_PID=$!
+"$BIN" -cohort -addr "$CLUSTER_ADDR" -cohort-size 8 -formation-timeout 2ms \
+    -devices 4 -fault-plan "$WORK/faults.json" >"$WORK/cluster.log" 2>&1 &
+CLUSTER_PID=$!
 
 wait_ready() {
     for _ in $(seq 1 50); do
@@ -33,12 +46,13 @@ wait_ready() {
 }
 wait_ready "$HOST_ADDR"
 wait_ready "$COHORT_ADDR"
+wait_ready "$CLUSTER_ADDR"
 
 # Demo credentials are deterministic; both modes print the same list.
 CRED=$(grep -m1 '^  userid=' "$WORK/host.log")
 USERID=$(echo "$CRED" | sed -n 's/.*userid=\([0-9]*\).*/\1/p')
 PASSWD=$(echo "$CRED" | sed -n 's/.*passwd=\([^ ]*\).*/\1/p')
-echo "e2e-smoke: driving userid=$USERID through both modes"
+echo "e2e-smoke: driving userid=$USERID through all three modes"
 
 # drive <name> <addr>: login, browse, logout; bodies land in $WORK/<name>.*
 drive() {
@@ -51,16 +65,21 @@ drive() {
 }
 drive host "$HOST_ADDR"
 drive cohort "$COHORT_ADDR"
+drive cluster "$CLUSTER_ADDR"
 
-# The two modes must render byte-identical pages (cookies live in
+# The modes must render byte-identical pages (cookies live in
 # headers; only bodies are compared here — the in-repo differential
-# test covers full-response identity for every request type).
+# test covers full-response identity for every request type). The
+# cluster leg loses its device mid-session, so identity there also
+# proves the failover/idempotency contract end to end.
 for page in login summary profile logout; do
-    if ! diff -q "$WORK/host.$page" "$WORK/cohort.$page"; then
-        echo "e2e-smoke: $page body differs between host and cohort mode" >&2
-        diff "$WORK/host.$page" "$WORK/cohort.$page" | head -20 >&2 || true
-        exit 1
-    fi
+    for mode in cohort cluster; do
+        if ! diff -q "$WORK/host.$page" "$WORK/$mode.$page"; then
+            echo "e2e-smoke: $page body differs between host and $mode mode" >&2
+            diff "$WORK/host.$page" "$WORK/$mode.$page" | head -20 >&2 || true
+            exit 1
+        fi
+    done
 done
 grep -q "Account Summary" "$WORK/host.summary" || {
     echo "e2e-smoke: summary page missing expected content" >&2
@@ -75,6 +94,19 @@ echo "$STATS" | grep -q '"mode": "cohort"' || {
 }
 echo "$STATS" | grep -q '"cohorts_formed": 0' && {
     echo "e2e-smoke: cohort server formed no cohorts: $STATS" >&2
+    exit 1
+}
+
+# The cluster leg must have taken the injected loss: device 3 dead, its
+# group failed over, and every request still answered (asserted above
+# by byte identity).
+CSTATS=$(curl -sf "http://$CLUSTER_ADDR/rhythm-stats")
+echo "$CSTATS" | grep -q '"health": "dead"' || {
+    echo "e2e-smoke: cluster stats report no dead device after loss fault: $CSTATS" >&2
+    exit 1
+}
+echo "$CSTATS" | grep -Eq '"failovers": [1-9]' || {
+    echo "e2e-smoke: cluster stats counted no failovers after loss fault: $CSTATS" >&2
     exit 1
 }
 
@@ -112,8 +144,18 @@ check_metrics cohort "$COHORT_ADDR" \
     rhythm_formation_wait_seconds rhythm_cohort_occupancy \
     rhythm_device_launches_total rhythm_device_divergent_execs_total \
     rhythm_device_mem_transactions_total
+check_metrics cluster "$CLUSTER_ADDR" \
+    rhythm_build_info rhythm_requests_served_total rhythm_cohorts_total \
+    rhythm_cluster_device_up rhythm_cluster_device_units_total \
+    rhythm_cluster_failovers_total rhythm_cluster_retries_total \
+    rhythm_cluster_shed_cohorts_total
 grep -q 'rhythm_request_latency_seconds_bucket{type="login",le="' "$WORK/cohort.metrics" || {
     echo "e2e-smoke: cohort /metrics missing per-type latency buckets" >&2
+    exit 1
+}
+grep -q 'rhythm_cluster_device_up{device="3"} 0' "$WORK/cluster.metrics" || {
+    echo "e2e-smoke: cluster /metrics does not show device 3 down" >&2
+    grep '^rhythm_cluster' "$WORK/cluster.metrics" >&2 || true
     exit 1
 }
 
@@ -131,4 +173,4 @@ for needle in '"traceEvents"' '"formation-wait"' '"launch_seq"'; do
     }
 done
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host and cohort modes; /metrics + /rhythm-trace healthy in both)"
+echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, and 4-device cluster modes — incl. a device loss mid-session; /metrics + /rhythm-trace healthy)"

@@ -6,7 +6,8 @@
 //	rhythm-bench [flags] <experiment>
 //
 // Experiments: table1 table2 table3 fig2 fig8 fig9 fig10 scaling
-// resources cohort-sweep parser hyperq ablations timeout all
+// resources cohort-sweep parser hyperq cluster-scaling ablations
+// timeout all
 //
 // Flags scale the runs; -paper uses the paper's cohort geometry
 // (4096-request cohorts, 8 contexts), which takes several minutes.
@@ -94,6 +95,7 @@ Experiments:
   gpufs         check_detail_images via a GPUfs image cache (Sec 5.1 future work)
   quick-pay     quick_pay with variable kernel launches (Sec 5.1 extension)
   scale-out     N devices behind one front-end link (Sec 3.2 future work)
+  cluster-scaling  measured multi-device sweep through the cluster layer
   ablations     padding / transpose / intra-request ablations
   timeout       cohort formation timeout policy sweep
   all           everything above
@@ -214,6 +216,17 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 			harness.ScaleOutStudy(cfg, []int{1, 2, 4, 8, 16}).Render().Print(out)
 			return nil
 		},
+		"cluster-scaling": func() []metric {
+			r := harness.ClusterScalingStudy(cfg, []int{1, 2, 4, 8})
+			r.Render().Print(out)
+			var ms []metric
+			for _, row := range r.Rows {
+				ms = append(ms,
+					metric{fmt.Sprintf("devices%d/throughput_req_s", row.Devices), row.ThroughputK * 1e3},
+					metric{fmt.Sprintf("devices%d/speedup", row.Devices), row.Speedup})
+			}
+			return ms
+		},
 		"cpu-simd": func() []metric {
 			c := cfg
 			if c.CohortSize > 1024 {
@@ -253,7 +266,8 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 	order := []string{
 		"table1", "table2", "fig2", "table3", "fig8", "fig9", "fig10",
 		"scaling", "resources", "cohort-sweep", "parser", "hyperq",
-		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out", "ablations", "timeout",
+		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out",
+		"cluster-scaling", "ablations", "timeout",
 	}
 	if what == "all" {
 		fmt.Fprintf(out, "Rhythm reproduction: full evaluation (cohort=%d contexts=%d)\n\n", cfg.CohortSize, cfg.MaxCohorts)

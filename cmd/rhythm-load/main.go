@@ -11,6 +11,13 @@
 //
 // Against a cohort-mode server, rising -conns raises mean occupancy:
 // more concurrent requests of a type land inside one formation window.
+//
+// -rate R switches to open-loop arrivals: requests are released by a
+// Poisson process at R req/s total (exponential inter-arrival gaps
+// spread across the connections) instead of back-to-back, and latency
+// is measured from the scheduled arrival time — so queueing delay shows
+// up in the percentiles instead of silently throttling offered load,
+// the way a closed loop does.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -41,6 +49,7 @@ func main() {
 		paths    = flag.String("paths", "/account_summary.php,/profile.php,/transfer.php",
 			"comma-separated request paths to cycle through")
 		hist = flag.Bool("hist", false, "print the client-side latency histogram (cumulative buckets)")
+		rate = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s across all conns (0 = closed loop)")
 	)
 	flag.Parse()
 
@@ -58,6 +67,11 @@ func main() {
 	}
 	results := make([]result, *conns)
 	deadline := time.Now().Add(*duration)
+	var arrivals chan time.Time
+	if *rate > 0 {
+		arrivals = make(chan time.Time, 65536)
+		go pace(arrivals, *rate, deadline)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < *conns; i++ {
 		wg.Add(1)
@@ -66,7 +80,7 @@ func main() {
 			r := &results[i]
 			r.lat = stats.NewLatencyRecorder()
 			uid := *first + uint64(i)%uint64(*users)
-			if err := drive(*addr, uid, targets, deadline, r.lat, &r.ok, &r.errs); err != nil {
+			if err := drive(*addr, uid, targets, deadline, arrivals, r.lat, &r.ok, &r.errs); err != nil {
 				r.fail = err
 			}
 		}(i)
@@ -88,7 +102,12 @@ func main() {
 	}
 	elapsed := duration.Seconds()
 
-	fmt.Printf("rhythm-load: %d conns x %v against %s\n", *conns, *duration, *addr)
+	if *rate > 0 {
+		fmt.Printf("rhythm-load: open loop %.0f req/s (Poisson) over %d conns x %v against %s\n",
+			*rate, *conns, *duration, *addr)
+	} else {
+		fmt.Printf("rhythm-load: %d conns x %v against %s\n", *conns, *duration, *addr)
+	}
 	fmt.Printf("  requests:   %d ok, %d non-200 (503/504 shed), %d dead conns\n", ok, errs, failures)
 	fmt.Printf("  throughput: %.1f req/s\n", float64(ok)/elapsed)
 	fmt.Printf("  latency:    p50 %v  p99 %v  max %v\n",
@@ -154,9 +173,28 @@ func printHistogram(lat *stats.LatencyRecorder) {
 	}
 }
 
-// drive runs one closed-loop connection: login, then cycle targets
-// until the deadline.
-func drive(addr string, uid uint64, targets []string, deadline time.Time, lat *stats.LatencyRecorder, ok, errs *uint64) error {
+// pace releases Poisson arrivals — exponential inter-arrival gaps at
+// the given aggregate rate — onto the shared channel until the
+// deadline, then closes it. A fixed seed keeps offered-load schedules
+// reproducible across runs.
+func pace(arrivals chan<- time.Time, rate float64, deadline time.Time) {
+	rng := rand.New(rand.NewSource(1))
+	next := time.Now()
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if !next.Before(deadline) {
+			close(arrivals)
+			return
+		}
+		arrivals <- next
+	}
+}
+
+// drive runs one connection: login, then issue requests until the
+// deadline — back-to-back when arrivals is nil (closed loop), else one
+// request per arrival token, with latency measured from the scheduled
+// arrival time so queueing delay is charged to the request.
+func drive(addr string, uid uint64, targets []string, deadline time.Time, arrivals <-chan time.Time, lat *stats.LatencyRecorder, ok, errs *uint64) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -178,9 +216,24 @@ func drive(addr string, uid uint64, targets []string, deadline time.Time, lat *s
 		return fmt.Errorf("no session cookie (got %q)", cookie)
 	}
 
-	for i := 0; time.Now().Before(deadline); i++ {
+	for i := 0; ; i++ {
+		var start time.Time
+		if arrivals != nil {
+			sched, more := <-arrivals
+			if !more {
+				return nil
+			}
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			start = sched
+		} else {
+			if !time.Now().Before(deadline) {
+				return nil
+			}
+			start = time.Now()
+		}
 		path := targets[i%len(targets)]
-		start := time.Now()
 		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\nCookie: %s\r\n\r\n", path, cookie)
 		status, _, _, err := readResponse(r)
 		if err != nil {
@@ -193,7 +246,6 @@ func drive(addr string, uid uint64, targets []string, deadline time.Time, lat *s
 			*errs++
 		}
 	}
-	return nil
 }
 
 // readResponse reads one HTTP/1.1 response with a Content-Length body.

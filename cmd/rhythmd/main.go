@@ -13,6 +13,13 @@
 //	rhythmd [-addr :8080] [-seed-users 8] [-cohort]
 //	        [-cohort-size 128] [-contexts 4] [-formation-timeout 2ms]
 //	        [-deadline 5s] [-profile-off] [-pprof 127.0.0.1:6060]
+//	        [-devices 4] [-fault-plan faults.json]
+//
+// -devices N (cohort mode) shards session and account state across N
+// modeled SIMT devices with session-affinity routing and failover;
+// -fault-plan injects a deterministic device-fault schedule (JSON, see
+// DESIGN.md §11) for failover drills. Per-device counters appear under
+// "devices" in /rhythm-stats and as rhythm_cluster_* in /metrics.
 //
 // Observability (both modes): Prometheus counters and histograms at
 // /metrics, request-lifecycle traces (Chrome trace-event JSON, loadable
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"rhythm"
+	"rhythm/internal/cluster"
 )
 
 func main() {
@@ -51,8 +59,18 @@ func main() {
 		deadline   = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
 		profileOff = flag.Bool("profile-off", false, "disable the kernel-launch profiler (cohort mode)")
 		pprofAddr  = flag.String("pprof", "", "start a net/http/pprof listener on this address (e.g. 127.0.0.1:6060)")
+		devices    = flag.Int("devices", 1, "SIMT devices in the pool (cohort mode)")
+		faultPlan  = flag.String("fault-plan", "", "JSON device-fault schedule to inject (cohort mode)")
 	)
 	flag.Parse()
+
+	var plan *cluster.FaultPlan
+	if *faultPlan != "" {
+		var err error
+		if plan, err = cluster.LoadFaultPlan(*faultPlan); err != nil {
+			log.Fatalf("rhythmd: -fault-plan: %v", err)
+		}
+	}
 
 	if *pprofAddr != "" {
 		// Side listener only: the banking port keeps its hand-rolled
@@ -68,10 +86,12 @@ func main() {
 	if *cohortOn {
 		runCohort(*addr, *seedUsers, rhythm.CohortOptions{
 			CohortSize:       *size,
-			MaxCohorts:       *contexts,
+			MaxCohorts:       *contexts * *devices,
 			FormationTimeout: *formation,
 			RequestDeadline:  *deadline,
 			ProfileOff:       *profileOff,
+			Devices:          *devices,
+			FaultPlan:        plan,
 		})
 		return
 	}
@@ -99,8 +119,8 @@ func runCohort(addr string, seedUsers int, opts rhythm.CohortOptions) {
 	if err := srv.Listen(addr); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rhythmd: SPECWeb Banking on http://%s (cohort mode: size=%d contexts=%d timeout=%v)\n",
-		srv.Addr(), opts.CohortSize, opts.MaxCohorts, opts.FormationTimeout)
+	fmt.Printf("rhythmd: SPECWeb Banking on http://%s (cohort mode: devices=%d size=%d contexts=%d timeout=%v)\n",
+		srv.Addr(), opts.Devices, opts.CohortSize, opts.MaxCohorts, opts.FormationTimeout)
 	printCreds(srv.Addr().String(), seedUsers, srv.Seed)
 	drained := make(chan struct{})
 	go func() {
@@ -120,6 +140,13 @@ func runCohort(addr string, seedUsers int, opts rhythm.CohortOptions) {
 	st := srv.Stats()
 	fmt.Printf("rhythmd: served %d responses, %d cohorts (%.1f mean occupancy, %d timed out)\n",
 		st.Served, st.CohortsFormed, st.MeanOccupancy, st.CohortsTimedOut)
+	if len(st.Devices) > 1 {
+		for _, d := range st.Devices {
+			fmt.Printf("rhythmd: device %d: %s, %d units, %.1fms virtual time\n",
+				d.ID, d.Health, d.UnitsDone, d.VirtualTimeUs/1e3)
+		}
+		fmt.Printf("rhythmd: failovers=%d retries=%d shed=%d\n", st.Failovers, st.DeviceRetries, st.ShedCohorts)
+	}
 }
 
 func printCreds(addr string, seedUsers int, seed func(uint64) (uint64, string)) {

@@ -13,10 +13,10 @@ import (
 
 	"rhythm/internal/backend"
 	"rhythm/internal/banking"
+	"rhythm/internal/cluster"
 	"rhythm/internal/cohort"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
-	"rhythm/internal/session"
 	"rhythm/internal/sim"
 	"rhythm/internal/simt"
 	"rhythm/internal/stats"
@@ -31,9 +31,21 @@ type CohortOptions struct {
 	// 128 — live traffic forms far smaller cohorts than the offline
 	// saturation harness).
 	CohortSize int
-	// MaxCohorts is the number of cohort contexts (and device streams)
-	// in flight (default 4).
+	// MaxCohorts is the number of cohort formation contexts in flight
+	// across the whole pool (default 4×Devices). Each device gets
+	// MaxCohorts/Devices execution slots.
 	MaxCohorts int
+	// Devices is the width of the SIMT device pool formed cohorts are
+	// dispatched onto (default 1). State shards across Devices groups
+	// by session affinity; see internal/cluster and DESIGN.md §11.
+	Devices int
+	// DeviceQueue bounds each device's dispatch queue (0 = cluster
+	// default, 2× the device's execution slots). A full queue sheds the
+	// cohort with the 503 path.
+	DeviceQueue int
+	// FaultPlan optionally injects device faults (nil = none); see
+	// cluster.FaultPlan.
+	FaultPlan *cluster.FaultPlan
 	// FormationTimeout is the wall-clock §3.1 formation deadline
 	// measured from a cohort's first request (default 2ms; negative
 	// disables timeouts, for tests that exercise drain of partial
@@ -76,8 +88,11 @@ func (o *CohortOptions) fill() {
 	if o.CohortSize == 0 {
 		o.CohortSize = 128
 	}
+	if o.Devices <= 0 {
+		o.Devices = 1
+	}
 	if o.MaxCohorts == 0 {
-		o.MaxCohorts = 4
+		o.MaxCohorts = 4 * o.Devices
 	}
 	if o.FormationTimeout == 0 {
 		o.FormationTimeout = 2 * time.Millisecond
@@ -115,6 +130,7 @@ func (o *CohortOptions) fill() {
 type liveReq struct {
 	req      httpx.Request
 	t        banking.ReqType
+	group    int // shard group (cluster.GroupFor; -1 = stateless)
 	enq      time.Time
 	admitted time.Time // loop pickup (set by admit)
 	spans    []obs.Span
@@ -186,12 +202,25 @@ type CohortServerStats struct {
 	LatencyMsP50    float64 `json:"latency_ms_p50"`
 	LatencyMsP99    float64 `json:"latency_ms_p99"`
 
-	// Device is the SIMT device's cumulative counter set, snapshotted on
-	// the loop goroutine alongside the server counters.
+	// Device is the pool's aggregate device counter set; Devices breaks
+	// it down per device. Both come from a single atomic pass over the
+	// cluster (one mutex hold), so a scrape during drain or failover
+	// never observes torn counts across the per-device fields.
 	Device simt.DeviceStats `json:"device"`
-	// ProfiledLaunches is how many launches the kernel profiler has
-	// recorded (0 when profiling is off).
+	// ProfiledLaunches is how many launches the kernel profilers have
+	// recorded across the pool (0 when profiling is off).
 	ProfiledLaunches uint64 `json:"profiled_launches"`
+
+	// Devices is the per-device breakdown: health, queue depth,
+	// outstanding cohorts, owned shard groups, virtual time, stats.
+	Devices []cluster.DeviceSnapshot `json:"devices"`
+	// Failovers counts shard groups reassigned off a dead device;
+	// DeviceRetries counts kernel-launch retry attempts; ShedCohorts
+	// counts cohorts refused by the pool (full device queue or no
+	// healthy device) and answered with 503s.
+	Failovers     uint64 `json:"failovers"`
+	DeviceRetries uint64 `json:"device_retries"`
+	ShedCohorts   uint64 `json:"shed_cohorts"`
 
 	Types map[string]CohortTypeStats `json:"types"`
 }
@@ -218,14 +247,9 @@ type liveConn struct {
 // remains a purely virtual device timeline, stepped by the loop while
 // launches are in flight.
 type CohortServer struct {
-	opts     CohortOptions
-	eng      *sim.Engine
-	dev      *simt.Device
-	db       *backend.DB
-	sessions *session.Array
-	pool     *cohort.Pool[*liveReq]
-	streams  []*simt.Stream
-	dcs      []map[int]*banking.DeviceCohort // per context, by buffer class
+	opts CohortOptions
+	cl   *cluster.Cluster
+	pool *cohort.Pool[*liveReq]
 
 	admitCh chan *liveReq
 	flushCh chan flushMsg
@@ -265,6 +289,7 @@ type CohortServer struct {
 	forming      map[string]*formingTimer
 	nextGen      uint64
 	rejectedPool uint64
+	shedCohorts  uint64
 	kernelErrors uint64
 	perType      map[string]*typeCounters
 	maxOccup     int
@@ -273,25 +298,27 @@ type CohortServer struct {
 	reqLat       *stats.LatencyRecorder
 }
 
-// NewCohortServer builds the server and starts its device loop. Callers
-// then Listen + Serve, and Shutdown to drain.
+// NewCohortServer builds the server, its device pool, and its dispatch
+// loop. Callers then Listen + Serve, and Shutdown to drain.
 func NewCohortServer(opts CohortOptions) *CohortServer {
 	opts.fill()
-	eng := sim.NewEngine()
 	cfg := simt.GTXTitan()
 	cfg.HostParallelism = opts.HostParallelism
 	cfg.ProfileOff = opts.ProfileOff
 	cfg.ProfileRing = opts.ProfileRing
-	// One cohort of every buffer class per context, plus slack for the
-	// constant chrome.
-	memBytes := int(int64(opts.MaxCohorts)*banking.AllClassesDeviceBytes(opts.CohortSize)) + 64<<20
-	dev := simt.NewDevice(eng, cfg, memBytes, nil) // nil bus: integrated NIC (Titan B)
+	cl := cluster.New(cluster.Config{
+		Devices:               opts.Devices,
+		CohortSize:            opts.CohortSize,
+		SlotsPerDevice:        (opts.MaxCohorts + opts.Devices - 1) / opts.Devices,
+		QueueDepth:            opts.DeviceQueue,
+		SessionBuckets:        256,
+		SessionNodesPerBucket: opts.MaxSessions/256*4 + 4,
+		Simt:                  cfg,
+		Faults:                opts.FaultPlan,
+	})
 	s := &CohortServer{
 		opts:      opts,
-		eng:       eng,
-		dev:       dev,
-		db:        backend.New(),
-		sessions:  session.NewArray(256, opts.MaxSessions/256*4+4),
+		cl:        cl,
 		admitCh:   make(chan *liveReq, opts.AdmitQueue),
 		flushCh:   make(chan flushMsg, 256),
 		doCh:      make(chan func(), 16),
@@ -309,27 +336,18 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		occupHist: stats.NewHistogram(stats.PowersOfTwoBuckets(opts.CohortSize)),
 	}
 	// Pool timeout 0: formation deadlines run on wall-clock timers (the
-	// engine only advances while kernels are in flight, so an engine
-	// timer could never fire for an idle server).
-	s.pool = cohort.NewPool[*liveReq](eng, opts.MaxCohorts, opts.CohortSize, 0, s.onReady)
-	for i := 0; i < opts.MaxCohorts; i++ {
-		s.streams = append(s.streams, dev.NewStream())
-		s.dcs = append(s.dcs, make(map[int]*banking.DeviceCohort))
-	}
+	// pool's engine argument is unused at timeout 0 — the cluster's
+	// devices own the virtual timelines now).
+	s.pool = cohort.NewPool[*liveReq](sim.NewEngine(), opts.MaxCohorts, opts.CohortSize, 0, s.onReady)
 	go s.loop()
 	return s
 }
 
-// Seed creates a user with a deterministic password and returns
-// (userID, password). Safe to call while serving.
+// Seed reports the deterministic credentials for userID. Every shard
+// group's Besim synthesizes the same profile for a userID on first
+// touch, so no state needs creating up front.
 func (s *CohortServer) Seed(userID uint64) (uint64, string) {
-	reply := make(chan string, 1)
-	select {
-	case s.doCh <- func() { reply <- s.db.GetProfile(userID).Password }:
-		return userID, <-reply
-	case <-s.doneCh:
-		return userID, backend.PasswordFor(userID)
-	}
+	return userID, backend.PasswordFor(userID)
 }
 
 // Addr reports the bound address once Listen has been called.
@@ -404,6 +422,9 @@ func (s *CohortServer) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	// The loop exits only at inflight 0, so the pool is idle; Close
+	// returns once its workers have drained and exited.
+	s.cl.Close()
 	// Every admitted request now has its response delivered; handlers
 	// parked in a read will never produce another admission (the closing
 	// flag sheds), so closing them is safe. Handlers mid-write finish
@@ -523,6 +544,7 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 		return busyResponse(s.opts.RetryAfter), nil
 	}
 	lr := &liveReq{req: req, t: t, enq: time.Now(), resp: make(chan []byte, 1)}
+	lr.group = s.cl.GroupFor(&lr.req, t)
 	lr.spans = append(lr.spans, obs.Span{Name: "classify", Start: start, Dur: lr.enq.Sub(start)})
 	select {
 	case s.admitCh <- lr:
@@ -552,29 +574,14 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 	}
 }
 
-// loop is the device loop: the only goroutine that touches the engine,
-// device, pool, sessions, and DB. While device work is pending it polls
-// the channels and steps the engine; idle, it blocks.
+// loop is the dispatch loop: the only goroutine that touches the pool,
+// formation timers, and the loop-owned counters. Execution itself
+// happens on the cluster's device workers; their completions come back
+// here through doCh, so all accounting stays single-goroutine.
 func (s *CohortServer) loop() {
 	defer close(s.doneCh)
 	stop := s.stopCh
 	for {
-		if s.eng.Pending() > 0 {
-			select {
-			case lr := <-s.admitCh:
-				s.admit(lr)
-			case m := <-s.flushCh:
-				s.flush(m)
-			case fn := <-s.doCh:
-				fn()
-			case <-stop:
-				stop = nil
-				s.beginDrain()
-			default:
-				s.eng.Step()
-			}
-			continue
-		}
 		if s.draining && s.idle() {
 			return
 		}
@@ -593,11 +600,11 @@ func (s *CohortServer) loop() {
 }
 
 // idle reports whether the drained loop may exit: nothing queued,
-// forming, launching, or pending on the engine.
+// forming, or in flight on the device pool.
 func (s *CohortServer) idle() bool {
 	return len(s.admitCh) == 0 && len(s.flushCh) == 0 && len(s.doCh) == 0 &&
 		len(s.overflow) == 0 && len(s.forming) == 0 && s.inflight == 0 &&
-		s.eng.Pending() == 0 && s.pool.FreeContexts() == s.opts.MaxCohorts
+		s.pool.FreeContexts() == s.opts.MaxCohorts
 }
 
 // beginDrain stops formation timers and launches everything forming.
@@ -630,8 +637,11 @@ func (s *CohortServer) admit(lr *liveReq) {
 
 // place tries pool admission; on success it manages the wall-clock
 // formation timer for the (possibly newly opened) forming cohort.
+// Cohorts are keyed by (type, shard group): a cohort executes against
+// one group's state on one device, so requests of the same type but
+// different groups form separately.
 func (s *CohortServer) place(lr *liveReq) bool {
-	key := lr.t.String()
+	key := fmt.Sprintf("%s/%d", lr.t, lr.group)
 	if !s.pool.Add(key, lr) {
 		return false
 	}
@@ -705,19 +715,17 @@ func (s *CohortServer) typeStats(t banking.ReqType) *typeCounters {
 	return tc
 }
 
-// launch runs the stage-kernel chain for one cohort on its context's
-// stream: n backend + n+1 process stages with Besim chained in-kernel
-// (Titan B semantics), then the response transpose and writeback.
+// launch hands one formed cohort to the device pool as a cluster.Unit.
+// Routing (session affinity, least-outstanding tie-break, failover) is
+// the cluster's job; completion comes back to the loop goroutine via
+// doCh and lands in complete. A pool refusal — bounded device queue
+// full, or no healthy device — sheds every request with the 503 path.
 func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 	reqs := c.Requests()
 	t := reqs[0].t
-	svc := banking.ServiceFor(t)
-	dc := s.deviceCohort(c.ID, t)
 	count := len(reqs)
-	dc.Reset(count)
 	now := time.Now()
-	for i, lr := range reqs {
-		dc.Reqs[i] = lr.req
+	for _, lr := range reqs {
 		wait := float64(now.Sub(lr.enq))
 		s.record(s.formWait, wait)
 		s.formHist.Observe(wait)
@@ -739,71 +747,75 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 	} else {
 		tc.timedOut++
 	}
-	stream := s.streams[c.ID]
-	launchStart := s.eng.Now()
-	var nextStage func(k int)
-	nextStage = func(k int) {
-		args := banking.StageArgs{
-			Cohort:   dc,
-			Service:  svc,
-			Stage:    k,
-			Sessions: s.sessions,
-			Padding:  true,
-			ColMajor: true,
-			Besim:    s.db, // device backend: Besim chains inside the kernel
-		}
-		wallStart := time.Now()
-		stream.Launch(banking.NewStageProgram(args), count, nil, func(st simt.LaunchStats) {
-			tc.stages[k].Launches++
-			tc.stages[k].DeviceUs += float64(st.Duration) / 1e3
-			// One span per request, sharing the launch-record linkage args
-			// (the map is read-only once built).
-			span := obs.Span{
-				Name:  fmt.Sprintf("stage-%d", k),
-				Start: wallStart,
-				Dur:   time.Since(wallStart),
-				Args:  stageArgs(st),
-			}
-			for _, lr := range reqs {
-				lr.spans = append(lr.spans, span)
-			}
-			if k < svc.Spec.Backends {
-				nextStage(k + 1)
-				return
-			}
-			s.writeback(c, dc, stream, count, launchStart)
-		})
+	unit := &cluster.Unit{Type: t, Group: reqs[0].group, Reqs: make([]httpx.Request, count)}
+	for i, lr := range reqs {
+		unit.Reqs[i] = lr.req
 	}
-	nextStage(0)
+	unit.Done = func(res *cluster.Result) {
+		// Runs on a device worker. The loop cannot have exited: it only
+		// returns at inflight 0, and this cohort still counts. The send
+		// therefore always completes.
+		s.doCh <- func() { s.complete(c, res) }
+	}
+	if !s.cl.Dispatch(unit) {
+		s.shed(c, reqs)
+	}
 }
 
-// writeback transposes the cohort's responses back to row-major,
-// extracts each request's fixed-size page from device memory, and
-// delivers it to the waiting connection handler.
-func (s *CohortServer) writeback(c *cohort.Context[*liveReq], dc *banking.DeviceCohort, stream *simt.Stream, count int, launchStart sim.Time) {
-	buf := dc.Spec.BufferBytes()
-	stream.TransposeLive(dc.RespRow, dc.RespCol, buf/4, dc.Size, 4, buf/4, count, nil)
-	stream.Barrier(func() {
-		reqs := c.Requests()
-		now := time.Now()
-		for i := 0; i < count; i++ {
-			if ctx := dc.Ctxs[i]; ctx != nil && ctx.Err != "" {
-				s.kernelErrors++
-			}
-			lr := reqs[i]
-			rstart := time.Now()
-			body := dc.ResponseRow(s.dev.Mem, i)
-			lr.spans = append(lr.spans, obs.Span{Name: "render", Start: rstart, Dur: time.Since(rstart)})
-			lr.resp <- body
-			lat := float64(now.Sub(lr.enq))
-			s.record(s.reqLat, lat)
-			s.latHist[lr.t].Observe(lat)
+// shed answers every request of a refused cohort with the 503
+// backpressure response and releases its context.
+func (s *CohortServer) shed(c *cohort.Context[*liveReq], reqs []*liveReq) {
+	s.shedCohorts++
+	for _, lr := range reqs {
+		lr.resp <- busyResponse(s.opts.RetryAfter)
+	}
+	s.finish(c)
+}
+
+// finish releases a cohort context and retries parked admissions.
+func (s *CohortServer) finish(c *cohort.Context[*liveReq]) {
+	s.pool.Release(c)
+	s.inflight--
+	s.drainOverflow()
+}
+
+// complete consumes one cohort's execution result on the loop
+// goroutine: per-stage accounting and spans, response delivery, and
+// context release. A unit the cluster could not replay anywhere
+// (Result.Err — every device dead) sheds like a dispatch refusal.
+func (s *CohortServer) complete(c *cohort.Context[*liveReq], res *cluster.Result) {
+	reqs := c.Requests()
+	if res.Err != nil {
+		s.shed(c, reqs)
+		return
+	}
+	tc := s.typeStats(reqs[0].t)
+	for k, se := range res.Stages {
+		tc.stages[k].Launches++
+		tc.stages[k].DeviceUs += float64(se.Stats.Duration) / 1e3
+		// One span per request, sharing the launch-record linkage args
+		// (the map is read-only once built).
+		span := obs.Span{
+			Name:  fmt.Sprintf("stage-%d", k),
+			Start: se.Start,
+			Dur:   se.Dur,
+			Args:  stageArgs(se.Stats),
 		}
-		s.record(s.launchLat, float64(s.eng.Now()-launchStart))
-		s.pool.Release(c)
-		s.inflight--
-		s.drainOverflow()
-	})
+		for _, lr := range reqs {
+			lr.spans = append(lr.spans, span)
+		}
+	}
+	s.kernelErrors += uint64(res.KernelErrs)
+	now := time.Now()
+	for i, lr := range reqs {
+		lr.spans = append(lr.spans, obs.Span{Name: "render", Start: res.RenderStart, Dur: res.RenderDur})
+		lr.resp <- res.Resps[i]
+		lat := float64(now.Sub(lr.enq))
+		s.record(s.reqLat, lat)
+		s.latHist[lr.t].Observe(lat)
+	}
+	s.record(s.launchLat, float64(res.DeviceTime))
+	s.finish(c)
 }
 
 // maxLatencySamples bounds the stats recorders so a long-lived server
@@ -818,20 +830,6 @@ func (s *CohortServer) record(r *stats.LatencyRecorder, v float64) {
 		}
 		r.Record(v)
 	}
-}
-
-// deviceCohort returns (allocating on first use) the device buffers for
-// context id serving type t, keyed by buffer class and rebound across
-// types — the same lazy-preallocation scheme as the offline pipeline.
-func (s *CohortServer) deviceCohort(id int, t banking.ReqType) *banking.DeviceCohort {
-	class := banking.SpecFor(t).BufferBytes()
-	dc, ok := s.dcs[id][class]
-	if !ok {
-		dc = banking.NewDeviceCohortClass(s.dev, class, s.opts.CohortSize)
-		s.dcs[id][class] = dc
-	}
-	dc.Bind(t)
-	return dc
 }
 
 // Stats snapshots the live counters. Safe to call at any time; while
@@ -853,6 +851,10 @@ func (s *CohortServer) Stats() CohortServerStats {
 
 func (s *CohortServer) snapshot() CohortServerStats {
 	ps := s.pool.Stats()
+	// One pass over the cluster under one lock: the per-device rows,
+	// the aggregate, and the failover/retry/shed counters are mutually
+	// consistent even while devices drain or fail over.
+	cs := s.cl.Snapshot()
 	st := CohortServerStats{
 		Mode:             "cohort",
 		Served:           s.served.Load(),
@@ -877,8 +879,12 @@ func (s *CohortServer) snapshot() CohortServerStats {
 		LaunchDevUsMean:  s.launchLat.Mean() / 1e3,
 		LatencyMsP50:     s.reqLat.Percentile(50) / 1e6,
 		LatencyMsP99:     s.reqLat.Percentile(99) / 1e6,
-		Device:           s.dev.Stats(),
-		ProfiledLaunches: s.dev.ProfiledLaunches(),
+		Device:           cs.Aggregate,
+		ProfiledLaunches: cs.ProfiledLaunches,
+		Devices:          cs.Devices,
+		Failovers:        cs.Failovers,
+		DeviceRetries:    cs.Retries,
+		ShedCohorts:      s.shedCohorts,
 		Types:            make(map[string]CohortTypeStats, len(s.perType)),
 	}
 	for key, tc := range s.perType {
@@ -940,6 +946,7 @@ func (s *CohortServer) metricsResponse() []byte {
 	w.Family("rhythm_cohort_occupancy", "histogram", "Requests per launched cohort.")
 	w.Histogram("rhythm_cohort_occupancy", "", s.occupHist.Snapshot(), 1)
 	writeDeviceFamilies(w, st.Device, st.ProfiledLaunches)
+	writeClusterFamilies(w, st)
 	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
 	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
 	return bodyResponse(promContentType, w.Bytes())
@@ -953,14 +960,19 @@ func (s *CohortServer) traceResponse(req *httpx.Request) []byte {
 		return errorResponse(400, "Bad Request")
 	}
 	var since time.Time
-	var floor uint64
+	var launches []simt.LaunchRecord
 	wait := secs > 0
 	if wait {
 		since = time.Now()
-		floor = s.dev.ProfiledLaunches()
+		// Launch sequence numbers are per device, so the capture floor
+		// is too: the cluster filters each ring before merging.
+		floors := s.cl.LaunchFloors()
 		time.Sleep(time.Duration(secs) * time.Second)
+		launches = s.cl.ProfilesSince(floors)
+	} else {
+		launches = s.cl.Profiles()
 	}
-	body := traceDocument(s.tracer, since, wait, s.dev.Profile(), floor)
+	body := traceDocument(s.tracer, since, wait, launches, 0)
 	return bodyResponse("application/json", body)
 }
 

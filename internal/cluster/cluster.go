@@ -1,0 +1,497 @@
+// Package cluster shards Rhythm's cohort pipeline across N independent
+// modeled SIMT devices — the multi-GPU serving tier the paper's §6
+// scaling discussion points at. Each device owns a private sim.Engine,
+// device memory, streams, and cohort buffers; a dispatcher routes formed
+// cohorts (Units) to devices by session affinity, with
+// least-outstanding-work tie-breaking for requests that carry no state.
+// The pool has a health model with injectable faults (FaultPlan) and
+// fails affected work over to healthy devices under an idempotency
+// contract documented in DESIGN.md §11.
+//
+// Sharding rule: user/session state is partitioned into Groups shard
+// groups, each a host-authoritative {Besim DB, session array} pair.
+// A session's group is derived from its array bucket, which the session
+// ID encodes — so affinity is recovered from a cookie alone
+// (session.ID.Bucket), and a login is pinned by hashing its userid the
+// way Create will (session.BucketFor). Because every group's array has
+// the full host-path geometry and buckets map to exactly one group, the
+// (bucket, node) slot — and therefore the cookie bytes and page bytes —
+// are identical to a single shared array's.
+//
+// Concurrency contract: each device worker goroutine is the only code
+// that touches its engine, device memory, and (while executing a unit)
+// the unit's group state. A group is touched by exactly one device at a
+// time because ownership moves only after the losing device has fully
+// quiesced (see device.die). Cross-goroutine visibility — health,
+// queue depths, mirrored DeviceStats — goes through one cluster-wide
+// mutex, which is also what makes Snapshot a single atomic pass.
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/httpx"
+	"rhythm/internal/session"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+)
+
+// ErrNoHealthyDevice is delivered as Result.Err when a unit cannot be
+// placed because every device in the pool is dead.
+var ErrNoHealthyDevice = errors.New("cluster: no healthy device")
+
+// Config sizes a device pool.
+type Config struct {
+	// Devices is the pool width (default 1).
+	Devices int
+	// Groups is the number of shard groups state is partitioned into
+	// (default Devices). Groups is fixed for the pool's lifetime so that
+	// failover moves whole groups between devices without resharding.
+	Groups int
+	// CohortSize is the slot capacity of each device cohort.
+	CohortSize int
+	// SlotsPerDevice is the number of concurrently executing cohort
+	// contexts (streams) per device (default 4).
+	SlotsPerDevice int
+	// QueueDepth bounds each device's dispatch queue (default
+	// 2×SlotsPerDevice). A full queue makes Dispatch report false — the
+	// caller's 503 path.
+	QueueDepth int
+	// SessionBuckets and SessionNodesPerBucket fix every group's session
+	// array geometry (defaults 256 and 1028, matching the cohort
+	// server). The geometry must equal the host path's for cookie bytes
+	// to match.
+	SessionBuckets        int
+	SessionNodesPerBucket int
+	// Simt configures each device (zero value = simt.GTXTitan()).
+	Simt simt.Config
+	// Faults optionally injects device faults (nil = none).
+	Faults *FaultPlan
+	// Manual defers worker startup to Start(), letting a harness prefill
+	// the dispatch queues for a deterministic virtual-time run.
+	Manual bool
+	// MaxAttempts is how many consecutive failing launch attempts a unit
+	// survives on one device before the device is declared lost and the
+	// unit fails over (default 3).
+	MaxAttempts int
+}
+
+func (c *Config) fill() {
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.Groups <= 0 {
+		c.Groups = c.Devices
+	}
+	if c.CohortSize <= 0 {
+		c.CohortSize = 128
+	}
+	if c.SlotsPerDevice <= 0 {
+		c.SlotsPerDevice = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.SlotsPerDevice
+	}
+	if c.SessionBuckets <= 0 {
+		c.SessionBuckets = 256
+	}
+	if c.SessionNodesPerBucket <= 0 {
+		c.SessionNodesPerBucket = (1<<16)/256*4 + 4
+	}
+	if c.Simt.Name == "" {
+		c.Simt = simt.GTXTitan()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+}
+
+// Unit is one formed cohort handed to the pool: a typed batch of parsed
+// requests plus the shard group whose state it touches (-1 for units
+// that touch no group state — error paths any device can render).
+type Unit struct {
+	Type  banking.ReqType
+	Group int
+	Reqs  []httpx.Request
+	// Done receives the unit's outcome exactly once, on the executing
+	// device's worker goroutine (or the dispatcher's when the unit is
+	// shed with Result.Err set). It must not block.
+	Done func(*Result)
+
+	// attempts counts consecutive failed launch attempts on the current
+	// device; it resets when the unit fails over.
+	attempts int
+}
+
+// StageExec is one stage kernel's execution record within a Result.
+type StageExec struct {
+	Stats simt.LaunchStats
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Result is a unit's outcome. When Err is nil, Resps holds one rendered
+// fixed-geometry response per request, in request order, byte-identical
+// to the host path's.
+type Result struct {
+	Resps       [][]byte
+	Stages      []StageExec
+	KernelErrs  int // requests that took the kernel error path
+	Device      int // executing device id (-1 when shed)
+	Attempts    int // launch attempts on the executing device (≥1)
+	DeviceTime  sim.Time
+	RenderStart time.Time
+	RenderDur   time.Duration
+	Err         error
+}
+
+// groupState is one shard group's host-authoritative state. It is only
+// ever touched by the worker goroutine of the device that currently
+// owns the group.
+type groupState struct {
+	db       *backend.DB
+	sessions *session.Array
+}
+
+// Cluster is the device pool.
+type Cluster struct {
+	cfg    Config
+	devs   []*device
+	groups []*groupState
+
+	// statsMu guards routing state (owner, per-device health and
+	// counters, mirrored device stats) and the cluster counters. It is
+	// the single lock a Snapshot needs.
+	statsMu   sync.Mutex
+	owner     []int // group -> device id
+	failovers uint64
+	retries   uint64
+	sheds     uint64
+
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	startOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds the pool and (unless cfg.Manual) starts its device
+// workers.
+func New(cfg Config) *Cluster {
+	cfg.fill()
+	c := &Cluster{
+		cfg:    cfg,
+		owner:  make([]int, cfg.Groups),
+		stopCh: make(chan struct{}),
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		c.groups = append(c.groups, &groupState{
+			db:       backend.New(),
+			sessions: session.NewArray(cfg.SessionBuckets, cfg.SessionNodesPerBucket),
+		})
+		c.owner[g] = g % cfg.Devices
+	}
+	for i := 0; i < cfg.Devices; i++ {
+		c.devs = append(c.devs, newDevice(c, i))
+	}
+	if !cfg.Manual {
+		c.Start()
+	}
+	return c
+}
+
+// Start launches the device workers (idempotent; called by New unless
+// Config.Manual).
+func (c *Cluster) Start() {
+	c.startOnce.Do(func() {
+		for _, d := range c.devs {
+			c.wg.Add(1)
+			go d.run()
+		}
+	})
+}
+
+// Close stops the pool: workers finish their backlogs and in-flight
+// launches (graceful drain), then exit. Callers must stop Dispatching
+// first.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+}
+
+// Devices reports the pool width.
+func (c *Cluster) Devices() int { return c.cfg.Devices }
+
+// GroupCount reports the shard group count.
+func (c *Cluster) GroupCount() int { return c.cfg.Groups }
+
+// GroupSessions exposes group g's session array. Only safe to touch
+// while no unit of group g is dispatched or executing (e.g. a harness
+// pre-populating sessions before dispatching).
+func (c *Cluster) GroupSessions(g int) *session.Array { return c.groups[g].sessions }
+
+// GroupFor reports the shard group a request routes to: logins pin to
+// the group that will own the created session (hashing the userid form
+// field the way session.Create will); cookie-bearing requests recover
+// affinity from the session ID; everything else (-1) carries no state
+// and may run anywhere.
+func (c *Cluster) GroupFor(req *httpx.Request, t banking.ReqType) int {
+	if t == banking.Login {
+		// A login ignores any cookie: it creates a session for the
+		// userid it posts. An unparsable userid fails in the kernel
+		// before touching any state, so it routes as stateless.
+		uid, err := strconv.ParseUint(req.Param("userid"), 10, 64)
+		if err != nil {
+			return -1
+		}
+		return session.BucketFor(uid, c.cfg.SessionBuckets) % c.cfg.Groups
+	}
+	if cookie := req.Cookie("MY_ID"); cookie != "" {
+		if id, ok := session.ParseID(cookie); ok {
+			return id.Bucket(c.cfg.SessionBuckets) % c.cfg.Groups
+		}
+	}
+	// No or malformed cookie: the kernel fails the request before any
+	// session or DB access, so any device renders the same error page.
+	return -1
+}
+
+// Dispatch routes a unit to a device, reporting false when it must be
+// shed: the owning device's bounded queue is full (backpressure — the
+// caller's 503 path) or no healthy device exists. On false the unit was
+// not enqueued and Done will not be called.
+func (c *Cluster) Dispatch(u *Unit) bool {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if u.Group >= 0 {
+		d := c.ownerLocked(u.Group)
+		if d == nil {
+			return false
+		}
+		return c.offerLocked(d, u)
+	}
+	for _, d := range c.byLoadLocked(-1) {
+		if c.offerLocked(d, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerLocked resolves a group's owning device, lazily failing the
+// group over to the least-loaded healthy device when the owner is dead.
+func (c *Cluster) ownerLocked(g int) *device {
+	d := c.devs[c.owner[g]]
+	if d.health != Dead {
+		return d
+	}
+	cands := c.byLoadLocked(d.id)
+	if len(cands) == 0 {
+		return nil
+	}
+	c.owner[g] = cands[0].id
+	c.failovers++
+	return cands[0]
+}
+
+// byLoadLocked lists non-dead devices by ascending outstanding units
+// (stable, so equal loads keep device order — deterministic routing).
+func (c *Cluster) byLoadLocked(exclude int) []*device {
+	out := make([]*device, 0, len(c.devs))
+	for _, d := range c.devs {
+		if d.id == exclude || d.health == Dead {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].outstanding < out[j].outstanding })
+	return out
+}
+
+// offerLocked attempts a non-blocking enqueue onto d. The send happens
+// under statsMu so that once a device is marked Dead (also under
+// statsMu), no new unit can ever land on its queue.
+func (c *Cluster) offerLocked(d *device, u *Unit) bool {
+	select {
+	case d.ch <- u:
+		d.outstanding++
+		return true
+	default:
+		return false
+	}
+}
+
+// transfer moves a unit off device `from` (which is dead) onto a
+// healthy device, blocking until the target accepts it — accepted work
+// is never dropped. isRetry marks the unit that tripped the fault (its
+// failed attempts count as retries); plain backlog displacement is not
+// a retry. With no healthy device left the unit is shed with
+// ErrNoHealthyDevice.
+func (c *Cluster) transfer(u *Unit, from int, isRetry bool) {
+	u.attempts = 0
+	c.statsMu.Lock()
+	c.devs[from].outstanding--
+	if isRetry {
+		c.retries++
+	}
+	var d *device
+	if u.Group >= 0 {
+		d = c.ownerLocked(u.Group)
+	} else if cands := c.byLoadLocked(from); len(cands) > 0 {
+		d = cands[0]
+	}
+	if d == nil {
+		c.sheds++
+		c.statsMu.Unlock()
+		u.Done(&Result{Device: -1, Err: ErrNoHealthyDevice})
+		return
+	}
+	// Reserve before sending: totalInFlight stays >0 for the whole
+	// hand-off, which is what keeps the target's worker alive to
+	// receive even while the pool is draining.
+	d.outstanding++
+	ch := d.ch
+	c.statsMu.Unlock()
+	ch <- u
+}
+
+// totalInFlightLocked sums outstanding units across the pool.
+func (c *Cluster) totalInFlightLocked() int {
+	n := 0
+	for _, d := range c.devs {
+		n += d.outstanding
+	}
+	return n
+}
+
+func (c *Cluster) totalInFlight() int {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.totalInFlightLocked()
+}
+
+// DeviceSnapshot is one device's row in a Snapshot.
+type DeviceSnapshot struct {
+	ID               int              `json:"id"`
+	Health           string           `json:"health"`
+	QueueLen         int              `json:"queue_len"`
+	Outstanding      int              `json:"outstanding"`
+	UnitsDone        uint64           `json:"units_done"`
+	LaunchErrors     uint64           `json:"launch_errors"`
+	Stalls           uint64           `json:"stalls"`
+	Groups           []int            `json:"groups"`
+	VirtualTimeUs    float64          `json:"virtual_time_us"`
+	Stats            simt.DeviceStats `json:"stats"`
+	ProfiledLaunches uint64           `json:"profiled_launches"`
+}
+
+// Snapshot is an atomic one-pass view of the pool: every field is read
+// under a single acquisition of the cluster mutex, so a scrape during
+// drain or failover can never observe torn counts across devices.
+type Snapshot struct {
+	Devices          []DeviceSnapshot `json:"devices"`
+	Aggregate        simt.DeviceStats `json:"aggregate"`
+	ProfiledLaunches uint64           `json:"profiled_launches"`
+	Failovers        uint64           `json:"failovers"`
+	Retries          uint64           `json:"retries"`
+	Sheds            uint64           `json:"sheds"`
+}
+
+// Snapshot captures the pool state in one pass under one lock.
+func (c *Cluster) Snapshot() Snapshot {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	snap := Snapshot{
+		Failovers: c.failovers,
+		Retries:   c.retries,
+		Sheds:     c.sheds,
+	}
+	groupsOf := make(map[int][]int, len(c.devs))
+	for g, d := range c.owner {
+		groupsOf[d] = append(groupsOf[d], g)
+	}
+	for _, d := range c.devs {
+		ds := DeviceSnapshot{
+			ID:               d.id,
+			Health:           d.health.String(),
+			QueueLen:         len(d.ch),
+			Outstanding:      d.outstanding,
+			UnitsDone:        d.unitsDone,
+			LaunchErrors:     d.launchErrors,
+			Stalls:           d.stalls,
+			Groups:           groupsOf[d.id],
+			VirtualTimeUs:    d.virtNow.Micros(),
+			Stats:            d.snapStats,
+			ProfiledLaunches: d.snapProfiled,
+		}
+		snap.Devices = append(snap.Devices, ds)
+		snap.ProfiledLaunches += d.snapProfiled
+		agg := &snap.Aggregate
+		agg.Launches += ds.Stats.Launches
+		agg.Copies += ds.Stats.Copies
+		agg.CopiedBytes += ds.Stats.CopiedBytes
+		agg.IssueCycles += ds.Stats.IssueCycles
+		agg.MemBytes += ds.Stats.MemBytes
+		agg.Transactions += ds.Stats.Transactions
+		agg.IdealTxns += ds.Stats.IdealTxns
+		agg.DivergentExec += ds.Stats.DivergentExec
+		agg.BlockExecs += ds.Stats.BlockExecs
+		agg.EnergyJ += ds.Stats.EnergyJ
+		agg.BusyTime += ds.Stats.BusyTime
+	}
+	return snap
+}
+
+// streamIDStride offsets stream ids per device in merged launch
+// profiles so each device's streams render as distinct tracks.
+const streamIDStride = 100
+
+// Profiles merges every device's launch-profile ring, offsetting stream
+// ids by device (device i's stream s becomes i*streamIDStride+s). Safe
+// from any goroutine — the rings are internally locked.
+func (c *Cluster) Profiles() []simt.LaunchRecord {
+	var out []simt.LaunchRecord
+	for _, d := range c.devs {
+		for _, lr := range d.dev.Profile() {
+			lr.Stream += d.id * streamIDStride
+			out = append(out, lr)
+		}
+	}
+	return out
+}
+
+// LaunchFloors snapshots each device's profiled-launch count, for a
+// later ProfilesSince.
+func (c *Cluster) LaunchFloors() []uint64 {
+	floors := make([]uint64, len(c.devs))
+	for i, d := range c.devs {
+		floors[i] = d.dev.ProfiledLaunches()
+	}
+	return floors
+}
+
+// ProfilesSince merges launch records newer than a LaunchFloors
+// snapshot (sequence numbers are per-device, so the filter must be
+// too).
+func (c *Cluster) ProfilesSince(floors []uint64) []simt.LaunchRecord {
+	var out []simt.LaunchRecord
+	for i, d := range c.devs {
+		var floor uint64
+		if i < len(floors) {
+			floor = floors[i]
+		}
+		for _, lr := range d.dev.Profile() {
+			if lr.Seq <= floor {
+				continue
+			}
+			lr.Stream += d.id * streamIDStride
+			out = append(out, lr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"time"
+
+	"rhythm/internal/backend"
+	"rhythm/internal/banking"
+	"rhythm/internal/session"
+	"rhythm/internal/sim"
+	"rhythm/internal/simt"
+)
+
+// Health is a device's state in the pool's health model.
+type Health int
+
+// Device health states. Stalled devices still accept and execute work
+// (slowly); Dead devices never launch again and their groups fail over.
+const (
+	Healthy Health = iota
+	Stalled
+	Dead
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Stalled:
+		return "stalled"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// drainPoll is how often a worker with nothing local to do re-checks
+// the pool-wide in-flight count while the cluster drains.
+const drainPoll = 500 * time.Microsecond
+
+// device is one pool member: a modeled SIMT device plus the single
+// worker goroutine that owns it. Fields split three ways — worker-only
+// (engine, device, slots, backlog, fault state), channel (ch carries
+// dispatched units in), and cl.statsMu-guarded (health and the mirrored
+// counters every other goroutine reads).
+type device struct {
+	cl  *Cluster
+	id  int
+	eng *sim.Engine
+	dev *simt.Device
+
+	// Worker-owned execution state.
+	streams   []*simt.Stream
+	dcs       []map[int]*banking.DeviceCohort // per slot, by buffer class
+	freeSlots []int
+	backlog   []*Unit
+	stray     *groupState // state for Group -1 units (never read by them)
+	faults    faultCursor
+	unitsSeen int
+	deadFlag  bool  // a loss fault (or escalated launch error) fired
+	deadUnit  *Unit // the un-launched unit that tripped it
+	stopped   bool
+
+	ch chan *Unit
+
+	// Guarded by cl.statsMu. The simt.Device's own counters and the
+	// engine clock are worker-confined, so the worker mirrors them here
+	// (mirrorLocked) at every unit completion for Snapshot to read.
+	health       Health
+	outstanding  int
+	unitsDone    uint64
+	launchErrors uint64
+	stalls       uint64
+	snapStats    simt.DeviceStats
+	snapProfiled uint64
+	virtNow      sim.Time
+}
+
+func newDevice(c *Cluster, id int) *device {
+	eng := sim.NewEngine()
+	memBytes := int(int64(c.cfg.SlotsPerDevice)*banking.AllClassesDeviceBytes(c.cfg.CohortSize)) + 64<<20
+	d := &device{
+		cl:  c,
+		id:  id,
+		eng: eng,
+		dev: simt.NewDevice(eng, c.cfg.Simt, memBytes, nil),
+		stray: &groupState{
+			db:       backend.New(),
+			sessions: session.NewArray(c.cfg.SessionBuckets, c.cfg.SessionNodesPerBucket),
+		},
+		faults: faultCursor{faults: c.cfg.Faults.forDevice(id)},
+		ch:     make(chan *Unit, c.cfg.QueueDepth),
+	}
+	for i := 0; i < c.cfg.SlotsPerDevice; i++ {
+		d.streams = append(d.streams, d.dev.NewStream())
+		d.dcs = append(d.dcs, make(map[int]*banking.DeviceCohort))
+		d.freeSlots = append(d.freeSlots, i)
+	}
+	return d
+}
+
+// run is the worker loop. It is the only goroutine that steps the
+// engine or touches device memory, which is what makes a group's state
+// single-writer while this device owns it. Shape: launch backlog onto
+// free slots; while engine work is pending, prefer draining arrivals
+// over stepping (Go select takes a ready case before default, so a
+// prefilled queue is fully absorbed before virtual time advances —
+// the manual-mode determinism contract); once stopped, exit when the
+// whole pool is quiescent.
+func (d *device) run() {
+	defer d.cl.wg.Done()
+	stop := d.cl.stopCh
+	for {
+		for len(d.backlog) > 0 && len(d.freeSlots) > 0 && !d.deadFlag {
+			u := d.backlog[0]
+			d.backlog = d.backlog[1:]
+			d.tryLaunch(u)
+		}
+		if d.deadFlag {
+			d.die(stop)
+			return
+		}
+		if d.eng.Pending() > 0 {
+			select {
+			case u := <-d.ch:
+				d.backlog = append(d.backlog, u)
+			case <-stop:
+				stop = nil
+				d.stopped = true
+			default:
+				d.eng.Step()
+			}
+			continue
+		}
+		if d.stopped {
+			if len(d.ch) == 0 && len(d.backlog) == 0 && d.cl.totalInFlight() == 0 {
+				d.cl.statsMu.Lock()
+				d.mirrorLocked()
+				d.cl.statsMu.Unlock()
+				return
+			}
+			// Another device may still transfer work here (its dying
+			// worker reserved a slot in the in-flight count first), so
+			// poll rather than block.
+			select {
+			case u := <-d.ch:
+				d.backlog = append(d.backlog, u)
+			case <-time.After(drainPoll):
+			}
+			continue
+		}
+		select {
+		case u := <-d.ch:
+			d.backlog = append(d.backlog, u)
+		case <-stop:
+			stop = nil
+			d.stopped = true
+		}
+	}
+}
+
+// tryLaunch consumes one backlog unit: consult the fault schedule, then
+// either execute it on a free slot or take the fault path. Launch
+// errors retry locally (the unit stays on this device, at the backlog
+// head); MaxAttempts consecutive errors escalate to device death so the
+// unit can fail over — cross-device retry is only safe after this
+// device has quiesced, because until then its in-flight kernels still
+// touch the groups it owns.
+func (d *device) tryLaunch(u *Unit) {
+	d.unitsSeen++
+	if f := d.faults.next(d.unitsSeen); f != nil {
+		switch f.Kind {
+		case KindLoss:
+			d.deadFlag = true
+			d.deadUnit = u
+			return
+		case KindLaunchError:
+			u.attempts++
+			d.cl.statsMu.Lock()
+			d.launchErrors++
+			d.cl.retries++
+			d.cl.statsMu.Unlock()
+			if u.attempts >= d.cl.cfg.MaxAttempts {
+				d.deadFlag = true
+				d.deadUnit = u
+				return
+			}
+			d.backlog = append([]*Unit{u}, d.backlog...)
+			return
+		case KindStall:
+			d.cl.statsMu.Lock()
+			d.stalls++
+			d.health = Stalled
+			d.cl.statsMu.Unlock()
+			time.Sleep(f.duration())
+			d.cl.statsMu.Lock()
+			if d.health == Stalled {
+				d.health = Healthy
+			}
+			d.cl.statsMu.Unlock()
+			// Stalls lose nothing; fall through to the launch.
+		}
+	}
+	slot := d.freeSlots[len(d.freeSlots)-1]
+	d.freeSlots = d.freeSlots[:len(d.freeSlots)-1]
+	d.execute(u, slot)
+}
+
+// die finalizes a lost device. Ordering is the failover/idempotency
+// contract (DESIGN.md §11): Besim writes commit at unit launch, so
+// every launched unit has committed and must complete and deliver —
+// step the engine until the in-flight slots drain. Only then is Dead
+// published (under statsMu, after which no new unit can route here and
+// group ownership may move), and only un-launched work — whose writes
+// never happened — is re-dispatched. The displaced units therefore
+// execute exactly once, and re-execution on the new owner reads the
+// same host-authoritative group state the old owner left behind.
+func (d *device) die(stop chan struct{}) {
+	for d.eng.Pending() > 0 {
+		d.eng.Step()
+	}
+	d.cl.statsMu.Lock()
+	d.health = Dead
+	d.mirrorLocked()
+	d.cl.statsMu.Unlock()
+	if d.deadUnit != nil {
+		d.cl.transfer(d.deadUnit, d.id, true)
+		d.deadUnit = nil
+	}
+	for _, u := range d.backlog {
+		d.cl.transfer(u, d.id, false)
+	}
+	d.backlog = nil
+	// Drain: units that were enqueued before Dead was published may
+	// still sit in ch; units mid-transfer from another dying device may
+	// yet arrive (their senders picked this device while it was alive).
+	// Forward everything until the pool is quiescent and stopped.
+	for {
+		if d.stopped && len(d.ch) == 0 && d.cl.totalInFlight() == 0 {
+			return
+		}
+		select {
+		case u := <-d.ch:
+			d.cl.transfer(u, d.id, false)
+		case <-stop:
+			stop = nil
+			d.stopped = true
+		case <-time.After(drainPoll):
+		}
+	}
+}
+
+// stateFor resolves the group state a unit executes against. Group -1
+// units carry no usable session cookie, so their kernels fail before
+// touching state; the per-device stray pair exists only so StageArgs
+// has non-nil pointers to hand them.
+func (d *device) stateFor(g int) *groupState {
+	if g >= 0 {
+		return d.cl.groups[g]
+	}
+	return d.stray
+}
+
+// deviceCohort returns (allocating on first use) slot's cohort buffers
+// for type t, keyed by buffer class and rebound across types — the same
+// lazy scheme as the single-device server.
+func (d *device) deviceCohort(slot int, t banking.ReqType) *banking.DeviceCohort {
+	class := banking.SpecFor(t).BufferBytes()
+	dc, ok := d.dcs[slot][class]
+	if !ok {
+		dc = banking.NewDeviceCohortClass(d.dev, class, d.cl.cfg.CohortSize)
+		d.dcs[slot][class] = dc
+	}
+	dc.Bind(t)
+	return dc
+}
+
+// execute runs a unit's stage-kernel chain on slot's stream: n backend
+// + n+1 process stages with Besim chained in-kernel (Titan B
+// semantics), then the response transpose and writeback. Identical to
+// the single-device server's chain except that Sessions/Besim come
+// from the unit's shard group.
+func (d *device) execute(u *Unit, slot int) {
+	st := d.stateFor(u.Group)
+	svc := banking.ServiceFor(u.Type)
+	dc := d.deviceCohort(slot, u.Type)
+	count := len(u.Reqs)
+	dc.Reset(count)
+	copy(dc.Reqs, u.Reqs)
+	stream := d.streams[slot]
+	launchStart := d.eng.Now()
+	res := &Result{Device: d.id, Attempts: u.attempts + 1}
+	var nextStage func(k int)
+	nextStage = func(k int) {
+		args := banking.StageArgs{
+			Cohort:   dc,
+			Service:  svc,
+			Stage:    k,
+			Sessions: st.sessions,
+			Padding:  true,
+			ColMajor: true,
+			Besim:    st.db,
+		}
+		wallStart := time.Now()
+		stream.Launch(banking.NewStageProgram(args), count, nil, func(ls simt.LaunchStats) {
+			res.Stages = append(res.Stages, StageExec{Stats: ls, Start: wallStart, Dur: time.Since(wallStart)})
+			if k < svc.Spec.Backends {
+				nextStage(k + 1)
+				return
+			}
+			d.writeback(u, dc, stream, slot, count, launchStart, res)
+		})
+	}
+	nextStage(0)
+}
+
+// writeback transposes the responses to row-major, copies each out of
+// device memory, and completes the unit.
+func (d *device) writeback(u *Unit, dc *banking.DeviceCohort, stream *simt.Stream, slot, count int, launchStart sim.Time, res *Result) {
+	buf := dc.Spec.BufferBytes()
+	stream.TransposeLive(dc.RespRow, dc.RespCol, buf/4, dc.Size, 4, buf/4, count, nil)
+	stream.Barrier(func() {
+		res.RenderStart = time.Now()
+		res.Resps = make([][]byte, count)
+		for i := 0; i < count; i++ {
+			if ctx := dc.Ctxs[i]; ctx != nil && ctx.Err != "" {
+				res.KernelErrs++
+			}
+			res.Resps[i] = dc.ResponseRow(d.dev.Mem, i)
+		}
+		res.RenderDur = time.Since(res.RenderStart)
+		res.DeviceTime = d.eng.Now() - launchStart
+		d.freeSlots = append(d.freeSlots, slot)
+		d.cl.statsMu.Lock()
+		d.outstanding--
+		d.unitsDone++
+		d.mirrorLocked()
+		d.cl.statsMu.Unlock()
+		u.Done(res)
+	})
+}
+
+// mirrorLocked refreshes the statsMu-guarded copies of the
+// worker-confined device counters. Caller holds cl.statsMu.
+func (d *device) mirrorLocked() {
+	d.snapStats = d.dev.Stats()
+	d.snapProfiled = d.dev.ProfiledLaunches()
+	d.virtNow = d.eng.Now()
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// FaultKind names an injectable device fault.
+type FaultKind string
+
+// The fault kinds a FaultPlan can inject. They model the three failure
+// classes a multi-GPU serving tier sees: a kernel launch that errors out
+// (transient or persistent driver fault), a device that stalls (thermal
+// throttling, a wedged DMA engine), and a full device loss (XID error,
+// the card falls off the bus).
+const (
+	// KindLaunchError makes a unit's kernel launch fail before any
+	// functional work runs (so no Besim writes commit). The unit is
+	// retried; persistent errors escalate to device death.
+	KindLaunchError FaultKind = "launch_error"
+	// KindStall freezes the device worker for DurationMs of wall time
+	// before the launch proceeds. Nothing is lost — latency spikes.
+	KindStall FaultKind = "stall"
+	// KindLoss kills the device: in-flight (committed) units run to
+	// completion off the host-authoritative state, everything queued is
+	// re-dispatched to healthy devices, and the device never launches
+	// again.
+	KindLoss FaultKind = "loss"
+)
+
+// Fault is one scheduled fault against one device. AfterUnits counts
+// launch attempts on that device: the fault triggers on the attempt
+// after the first AfterUnits units launched cleanly (AfterUnits 0 hits
+// the very first unit).
+type Fault struct {
+	Device     int       `json:"device"`
+	Kind       FaultKind `json:"kind"`
+	AfterUnits int       `json:"after_units"`
+	// Count repeats a launch_error over that many consecutive launch
+	// attempts (default 1). Ignored by the other kinds.
+	Count int `json:"count,omitempty"`
+	// DurationMs is the stall length (default 100ms). Ignored by the
+	// other kinds.
+	DurationMs int `json:"duration_ms,omitempty"`
+}
+
+func (f Fault) duration() time.Duration {
+	if f.DurationMs <= 0 {
+		return 100 * time.Millisecond
+	}
+	return time.Duration(f.DurationMs) * time.Millisecond
+}
+
+// FaultPlan is an injectable fault schedule, deterministic per device:
+// the JSON schema is documented in DESIGN.md §11 and loaded by
+// rhythmd -fault-plan.
+type FaultPlan struct {
+	Faults []Fault `json:"faults"`
+}
+
+// ParseFaultPlan decodes and validates a fault-plan JSON document.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) {
+	var p FaultPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("cluster: fault plan: %w", err)
+	}
+	for i, f := range p.Faults {
+		switch f.Kind {
+		case KindLaunchError, KindStall, KindLoss:
+		default:
+			return nil, fmt.Errorf("cluster: fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.Device < 0 {
+			return nil, fmt.Errorf("cluster: fault %d: negative device %d", i, f.Device)
+		}
+		if f.AfterUnits < 0 {
+			return nil, fmt.Errorf("cluster: fault %d: negative after_units", i)
+		}
+	}
+	return &p, nil
+}
+
+// LoadFaultPlan reads and parses a fault-plan file.
+func LoadFaultPlan(path string) (*FaultPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseFaultPlan(data)
+}
+
+// forDevice extracts device id's faults in trigger order.
+func (p *FaultPlan) forDevice(id int) []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.Device == id {
+			out = append(out, f)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AfterUnits < out[j].AfterUnits })
+	return out
+}
+
+// faultCursor walks a device's fault schedule as launch attempts tick.
+type faultCursor struct {
+	faults    []Fault
+	idx       int
+	remaining int // outstanding repeats of the current launch_error
+}
+
+// next reports the fault (if any) the attempted-launch counter `seen`
+// trips, consuming it from the schedule.
+func (fc *faultCursor) next(seen int) *Fault {
+	if fc.remaining > 0 {
+		fc.remaining--
+		return &fc.faults[fc.idx-1]
+	}
+	if fc.idx < len(fc.faults) && seen > fc.faults[fc.idx].AfterUnits {
+		f := &fc.faults[fc.idx]
+		fc.idx++
+		if f.Kind == KindLaunchError && f.Count > 1 {
+			fc.remaining = f.Count - 1
+		}
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"rhythm/internal/banking"
+	"rhythm/internal/cluster"
+	"rhythm/internal/httpx"
+	"rhythm/internal/simt"
+)
+
+// Where ScaleOutStudy projects scale-out analytically from one measured
+// device, this study actually runs the pool: N modeled SIMT devices
+// behind the cluster dispatcher, each owning its shard group's session
+// array and Besim DB. It is a weak-scaling sweep — every device gets
+// the same per-group workload — so ideal scaling holds aggregate
+// virtual-time throughput at N x the single-device rate; the measured
+// ratio is reported as Speedup. Manual mode prefills every queue before
+// the workers start, making the virtual times (and the CI bench gate's
+// throughput rows) bit-identical across runs.
+
+// clusterSweepTypes is the request mix each group's units cycle
+// through: the three session'd read paths the load generator drives.
+var clusterSweepTypes = []banking.ReqType{banking.AccountSummary, banking.Profile, banking.Transfer}
+
+// ClusterScalingRow is one device count in the sweep.
+type ClusterScalingRow struct {
+	Devices     int
+	Requests    int     // total requests executed across the pool
+	VirtualMs   float64 // slowest device's virtual time
+	ThroughputK float64 // aggregate KReq/s of virtual time
+	Speedup     float64 // vs the 1-device row
+}
+
+// ClusterScalingResult is the full sweep.
+type ClusterScalingResult struct {
+	Rows []ClusterScalingRow
+}
+
+// ClusterScalingStudy measures aggregate throughput for each device
+// count: per shard group, GPUCohortsPerType cohort units of CohortSize
+// requests are formed from a deterministic per-group generator and
+// dispatched with explicit group affinity; throughput divides total
+// requests by the slowest device's virtual clock once every unit has
+// completed.
+func ClusterScalingStudy(cfg Config, counts []int) ClusterScalingResult {
+	cfg.validate()
+	var res ClusterScalingResult
+	for _, n := range counts {
+		row := runClusterPoint(cfg, n)
+		if len(res.Rows) > 0 {
+			row.Speedup = row.ThroughputK / res.Rows[0].ThroughputK
+		} else {
+			row.Speedup = 1 // first count is the baseline (normally 1 device)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func runClusterPoint(cfg Config, devices int) ClusterScalingRow {
+	devCfg := simt.GTXTitan()
+	devCfg.HostParallelism = cfg.HostParallelism
+	unitsPerGroup := cfg.GPUCohortsPerType
+	cl := cluster.New(cluster.Config{
+		Devices:        devices,
+		CohortSize:     cfg.CohortSize,
+		SlotsPerDevice: cfg.MaxCohorts,
+		QueueDepth:     devices * unitsPerGroup, // deep enough to prefill everything
+		Simt:           devCfg,
+		Manual:         true,
+	})
+	defer cl.Close()
+
+	var units []*cluster.Unit
+	var wg sync.WaitGroup
+	for g := 0; g < cl.GroupCount(); g++ {
+		gen := banking.NewGenerator(cfg.Seed+int64(g), cl.GroupSessions(g))
+		gen.Populate(2 * cfg.CohortSize)
+		for u := 0; u < unitsPerGroup; u++ {
+			rt := clusterSweepTypes[u%len(clusterSweepTypes)]
+			reqs := make([]httpx.Request, cfg.CohortSize)
+			for i := range reqs {
+				req, err := httpx.Parse(gen.Request(rt))
+				if err != nil {
+					panic(fmt.Sprintf("harness: generated request failed to parse: %v", err))
+				}
+				reqs[i] = req
+			}
+			unit := &cluster.Unit{Type: rt, Group: g, Reqs: reqs}
+			wg.Add(1)
+			unit.Done = func(r *cluster.Result) {
+				if r.Err != nil {
+					panic(fmt.Sprintf("harness: cluster unit failed: %v", r.Err))
+				}
+				wg.Done()
+			}
+			units = append(units, unit)
+		}
+	}
+	for _, u := range units {
+		if !cl.Dispatch(u) {
+			panic("harness: cluster dispatch rejected with prefill-depth queues")
+		}
+	}
+	cl.Start()
+	wg.Wait()
+
+	snap := cl.Snapshot()
+	var maxUs float64
+	for _, d := range snap.Devices {
+		if d.VirtualTimeUs > maxUs {
+			maxUs = d.VirtualTimeUs
+		}
+	}
+	total := len(units) * cfg.CohortSize
+	return ClusterScalingRow{
+		Devices:     devices,
+		Requests:    total,
+		VirtualMs:   maxUs / 1e3,
+		ThroughputK: float64(total) / (maxUs / 1e6) / 1e3,
+	}
+}
+
+// Render formats the sweep.
+func (r ClusterScalingResult) Render() *Table {
+	t := &Table{
+		Title: "Cluster layer: measured device-scaling sweep (weak scaling)",
+		Caption: "N sharded SIMT devices behind the session-affinity dispatcher; " +
+			"throughput is total requests over the slowest device's virtual time",
+		Headers: []string{"Devices", "Requests", "Virtual ms", "KReq/s", "Speedup"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Devices), fmt.Sprint(row.Requests),
+			f1(row.VirtualMs), f1(row.ThroughputK), f2(row.Speedup)+"x")
+	}
+	return t
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClusterScalingStudy: the PR's acceptance bar — four sharded
+// devices sustain at least 3x the single-device aggregate virtual-time
+// throughput — plus the determinism the CI bench gate relies on.
+func TestClusterScalingStudy(t *testing.T) {
+	cfg := tinyConfig()
+	res := ClusterScalingStudy(cfg, []int{1, 4})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	one, four := res.Rows[0], res.Rows[1]
+	if one.Devices != 1 || four.Devices != 4 {
+		t.Fatalf("device counts %d/%d, want 1/4", one.Devices, four.Devices)
+	}
+	if four.Requests != 4*one.Requests {
+		t.Fatalf("weak scaling broke: %d vs 4x%d requests", four.Requests, one.Requests)
+	}
+	if four.Speedup < 3 {
+		t.Fatalf("4-device speedup %.2fx, want >= 3x", four.Speedup)
+	}
+
+	again := ClusterScalingStudy(cfg, []int{1, 4})
+	if !reflect.DeepEqual(res, again) {
+		t.Fatalf("sweep is not deterministic:\n%+v\nvs\n%+v", res, again)
+	}
+
+	if out := res.Render(); len(out.Rows) != 2 {
+		t.Fatalf("rendered %d rows", len(out.Rows))
+	}
+}

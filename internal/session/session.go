@@ -39,6 +39,26 @@ func ParseID(s string) (ID, bool) {
 	return ID(v), true
 }
 
+// BucketFor reports the bucket index userID would hash to in a table of
+// n buckets — the same reduction Create applies. The cluster dispatcher
+// uses it to pin a login (which will Create a session for userID) to the
+// shard group owning that bucket, so the session lands in the same
+// (bucket, node) slot a single shared array would have used and the
+// cookie bytes stay identical to the host path's.
+func BucketFor(userID uint64, n int) int {
+	return int(hash(userID) % uint64(n))
+}
+
+// Bucket decodes the bucket index an ID names, reduced mod n. For a
+// well-formed ID issued by an n-bucket array the reduction is the
+// identity; for garbage cookies it still yields a stable value in
+// [0, n), which is all the dispatcher needs — any shard renders the same
+// error page. This is how session affinity is recovered from a cookie
+// without consulting any array.
+func (id ID) Bucket(n int) int {
+	return int(((uint64(id) ^ salt) & 0xffffffff) % uint64(n))
+}
+
 type node struct {
 	used   bool
 	userID uint64

@@ -140,6 +140,54 @@ func writeLatencyFamilies(w *obs.PromWriter, names []string, hists []*stats.Hist
 	}
 }
 
+// writeClusterFamilies emits the device-pool view: per-device gauges
+// labeled device="N" plus the cluster-level failover counters
+// (DESIGN.md §11).
+func writeClusterFamilies(w *obs.PromWriter, st CohortServerStats) {
+	if len(st.Devices) == 0 {
+		return
+	}
+	label := func(d int) string { return obs.Label("device", strconv.Itoa(d)) }
+	w.Family("rhythm_cluster_device_up", "gauge", "1 when the device is healthy or stalled, 0 once dead.")
+	for _, d := range st.Devices {
+		up := 1.0
+		if d.Health == "dead" {
+			up = 0
+		}
+		w.Value("rhythm_cluster_device_up", label(d.ID), up)
+	}
+	w.Family("rhythm_cluster_device_queue_len", "gauge", "Dispatched units waiting in the device's bounded queue.")
+	for _, d := range st.Devices {
+		w.Value("rhythm_cluster_device_queue_len", label(d.ID), float64(d.QueueLen))
+	}
+	w.Family("rhythm_cluster_device_outstanding", "gauge", "Units dispatched to the device and not yet completed.")
+	for _, d := range st.Devices {
+		w.Value("rhythm_cluster_device_outstanding", label(d.ID), float64(d.Outstanding))
+	}
+	w.Family("rhythm_cluster_device_units_total", "counter", "Cohort units the device completed.")
+	for _, d := range st.Devices {
+		w.Value("rhythm_cluster_device_units_total", label(d.ID), float64(d.UnitsDone))
+	}
+	w.Family("rhythm_cluster_device_launch_errors_total", "counter", "Injected kernel-launch errors observed on the device.")
+	for _, d := range st.Devices {
+		w.Value("rhythm_cluster_device_launch_errors_total", label(d.ID), float64(d.LaunchErrors))
+	}
+	w.Family("rhythm_cluster_device_groups", "gauge", "Shard groups the device currently owns.")
+	for _, d := range st.Devices {
+		w.Value("rhythm_cluster_device_groups", label(d.ID), float64(len(d.Groups)))
+	}
+	w.Family("rhythm_cluster_device_virtual_time_seconds", "gauge", "The device engine's virtual clock.")
+	for _, d := range st.Devices {
+		w.Value("rhythm_cluster_device_virtual_time_seconds", label(d.ID), float64(d.VirtualTimeUs)/1e6)
+	}
+	w.Family("rhythm_cluster_failovers_total", "counter", "Group ownership moves off dead devices.")
+	w.Value("rhythm_cluster_failovers_total", "", float64(st.Failovers))
+	w.Family("rhythm_cluster_retries_total", "counter", "Unit re-dispatches after device faults.")
+	w.Value("rhythm_cluster_retries_total", "", float64(st.DeviceRetries))
+	w.Family("rhythm_cluster_shed_cohorts_total", "counter", "Cohorts shed with 503s (queues full or no healthy device).")
+	w.Value("rhythm_cluster_shed_cohorts_total", "", float64(st.ShedCohorts))
+}
+
 // writeDeviceFamilies emits the SIMT device counters the paper's
 // figures are built from.
 func writeDeviceFamilies(w *obs.PromWriter, ds simt.DeviceStats, profiled uint64) {
