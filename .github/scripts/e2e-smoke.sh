@@ -8,14 +8,19 @@
 set -euo pipefail
 
 BIN=${BIN:-$(mktemp -d)/rhythmd}
+LOADBIN=${LOADBIN:-$(dirname "$BIN")/rhythm-load}
 HOST_ADDR=127.0.0.1:18601
 COHORT_ADDR=127.0.0.1:18602
 CLUSTER_ADDR=127.0.0.1:18603
+ADAPT_ADDR=127.0.0.1:18604
 WORK=$(mktemp -d)
-trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 
 if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/rhythmd
+fi
+if [ ! -x "$LOADBIN" ]; then
+    go build -o "$LOADBIN" ./cmd/rhythm-load
 fi
 
 # Fault plan for the multi-device leg: kill the device that owns the
@@ -34,6 +39,13 @@ COHORT_PID=$!
 "$BIN" -cohort -addr "$CLUSTER_ADDR" -cohort-size 8 -formation-timeout 2ms \
     -devices 4 -fault-plan "$WORK/faults.json" >"$WORK/cluster.log" 2>&1 &
 CLUSTER_PID=$!
+# Adaptive leg: p99 SLO drives the formation controller; crossover 300
+# req/s routes the low-rate curl flow to the scalar host path while the
+# rhythm-load step to 1200 req/s must flip it back to batching with
+# early (threshold) launches.
+"$BIN" -cohort -addr "$ADAPT_ADDR" -cohort-size 32 -formation-timeout 2ms \
+    -slo-p99 50ms -adapt-crossover 300 >"$WORK/adapt.log" 2>&1 &
+ADAPT_PID=$!
 
 wait_ready() {
     for _ in $(seq 1 50); do
@@ -47,6 +59,7 @@ wait_ready() {
 wait_ready "$HOST_ADDR"
 wait_ready "$COHORT_ADDR"
 wait_ready "$CLUSTER_ADDR"
+wait_ready "$ADAPT_ADDR"
 
 # Demo credentials are deterministic; both modes print the same list.
 CRED=$(grep -m1 '^  userid=' "$WORK/host.log")
@@ -66,6 +79,7 @@ drive() {
 drive host "$HOST_ADDR"
 drive cohort "$COHORT_ADDR"
 drive cluster "$CLUSTER_ADDR"
+drive adapt "$ADAPT_ADDR"
 
 # The modes must render byte-identical pages (cookies live in
 # headers; only bodies are compared here — the in-repo differential
@@ -73,7 +87,7 @@ drive cluster "$CLUSTER_ADDR"
 # cluster leg loses its device mid-session, so identity there also
 # proves the failover/idempotency contract end to end.
 for page in login summary profile logout; do
-    for mode in cohort cluster; do
+    for mode in cohort cluster adapt; do
         if ! diff -q "$WORK/host.$page" "$WORK/$mode.$page"; then
             echo "e2e-smoke: $page body differs between host and $mode mode" >&2
             diff "$WORK/host.$page" "$WORK/$mode.$page" | head -20 >&2 || true
@@ -159,6 +173,59 @@ grep -q 'rhythm_cluster_device_up{device="3"} 0' "$WORK/cluster.metrics" || {
     exit 1
 }
 
+# Adaptive leg: the low-rate curl flow above must have routed to the
+# scalar host path (rate well under the 300 req/s crossover), then the
+# open-loop step to 1200 req/s must flip the controller to the device
+# path with early (threshold-reached) launches. The versioned control
+# plane answers on /v1/stats with the schema marker.
+echo "e2e-smoke: stepping adaptive server 40 -> 1200 req/s"
+"$LOADBIN" -addr "$ADAPT_ADDR" -rate-schedule "40x2s,1200x3s" -conns 16 \
+    >"$WORK/adapt-load.log" 2>&1 || {
+    echo "e2e-smoke: rhythm-load against adaptive server failed" >&2
+    cat "$WORK/adapt-load.log" >&2
+    exit 1
+}
+# Right after the burst the load generator's connections are still
+# tearing down; give the scrape a few tries before judging.
+fetch() {
+    local url=$1 i
+    for i in $(seq 1 20); do
+        if curl -sf "$url"; then return 0; fi
+        sleep 0.2
+    done
+    return 1
+}
+ASTATS=$(fetch "http://$ADAPT_ADDR/v1/stats")
+echo "$ASTATS" | grep -q '"schema_version": 2' || {
+    echo "e2e-smoke: /v1/stats missing schema_version 2: $ASTATS" >&2
+    exit 1
+}
+echo "$ASTATS" | grep -q '"adapt"' || {
+    echo "e2e-smoke: adaptive stats missing adapt section: $ASTATS" >&2
+    exit 1
+}
+echo "$ASTATS" | grep -Eq '"cohorts_early": [1-9]' || {
+    echo "e2e-smoke: adaptive server recorded no early launches after the rate step: $ASTATS" >&2
+    exit 1
+}
+echo "$ASTATS" | grep -Eq '"host_fallbacks": [1-9]' || {
+    echo "e2e-smoke: adaptive server recorded no host fallbacks at low rate: $ASTATS" >&2
+    exit 1
+}
+# Legacy alias still answers with the same document shape (captured to
+# a variable: piping curl straight into grep -q trips pipefail when
+# grep exits at the first match).
+LSTATS=$(fetch "http://$ADAPT_ADDR/rhythm-stats")
+echo "$LSTATS" | grep -q '"schema_version": 2' || {
+    echo "e2e-smoke: legacy /rhythm-stats alias lost the versioned schema" >&2
+    exit 1
+}
+check_metrics adapt "$ADAPT_ADDR" \
+    rhythm_build_info rhythm_requests_served_total rhythm_cohorts_total \
+    rhythm_adapt_window_seconds rhythm_adapt_arrival_rate \
+    rhythm_adapt_early_threshold rhythm_adapt_host_route \
+    rhythm_adapt_host_fallback_total
+
 # The trace endpoint must return a Chrome trace-event document with both
 # request-lifecycle spans and device kernel launches.
 curl -sf -o "$WORK/cohort.trace" "http://$COHORT_ADDR/rhythm-trace" || {
@@ -173,4 +240,4 @@ for needle in '"traceEvents"' '"formation-wait"' '"launch_seq"'; do
     }
 done
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, and 4-device cluster modes — incl. a device loss mid-session; /metrics + /rhythm-trace healthy)"
+echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, and adaptive modes — incl. a device loss mid-session and a 40->1200 req/s step through the formation controller; /metrics + /rhythm-trace healthy)"

@@ -98,6 +98,7 @@ Experiments:
   cluster-scaling  measured multi-device sweep through the cluster layer
   ablations     padding / transpose / intra-request ablations
   timeout       cohort formation timeout policy sweep
+  adaptive      SLO-aware adaptive formation vs fixed timeout (DESIGN.md Sec 12)
   all           everything above
 
 Flags:
@@ -119,6 +120,17 @@ type record struct {
 	Metric     string  `json:"metric"`
 	Value      float64 `json:"value"`
 	WallClockS float64 `json:"wall_clock_s"`
+}
+
+// adaptiveCfg trims the study's calibration runs to the committed
+// BENCH_adaptive.json geometry so the gate compares like with like at
+// any -paper / override flags.
+func adaptiveCfg(cfg harness.Config) harness.Config {
+	cfg.CPURequestsPerType = 100
+	cfg.GPUCohortsPerType = 2
+	cfg.CohortSize = 128
+	cfg.ValidateEvery = 0
+	return cfg
 }
 
 // platformMetrics reports the per-platform headline pair tracked across
@@ -248,6 +260,24 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 			harness.RenderTimeouts(harness.TimeoutSweep(cfg, timeouts, 2e6)).Print(out)
 			return nil
 		},
+		"adaptive": func() []metric {
+			r := harness.AdaptiveStudy(adaptiveCfg(cfg))
+			harness.RenderAdaptive(r).Print(out)
+			ms := []metric{
+				{"model/svc_base_us", r.SvcBaseUs},
+				{"model/svc_per_req_us", r.SvcPerReqUs},
+			}
+			for _, row := range r.Rows {
+				ms = append(ms,
+					metric{"fixed_" + row.Phase + "/throughput_req_s", row.FixedTput},
+					metric{"fixed_" + row.Phase + "/p99_ms", row.FixedP99Ms},
+					metric{"adaptive_" + row.Phase + "/throughput_req_s", row.AdaptiveTput},
+					metric{"adaptive_" + row.Phase + "/p99_ms", row.AdaptiveP99Ms},
+					metric{row.Phase + "/converge_ticks", float64(row.ConvergeTicks)},
+				)
+			}
+			return ms
+		},
 	}
 
 	exec := func(name string) {
@@ -267,7 +297,7 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 		"table1", "table2", "fig2", "table3", "fig8", "fig9", "fig10",
 		"scaling", "resources", "cohort-sweep", "parser", "hyperq",
 		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out",
-		"cluster-scaling", "ablations", "timeout",
+		"cluster-scaling", "ablations", "timeout", "adaptive",
 	}
 	if what == "all" {
 		fmt.Fprintf(out, "Rhythm reproduction: full evaluation (cohort=%d contexts=%d)\n\n", cfg.CohortSize, cfg.MaxCohorts)

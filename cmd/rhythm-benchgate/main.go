@@ -16,6 +16,12 @@
 //
 //	rhythm-bench -json table3 > current.json
 //	rhythm-benchgate -baseline BENCH_baseline.json -current current.json [-tolerance 0.15]
+//
+// With -adaptive-invariants it additionally checks the adaptive
+// experiment's cross-policy contract inside the current run: the
+// adaptive controller must hold the fixed policy's throughput at the
+// high-rate step (within a small amortization tolerance) and beat its
+// p99 at the low-rate phases, where a fixed window only adds delay.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		currentPath  = flag.String("current", "", "current rhythm-bench -json output (required)")
 		tolerance    = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop before failing")
 		suffix       = flag.String("suffix", "/throughput_req_s", "metric suffix to gate on")
+		invariants   = flag.Bool("adaptive-invariants", false, "also check adaptive-vs-fixed invariants in the current run")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -86,12 +93,62 @@ func main() {
 			fmt.Printf("ok   %-40s %.0f -> %.0f (%+.1f%%)\n", k, base, cur, delta)
 		}
 	}
+	if *invariants {
+		failed += checkAdaptiveInvariants(*currentPath)
+	}
 	if failed > 0 {
 		fmt.Printf("rhythm-benchgate: %d of %d metrics regressed beyond %.0f%%\n",
 			failed, len(keys), 100**tolerance)
 		os.Exit(1)
 	}
 	fmt.Printf("rhythm-benchgate: %d metrics within %.0f%% of baseline\n", len(keys), 100**tolerance)
+}
+
+// checkAdaptiveInvariants enforces the adaptive experiment's
+// cross-policy contract on the current run and reports the number of
+// violated invariants. The 3% throughput tolerance covers the residual
+// amortization loss of SLO-bounded windows at saturation.
+func checkAdaptiveInvariants(path string) int {
+	all, err := load(path, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-benchgate:", err)
+		return 1
+	}
+	need := func(key string) (float64, bool) {
+		v, ok := all["adaptive::"+key]
+		if !ok {
+			fmt.Printf("FAIL invariant: metric adaptive::%s missing from %s\n", key, path)
+		}
+		return v, ok
+	}
+	failed := 0
+	check := func(name string, ok bool) {
+		if ok {
+			fmt.Printf("ok   invariant %s\n", name)
+		} else {
+			fmt.Printf("FAIL invariant %s\n", name)
+			failed++
+		}
+	}
+	if at, aok := need("adaptive_step-up/throughput_req_s"); aok {
+		if ft, fok := need("fixed_step-up/throughput_req_s"); fok {
+			check(fmt.Sprintf("high-rate throughput: adaptive %.0f >= 0.97*fixed %.0f", at, ft), at >= 0.97*ft)
+		} else {
+			failed++
+		}
+	} else {
+		failed++
+	}
+	for _, phase := range []string{"low", "step-down"} {
+		ap, aok := need("adaptive_" + phase + "/p99_ms")
+		fp, fok := need("fixed_" + phase + "/p99_ms")
+		if !aok || !fok {
+			failed++
+			continue
+		}
+		check(fmt.Sprintf("%s-rate p99: adaptive %.2fms <= fixed %.2fms", phase, ap, fp), ap <= fp)
+	}
+	return failed
 }
 
 // load reads newline-delimited rhythm-bench records, keeping metrics

@@ -18,6 +18,15 @@
 // is measured from the scheduled arrival time — so queueing delay shows
 // up in the percentiles instead of silently throttling offered load,
 // the way a closed loop does.
+//
+// -rate-schedule runs an open-loop schedule of rate segments instead of
+// one fixed rate: "40x2s,1200x3s" offers 40 req/s for 2s then steps to
+// 1200 req/s for 3s; "100-2000x10s" ramps linearly from 100 to 2000
+// req/s over 10s. The total run length is the sum of the segment
+// durations (-duration is ignored). Against an adaptive server
+// (rhythmd -cohort -slo-p99 ...) this is the way to watch the formation
+// controller widen and narrow its windows; with -hist the controller's
+// per-type window/threshold gauges are printed after the run.
 package main
 
 import (
@@ -48,14 +57,30 @@ func main() {
 		first    = flag.Uint64("first-user", 1001, "first user id")
 		paths    = flag.String("paths", "/account_summary.php,/profile.php,/transfer.php",
 			"comma-separated request paths to cycle through")
-		hist = flag.Bool("hist", false, "print the client-side latency histogram (cumulative buckets)")
-		rate = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s across all conns (0 = closed loop)")
+		hist     = flag.Bool("hist", false, "print the client-side latency histogram (cumulative buckets) and, on adaptive servers, the controller gauges")
+		rate     = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s across all conns (0 = closed loop)")
+		schedule = flag.String("rate-schedule", "", `open-loop rate schedule, e.g. "40x2s,1200x3s" (steps) or "100-2000x10s" (ramp); overrides -rate and -duration`)
 	)
 	flag.Parse()
 
 	targets := strings.Split(*paths, ",")
 	for i := range targets {
 		targets[i] = strings.TrimSpace(targets[i])
+	}
+
+	var segs []rateSegment
+	if *schedule != "" {
+		var err error
+		if segs, err = parseSchedule(*schedule); err != nil {
+			fmt.Fprintf(os.Stderr, "rhythm-load: -rate-schedule: %v\n", err)
+			os.Exit(2)
+		}
+		*duration = 0
+		for _, s := range segs {
+			*duration += s.dur
+		}
+	} else if *rate > 0 {
+		segs = []rateSegment{{from: *rate, to: *rate, dur: *duration}}
 	}
 
 	before, beforeOK := fetchStats(*addr)
@@ -68,9 +93,9 @@ func main() {
 	results := make([]result, *conns)
 	deadline := time.Now().Add(*duration)
 	var arrivals chan time.Time
-	if *rate > 0 {
+	if len(segs) > 0 {
 		arrivals = make(chan time.Time, 65536)
-		go pace(arrivals, *rate, deadline)
+		go pace(arrivals, segs)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < *conns; i++ {
@@ -102,7 +127,10 @@ func main() {
 	}
 	elapsed := duration.Seconds()
 
-	if *rate > 0 {
+	if *schedule != "" {
+		fmt.Printf("rhythm-load: open loop schedule %s (Poisson) over %d conns x %v against %s\n",
+			*schedule, *conns, *duration, *addr)
+	} else if *rate > 0 {
 		fmt.Printf("rhythm-load: open loop %.0f req/s (Poisson) over %d conns x %v against %s\n",
 			*rate, *conns, *duration, *addr)
 	} else {
@@ -132,14 +160,35 @@ func main() {
 	fmt.Printf("server cohort stats over the run:\n")
 	if formed == 0 {
 		fmt.Println("  no cohorts launched")
-		return
+	} else {
+		early := after.CohortsEarly - before.CohortsEarly
+		fmt.Printf("  cohorts:    %d launched (%d filled, %d timed out, %d early), %d requests batched\n",
+			formed, filled, timedOut, early, batched)
+		fmt.Printf("  occupancy:  %.2f mean at launch (max seen %d), timeout ratio %.0f%%\n",
+			float64(batched)/float64(formed), after.MaxOccupancy, 100*float64(timedOut)/float64(formed))
+		fmt.Printf("  formation:  %.2fms mean wait, %.2fms p99; launch %.0fus mean device time\n",
+			after.FormWaitMsMean, after.FormWaitMsP99, after.LaunchDevUsMean)
 	}
-	fmt.Printf("  cohorts:    %d launched (%d filled, %d timed out), %d requests batched\n",
-		formed, filled, timedOut, batched)
-	fmt.Printf("  occupancy:  %.2f mean at launch (max seen %d), timeout ratio %.0f%%\n",
-		float64(batched)/float64(formed), after.MaxOccupancy, 100*float64(timedOut)/float64(formed))
-	fmt.Printf("  formation:  %.2fms mean wait, %.2fms p99; launch %.0fus mean device time\n",
-		after.FormWaitMsMean, after.FormWaitMsP99, after.LaunchDevUsMean)
+	if *hist && after.Adapt != nil {
+		printAdapt(after)
+	}
+}
+
+// printAdapt renders the adaptive controller's per-type gauges — the
+// same state /v1/metrics exposes as rhythm_adapt_* families.
+func printAdapt(st rhythm.CohortServerStats) {
+	ad := st.Adapt
+	fmt.Printf("adaptive controller (%d ticks, SLO p99 %.0fms, retry-after %.1fs):\n",
+		ad.Ticks, ad.SLOMs, ad.RetryAfterMs/1e3)
+	for _, ts := range ad.Types {
+		route := "device"
+		if ts.HostRoute {
+			route = "host"
+		}
+		fmt.Printf("  %-24s window %8.0fus  threshold %4d  rate %8.1f req/s  route %s\n",
+			ts.Type, ts.WindowUs, ts.EarlyThreshold, ts.RateReqS, route)
+	}
+	fmt.Printf("  host fallbacks: %d\n", st.HostFallbacks)
 }
 
 // printHistogram renders the merged latency samples over the same
@@ -173,21 +222,80 @@ func printHistogram(lat *stats.LatencyRecorder) {
 	}
 }
 
+// rateSegment is one piece of the offered-load schedule: the rate moves
+// linearly from `from` to `to` req/s over dur (from == to is a step).
+type rateSegment struct {
+	from, to float64
+	dur      time.Duration
+}
+
+// parseSchedule parses "40x2s,1200x3s" / "100-2000x10s" into segments.
+func parseSchedule(s string) ([]rateSegment, error) {
+	var segs []rateSegment
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		rateStr, durStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("segment %q: want RATExDUR or FROM-TOxDUR", part)
+		}
+		seg := rateSegment{}
+		if fromStr, toStr, ramp := strings.Cut(rateStr, "-"); ramp {
+			var err1, err2 error
+			seg.from, err1 = strconv.ParseFloat(fromStr, 64)
+			seg.to, err2 = strconv.ParseFloat(toStr, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("segment %q: bad ramp rates", part)
+			}
+		} else {
+			r, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("segment %q: bad rate", part)
+			}
+			seg.from, seg.to = r, r
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("segment %q: bad duration", part)
+		}
+		if seg.from <= 0 || seg.to <= 0 {
+			return nil, fmt.Errorf("segment %q: rates must be positive", part)
+		}
+		seg.dur = d
+		segs = append(segs, seg)
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("empty schedule")
+	}
+	return segs, nil
+}
+
 // pace releases Poisson arrivals — exponential inter-arrival gaps at
-// the given aggregate rate — onto the shared channel until the
-// deadline, then closes it. A fixed seed keeps offered-load schedules
-// reproducible across runs.
-func pace(arrivals chan<- time.Time, rate float64, deadline time.Time) {
+// the schedule's instantaneous rate — onto the shared channel, walking
+// the segments in order, then closes it. A fixed seed keeps
+// offered-load schedules reproducible across runs.
+func pace(arrivals chan<- time.Time, segs []rateSegment) {
 	rng := rand.New(rand.NewSource(1))
 	next := time.Now()
-	for {
-		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
-		if !next.Before(deadline) {
-			close(arrivals)
-			return
+	segStart := next
+	for _, seg := range segs {
+		segEnd := segStart.Add(seg.dur)
+		if next.Before(segStart) {
+			next = segStart
 		}
-		arrivals <- next
+		for {
+			// Instantaneous rate at the current offset into the segment
+			// (linear interpolation; constant for steps).
+			frac := float64(next.Sub(segStart)) / float64(seg.dur)
+			r := seg.from + (seg.to-seg.from)*frac
+			next = next.Add(time.Duration(rng.ExpFloat64() / r * float64(time.Second)))
+			if !next.Before(segEnd) {
+				break
+			}
+			arrivals <- next
+		}
+		segStart = segEnd
 	}
+	close(arrivals)
 }
 
 // drive runs one connection: login, then issue requests until the
@@ -231,9 +339,14 @@ func drive(addr string, uid uint64, targets []string, deadline time.Time, arriva
 			if !time.Now().Before(deadline) {
 				return nil
 			}
-			start = time.Now()
 		}
 		path := targets[i%len(targets)]
+		if arrivals == nil {
+			// Closed loop: charge latency from immediately before the
+			// request hits the wire, not from the loop iteration start,
+			// so client-side bookkeeping never inflates the percentiles.
+			start = time.Now()
+		}
 		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\nCookie: %s\r\n\r\n", path, cookie)
 		status, _, _, err := readResponse(r)
 		if err != nil {
@@ -289,7 +402,7 @@ func readResponse(r *bufio.Reader) (int, map[string]string, []byte, error) {
 	return status, hdrs, body, nil
 }
 
-// fetchStats grabs /rhythm-stats on a throwaway connection.
+// fetchStats grabs /v1/stats on a throwaway connection.
 func fetchStats(addr string) (rhythm.CohortServerStats, bool) {
 	var st rhythm.CohortServerStats
 	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
@@ -298,7 +411,7 @@ func fetchStats(addr string) (rhythm.CohortServerStats, bool) {
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
-	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", rhythm.StatsPath)
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", rhythm.StatsPathV1)
 	status, _, body, err := readResponse(bufio.NewReader(conn))
 	if err != nil || status != 200 {
 		return st, false

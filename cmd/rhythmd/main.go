@@ -1,12 +1,13 @@
 // Command rhythmd serves the SPECWeb2009 Banking workload over real TCP.
 //
 // The default mode uses the reproduction's host execution path — the
-// same services the SIMT kernels run, so the pages are byte-identical to
-// what the device pipeline generates. With -cohort it instead serves
-// through the paper's live cohort path: requests are classified, batched
-// into cohorts under the §3.1 formation timeout, and executed as stage
-// kernels on the modeled SIMT device. Either way, poke it with curl or
-// drive it with cmd/rhythm-load; live counters are at /rhythm-stats.
+// same services the SIMT kernels run, so the pages are byte-identical
+// to what the device pipeline generates. With -cohort it instead serves
+// through the paper's live cohort path: requests are classified,
+// batched into cohorts under the §3.1 formation timeout, and executed
+// as stage kernels on the modeled SIMT device. Either way, poke it with
+// curl or drive it with cmd/rhythm-load; live counters are at
+// /v1/stats (legacy alias /rhythm-stats).
 //
 // Usage:
 //
@@ -14,18 +15,28 @@
 //	        [-cohort-size 128] [-contexts 4] [-formation-timeout 2ms]
 //	        [-deadline 5s] [-profile-off] [-pprof 127.0.0.1:6060]
 //	        [-devices 4] [-fault-plan faults.json]
+//	        [-slo-p99 50ms] [-adapt-crossover 300]
 //
-// -devices N (cohort mode) shards session and account state across N
-// modeled SIMT devices with session-affinity routing and failover;
-// -fault-plan injects a deterministic device-fault schedule (JSON, see
-// DESIGN.md §11) for failover drills. Per-device counters appear under
-// "devices" in /rhythm-stats and as rhythm_cluster_* in /metrics.
+// -slo-p99 enables the adaptive formation controller (DESIGN.md §12):
+// instead of the fixed -formation-timeout, each request type's window
+// and early-launch threshold track its arrival rate against the p99
+// target, and below the crossover rate (explicit via -adapt-crossover,
+// else derived from the measured service model; negative disables)
+// requests are served on the scalar host path. Controller state appears
+// under "adapt" in /v1/stats and as rhythm_adapt_* gauges in /metrics.
+//
+// -devices N shards session and account state across N modeled SIMT
+// devices with session-affinity routing and failover; -fault-plan
+// injects a deterministic device-fault schedule (JSON, see DESIGN.md
+// §11) for failover drills. Per-device counters appear under "devices"
+// in /v1/stats and as rhythm_cluster_* in /metrics.
 //
 // Observability (both modes): Prometheus counters and histograms at
-// /metrics, request-lifecycle traces (Chrome trace-event JSON, loadable
-// in Perfetto) at /rhythm-trace?secs=N, raw JSON counters at
-// /rhythm-stats. -pprof starts a net/http/pprof side listener for Go
-// runtime profiles of the serving process itself.
+// /v1/metrics (alias /metrics), request-lifecycle traces (Chrome
+// trace-event JSON, loadable in Perfetto) at /v1/trace?secs=N (alias
+// /rhythm-trace), raw JSON counters at /v1/stats. -pprof starts a
+// net/http/pprof side listener for Go runtime profiles of the serving
+// process itself.
 //
 // It prints demo credentials at startup; log in with
 // POST /login.php (userid, passwd) and browse. SIGINT/SIGTERM drains
@@ -54,13 +65,15 @@ func main() {
 		seedUsers  = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
 		cohortOn   = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
 		size       = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
-		contexts   = flag.Int("contexts", 4, "cohort contexts in flight (cohort mode)")
+		contexts   = flag.Int("contexts", 4, "cohort contexts in flight per device (cohort mode)")
 		formation  = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
 		deadline   = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
 		profileOff = flag.Bool("profile-off", false, "disable the kernel-launch profiler (cohort mode)")
 		pprofAddr  = flag.String("pprof", "", "start a net/http/pprof listener on this address (e.g. 127.0.0.1:6060)")
 		devices    = flag.Int("devices", 1, "SIMT devices in the pool (cohort mode)")
 		faultPlan  = flag.String("fault-plan", "", "JSON device-fault schedule to inject (cohort mode)")
+		sloP99     = flag.Duration("slo-p99", 0, "p99 latency target enabling the adaptive formation controller (cohort mode; 0 = fixed formation timeout)")
+		crossover  = flag.Float64("adapt-crossover", 0, "host/device routing crossover in req/s (with -slo-p99; 0 = derive from service model, <0 = never route to host)")
 	)
 	flag.Parse()
 
@@ -83,53 +96,50 @@ func main() {
 		}()
 	}
 
+	var opts []rhythm.Option
+	mode := "host"
 	if *cohortOn {
-		runCohort(*addr, *seedUsers, rhythm.CohortOptions{
-			CohortSize:       *size,
-			MaxCohorts:       *contexts * *devices,
-			FormationTimeout: *formation,
-			RequestDeadline:  *deadline,
-			ProfileOff:       *profileOff,
-			Devices:          *devices,
-			FaultPlan:        plan,
-		})
-		return
+		mode = "cohort"
+		opts = append(opts,
+			rhythm.WithDevices(*devices),
+			rhythm.WithFormation(*size, *contexts**devices, *formation),
+			rhythm.WithRequestDeadline(*deadline),
+		)
+		if *profileOff {
+			opts = append(opts, rhythm.WithProfileOff())
+		}
+		if plan != nil {
+			opts = append(opts, rhythm.WithFaultPlan(plan))
+		}
+		if *sloP99 > 0 {
+			opts = append(opts, rhythm.WithSLO(*sloP99), rhythm.WithCrossoverRate(*crossover))
+		}
+	} else {
+		opts = append(opts, rhythm.WithHostExecution())
 	}
-	runHost(*addr, *seedUsers)
-}
 
-func runHost(addr string, seedUsers int) {
-	srv := rhythm.NewTCPServer(1 << 16)
-	if err := srv.Listen(addr); err != nil {
+	srv, err := rhythm.New(*addr, opts...)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rhythmd: SPECWeb Banking on http://%s (host mode)\n", srv.Addr())
-	printCreds(srv.Addr().String(), seedUsers, srv.Seed)
-	go func() {
-		waitForSignal()
-		srv.Close()
-	}()
-	if err := srv.Serve(); err != nil {
-		log.Fatal(err)
+	if mode == "host" {
+		fmt.Printf("rhythmd: SPECWeb Banking on http://%s (host mode)\n", srv.Addr())
+	} else {
+		fmt.Printf("rhythmd: SPECWeb Banking on http://%s (cohort mode: devices=%d size=%d contexts=%d timeout=%v slo=%v)\n",
+			srv.Addr(), *devices, *size, *contexts**devices, *formation, *sloP99)
 	}
-}
+	printCreds(srv.Addr().String(), *seedUsers, srv.Seed)
 
-func runCohort(addr string, seedUsers int, opts rhythm.CohortOptions) {
-	srv := rhythm.NewCohortServer(opts)
-	if err := srv.Listen(addr); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("rhythmd: SPECWeb Banking on http://%s (cohort mode: devices=%d size=%d contexts=%d timeout=%v)\n",
-		srv.Addr(), opts.Devices, opts.CohortSize, opts.MaxCohorts, opts.FormationTimeout)
-	printCreds(srv.Addr().String(), seedUsers, srv.Seed)
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		waitForSignal()
-		fmt.Println("rhythmd: draining (flushing partial cohorts)...")
+		if mode == "cohort" {
+			fmt.Println("rhythmd: draining (flushing partial cohorts)...")
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		if err := srv.Drain(ctx); err != nil {
 			log.Printf("rhythmd: drain: %v", err)
 		}
 	}()
@@ -137,9 +147,19 @@ func runCohort(addr string, seedUsers int, opts rhythm.CohortOptions) {
 		log.Fatal(err)
 	}
 	<-drained
-	st := srv.Stats()
-	fmt.Printf("rhythmd: served %d responses, %d cohorts (%.1f mean occupancy, %d timed out)\n",
-		st.Served, st.CohortsFormed, st.MeanOccupancy, st.CohortsTimedOut)
+	report(srv.Snapshot())
+}
+
+func report(snap rhythm.ServerStats) {
+	st := snap.Cohort
+	if st == nil {
+		return
+	}
+	fmt.Printf("rhythmd: served %d responses, %d cohorts (%.1f mean occupancy, %d timed out, %d early)\n",
+		st.Served, st.CohortsFormed, st.MeanOccupancy, st.CohortsTimedOut, st.CohortsEarly)
+	if st.Adapt != nil {
+		fmt.Printf("rhythmd: adaptive controller: %d ticks, %d host fallbacks\n", st.Adapt.Ticks, st.HostFallbacks)
+	}
 	if len(st.Devices) > 1 {
 		for _, d := range st.Devices {
 			fmt.Printf("rhythmd: device %d: %s, %d units, %.1fms virtual time\n",
@@ -159,9 +179,9 @@ func printCreds(addr string, seedUsers int, seed func(uint64) (uint64, string)) 
 	uid, pw := seed(1001)
 	fmt.Printf("  curl -si -c /tmp/jar -d 'userid=%d&passwd=%s' http://%s/login.php | head -5\n", uid, pw, addr)
 	fmt.Printf("  curl -si -b /tmp/jar http://%s/account_summary.php | head -20\n", addr)
-	fmt.Printf("  curl -s http://%s/rhythm-stats\n", addr)
-	fmt.Printf("  curl -s http://%s/metrics\n", addr)
-	fmt.Printf("  curl -s 'http://%s/rhythm-trace?secs=5' > trace.json   # load in Perfetto\n", addr)
+	fmt.Printf("  curl -s http://%s/v1/stats\n", addr)
+	fmt.Printf("  curl -s http://%s/v1/metrics\n", addr)
+	fmt.Printf("  curl -s 'http://%s/v1/trace?secs=5' > trace.json   # load in Perfetto\n", addr)
 }
 
 func waitForSignal() {

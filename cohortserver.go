@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rhythm/internal/adapt"
 	"rhythm/internal/backend"
 	"rhythm/internal/banking"
 	"rhythm/internal/cluster"
@@ -68,8 +69,22 @@ type CohortOptions struct {
 	// geometry matches NewTCPServer so host and cohort mode create
 	// identical session ids for identical request streams.
 	MaxSessions int
-	// RetryAfter is the hint on 503 responses (default 1s).
+	// RetryAfter is the hint on 503 responses (default 1s). With an SLO
+	// set, the adaptive controller's backlog estimate overrides it.
 	RetryAfter time.Duration
+	// SLO enables the adaptive formation controller (internal/adapt,
+	// DESIGN.md §12) with this p99 latency target: formation windows and
+	// early-launch thresholds are retuned per request type from the
+	// observed arrival rate and the measured service model, and below the
+	// crossover rate requests fall back to the scalar host path. Zero
+	// keeps the fixed FormationTimeout for every type.
+	SLO time.Duration
+	// AdaptTick is the controller's retuning period (default 100ms).
+	AdaptTick time.Duration
+	// CrossoverRate tunes the adaptive host/device routing crossover in
+	// req/s: 0 derives it from the measured service model, >0 uses the
+	// explicit rate, <0 disables host fallback (always batch).
+	CrossoverRate float64
 	// HostParallelism caps the host workers executing kernel warps
 	// (0 = all cores; see DESIGN.md §8).
 	HostParallelism int
@@ -158,10 +173,11 @@ type perStage struct {
 }
 
 type typeCounters struct {
-	cohorts, filled, timedOut, requests uint64
-	sumOccup                            uint64
-	maxOccup                            int
-	stages                              []perStage
+	cohorts, filled, timedOut, early, requests uint64
+	hostReqs                                   uint64
+	sumOccup                                   uint64
+	maxOccup                                   int
+	stages                                     []perStage
 }
 
 // CohortTypeStats is the per-request-type section of CohortServerStats.
@@ -169,7 +185,9 @@ type CohortTypeStats struct {
 	Cohorts       uint64     `json:"cohorts"`
 	Filled        uint64     `json:"filled"`
 	TimedOut      uint64     `json:"timed_out"`
+	Early         uint64     `json:"early"`
 	Requests      uint64     `json:"requests"`
+	HostRequests  uint64     `json:"host_requests"`
 	MeanOccupancy float64    `json:"mean_occupancy"`
 	MaxOccupancy  int        `json:"max_occupancy"`
 	Stages        []perStage `json:"stages"`
@@ -178,6 +196,7 @@ type CohortTypeStats struct {
 // CohortServerStats is the /rhythm-stats document of a cohort-mode
 // server (cmd/rhythm-load decodes it to report server-side batching).
 type CohortServerStats struct {
+	SchemaVersion   int     `json:"schema_version"`
 	Mode            string  `json:"mode"`
 	Served          uint64  `json:"served"`
 	KernelErrors    uint64  `json:"kernel_errors"`
@@ -190,6 +209,8 @@ type CohortServerStats struct {
 	CohortsFormed   uint64  `json:"cohorts_formed"`
 	CohortsFilled   uint64  `json:"cohorts_filled"`
 	CohortsTimedOut uint64  `json:"cohorts_timed_out"`
+	CohortsEarly    uint64  `json:"cohorts_early"`
+	HostFallbacks   uint64  `json:"host_fallbacks"`
 	RequestsBatched uint64  `json:"requests_batched"`
 	AdmissionStalls uint64  `json:"admission_stalls"`
 	SumOccupancy    uint64  `json:"sum_occupancy"`
@@ -222,6 +243,10 @@ type CohortServerStats struct {
 	DeviceRetries uint64 `json:"device_retries"`
 	ShedCohorts   uint64 `json:"shed_cohorts"`
 
+	// Adapt is the adaptive-formation controller's state (nil when the
+	// server runs a fixed formation timeout).
+	Adapt *adapt.Snapshot `json:"adapt,omitempty"`
+
 	Types map[string]CohortTypeStats `json:"types"`
 }
 
@@ -250,6 +275,10 @@ type CohortServer struct {
 	opts CohortOptions
 	cl   *cluster.Cluster
 	pool *cohort.Pool[*liveReq]
+	// ctrl is the adaptive formation controller (nil without an SLO). Its
+	// methods are internally locked; the hot handler path touches it only
+	// in Arrival and RetryAfter.
+	ctrl *adapt.Controller
 
 	admitCh chan *liveReq
 	flushCh chan flushMsg
@@ -283,19 +312,20 @@ type CohortServer struct {
 	occupHist *stats.Histogram   // cohort occupancy at launch
 
 	// Loop-owned state (no locking: single goroutine until doneCh).
-	draining     bool
-	inflight     int
-	overflow     []*liveReq
-	forming      map[string]*formingTimer
-	nextGen      uint64
-	rejectedPool uint64
-	shedCohorts  uint64
-	kernelErrors uint64
-	perType      map[string]*typeCounters
-	maxOccup     int
-	formWait     *stats.LatencyRecorder
-	launchLat    *stats.LatencyRecorder
-	reqLat       *stats.LatencyRecorder
+	draining      bool
+	inflight      int
+	overflow      []*liveReq
+	forming       map[string]*formingTimer
+	nextGen       uint64
+	rejectedPool  uint64
+	shedCohorts   uint64
+	kernelErrors  uint64
+	hostFallbacks uint64
+	perType       map[string]*typeCounters
+	maxOccup      int
+	formWait      *stats.LatencyRecorder
+	launchLat     *stats.LatencyRecorder
+	reqLat        *stats.LatencyRecorder
 }
 
 // NewCohortServer builds the server, its device pool, and its dispatch
@@ -339,8 +369,34 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	// pool's engine argument is unused at timeout 0 — the cluster's
 	// devices own the virtual timelines now).
 	s.pool = cohort.NewPool[*liveReq](sim.NewEngine(), opts.MaxCohorts, opts.CohortSize, 0, s.onReady)
+	if opts.SLO > 0 {
+		s.ctrl = adapt.New(adapt.Config{
+			Types:         int(banking.NumTypes),
+			Names:         typeNames(),
+			Capacity:      opts.CohortSize,
+			SLO:           opts.SLO,
+			Tick:          opts.AdaptTick,
+			CrossoverRate: opts.CrossoverRate,
+		})
+		// Early launch: the advisor fires on the loop goroutine after
+		// every Add, launching a forming cohort once it reaches the
+		// controller's per-type threshold.
+		s.pool.SetAdvisor(func(c *cohort.Context[*liveReq]) bool {
+			return c.Len() >= s.ctrl.Threshold(int(c.Requests()[0].t))
+		})
+	}
 	go s.loop()
 	return s
+}
+
+// retryAfter is the Retry-After hint for 503 responses: the controller's
+// backlog-drain estimate in adaptive mode, else the static option. Safe
+// from any goroutine.
+func (s *CohortServer) retryAfter() time.Duration {
+	if s.ctrl != nil {
+		return s.ctrl.RetryAfter()
+	}
+	return s.opts.RetryAfter
 }
 
 // Seed reports the deterministic credentials for userID. Every shard
@@ -523,11 +579,11 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 		return errorResponse(400, "Bad Request"), nil
 	}
 	switch req.Path {
-	case StatsPath:
+	case StatsPath, StatsPathV1:
 		return s.statsResponse(), nil
-	case MetricsPath:
+	case MetricsPath, MetricsPathV1:
 		return s.metricsResponse(), nil
-	case TracePath:
+	case TracePath, TracePathV1:
 		return s.traceResponse(&req), nil
 	}
 	t, ok := banking.ByPath(req.Path)
@@ -541,7 +597,7 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 	}
 	if s.closing.Load() {
 		s.rejectedQueue.Add(1)
-		return busyResponse(s.opts.RetryAfter), nil
+		return busyResponse(s.retryAfter()), nil
 	}
 	lr := &liveReq{req: req, t: t, enq: time.Now(), resp: make(chan []byte, 1)}
 	lr.group = s.cl.GroupFor(&lr.req, t)
@@ -550,7 +606,7 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 	case s.admitCh <- lr:
 	default:
 		s.rejectedQueue.Add(1)
-		return busyResponse(s.opts.RetryAfter), nil
+		return busyResponse(s.retryAfter()), nil
 	}
 	deadline := time.NewTimer(s.opts.RequestDeadline)
 	defer deadline.Stop()
@@ -569,7 +625,7 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 			return resp, lr
 		default:
 			s.rejectedQueue.Add(1)
-			return busyResponse(s.opts.RetryAfter), nil
+			return busyResponse(s.retryAfter()), nil
 		}
 	}
 }
@@ -581,6 +637,14 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 func (s *CohortServer) loop() {
 	defer close(s.doneCh)
 	stop := s.stopCh
+	// The controller retunes on a wall-clock tick; without a controller
+	// the nil channel never fires.
+	var tickCh <-chan time.Time
+	if s.ctrl != nil {
+		ticker := time.NewTicker(s.ctrl.TickEvery())
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
 	for {
 		if s.draining && s.idle() {
 			return
@@ -592,6 +656,9 @@ func (s *CohortServer) loop() {
 			s.flush(m)
 		case fn := <-s.doCh:
 			fn()
+		case now := <-tickCh:
+			s.ctrl.NoteQueue(len(s.admitCh) + len(s.overflow))
+			s.ctrl.Tick(now)
 		case <-stop:
 			stop = nil
 			s.beginDrain()
@@ -624,15 +691,55 @@ func (s *CohortServer) beginDrain() {
 func (s *CohortServer) admit(lr *liveReq) {
 	lr.admitted = time.Now()
 	lr.spans = append(lr.spans, obs.Span{Name: "admit-queue", Start: lr.enq, Dur: lr.admitted.Sub(lr.enq)})
+	if s.ctrl != nil && s.ctrl.Arrival(int(lr.t)) {
+		s.dispatchHost(lr)
+		return
+	}
 	if s.place(lr) {
 		return
 	}
 	if len(s.overflow) >= s.opts.OverflowLimit {
 		s.rejectedPool++
-		lr.resp <- busyResponse(s.opts.RetryAfter)
+		lr.resp <- busyResponse(s.retryAfter())
 		return
 	}
 	s.overflow = append(s.overflow, lr)
+}
+
+// dispatchHost routes one request below the crossover rate straight to
+// the scalar host path as a single-request Host unit: no cohort context,
+// no formation delay. The cluster still executes it on the worker that
+// owns the request's shard group, so responses stay byte-identical and
+// the group state single-writer.
+func (s *CohortServer) dispatchHost(lr *liveReq) {
+	unit := &cluster.Unit{Type: lr.t, Group: lr.group, Host: true, Reqs: []httpx.Request{lr.req}}
+	s.inflight++
+	unit.Done = func(res *cluster.Result) {
+		s.doCh <- func() { s.completeHost(lr, res) }
+	}
+	if !s.cl.Dispatch(unit) {
+		s.inflight--
+		s.rejectedPool++
+		lr.resp <- busyResponse(s.retryAfter())
+	}
+}
+
+// completeHost consumes one host-fallback result on the loop goroutine.
+func (s *CohortServer) completeHost(lr *liveReq, res *cluster.Result) {
+	s.inflight--
+	if res.Err != nil {
+		s.rejectedPool++
+		lr.resp <- busyResponse(s.retryAfter())
+		return
+	}
+	s.hostFallbacks++
+	s.typeStats(lr.t).hostReqs++
+	s.kernelErrors += uint64(res.KernelErrs)
+	lr.spans = append(lr.spans, obs.Span{Name: "host-execute", Start: res.RenderStart, Dur: res.RenderDur})
+	lr.resp <- res.Resps[0]
+	lat := float64(time.Since(lr.enq))
+	s.record(s.reqLat, lat)
+	s.latHist[lr.t].Observe(lat)
 }
 
 // place tries pool admission; on success it manages the wall-clock
@@ -650,10 +757,16 @@ func (s *CohortServer) place(lr *liveReq) bool {
 		s.pool.Flush(key)
 		return true
 	}
-	if s.opts.FormationTimeout > 0 && s.pool.Forming(key) && s.forming[key] == nil {
+	// The formation deadline: the controller's per-type window in
+	// adaptive mode, the fixed option otherwise.
+	window := s.opts.FormationTimeout
+	if s.ctrl != nil {
+		window = s.ctrl.Window(int(lr.t))
+	}
+	if window > 0 && s.pool.Forming(key) && s.forming[key] == nil {
 		s.nextGen++
 		gen := s.nextGen
-		t := time.AfterFunc(s.opts.FormationTimeout, func() {
+		t := time.AfterFunc(window, func() {
 			select {
 			case s.flushCh <- flushMsg{key: key, gen: gen}:
 			case <-s.doneCh:
@@ -742,9 +855,12 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 	if count > s.maxOccup {
 		s.maxOccup = count
 	}
-	if why == cohort.Filled {
+	switch why {
+	case cohort.Filled:
 		tc.filled++
-	} else {
+	case cohort.Early:
+		tc.early++
+	default:
 		tc.timedOut++
 	}
 	unit := &cluster.Unit{Type: t, Group: reqs[0].group, Reqs: make([]httpx.Request, count)}
@@ -767,7 +883,7 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 func (s *CohortServer) shed(c *cohort.Context[*liveReq], reqs []*liveReq) {
 	s.shedCohorts++
 	for _, lr := range reqs {
-		lr.resp <- busyResponse(s.opts.RetryAfter)
+		lr.resp <- busyResponse(s.retryAfter())
 	}
 	s.finish(c)
 }
@@ -815,6 +931,17 @@ func (s *CohortServer) complete(c *cohort.Context[*liveReq], res *cluster.Result
 		s.latHist[lr.t].Observe(lat)
 	}
 	s.record(s.launchLat, float64(res.DeviceTime))
+	if s.ctrl != nil {
+		// Feed the service model with the wall-clock execution cost of
+		// this cohort — stage kernels plus response render — which is
+		// what bounds the live server's capacity.
+		var svc time.Duration
+		for _, se := range res.Stages {
+			svc += se.Dur
+		}
+		svc += res.RenderDur
+		s.ctrl.ObserveLaunch(int(reqs[0].t), len(reqs), svc)
+	}
 	s.finish(c)
 }
 
@@ -856,6 +983,7 @@ func (s *CohortServer) snapshot() CohortServerStats {
 	// consistent even while devices drain or fail over.
 	cs := s.cl.Snapshot()
 	st := CohortServerStats{
+		SchemaVersion:    StatsSchemaVersion,
 		Mode:             "cohort",
 		Served:           s.served.Load(),
 		KernelErrors:     s.kernelErrors,
@@ -868,6 +996,8 @@ func (s *CohortServer) snapshot() CohortServerStats {
 		CohortsFormed:    ps.Formed,
 		CohortsFilled:    ps.Filled,
 		CohortsTimedOut:  ps.TimedOut,
+		CohortsEarly:     ps.Early,
+		HostFallbacks:    s.hostFallbacks,
 		RequestsBatched:  ps.Requests,
 		AdmissionStalls:  ps.Stalls,
 		SumOccupancy:     ps.SumOccup,
@@ -887,12 +1017,18 @@ func (s *CohortServer) snapshot() CohortServerStats {
 		ShedCohorts:      s.shedCohorts,
 		Types:            make(map[string]CohortTypeStats, len(s.perType)),
 	}
+	if s.ctrl != nil {
+		snap := s.ctrl.Snapshot()
+		st.Adapt = &snap
+	}
 	for key, tc := range s.perType {
 		ts := CohortTypeStats{
 			Cohorts:      tc.cohorts,
 			Filled:       tc.filled,
 			TimedOut:     tc.timedOut,
+			Early:        tc.early,
 			Requests:     tc.requests,
+			HostRequests: tc.hostReqs,
 			MaxOccupancy: tc.maxOccup,
 			Stages:       append([]perStage(nil), tc.stages...),
 		}
@@ -928,6 +1064,7 @@ func (s *CohortServer) metricsResponse() []byte {
 	for _, name := range names {
 		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="filled"`, float64(st.Types[name].Filled))
 		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="timeout"`, float64(st.Types[name].TimedOut))
+		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="early"`, float64(st.Types[name].Early))
 	}
 	w.Family("rhythm_requests_batched_total", "counter", "Requests that rode a cohort launch.")
 	w.Value("rhythm_requests_batched_total", "", float64(st.RequestsBatched))
@@ -947,6 +1084,7 @@ func (s *CohortServer) metricsResponse() []byte {
 	w.Histogram("rhythm_cohort_occupancy", "", s.occupHist.Snapshot(), 1)
 	writeDeviceFamilies(w, st.Device, st.ProfiledLaunches)
 	writeClusterFamilies(w, st)
+	writeAdaptFamilies(w, st)
 	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
 	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
 	return bodyResponse(promContentType, w.Bytes())

@@ -69,26 +69,22 @@ func readRawResponse(t *testing.T, r *bufio.Reader) []byte {
 	return buf.Bytes()
 }
 
-// TestCohortServerDifferentialAllTypes drives the same request sequence
-// through a host-path TCPServer and a cohort-mode CohortServer in lock
-// step and asserts every response — headers, cookies, and page bytes —
-// is identical. The sequence covers all 15 implemented request types
-// plus the expired-session error page.
-func TestCohortServerDifferentialAllTypes(t *testing.T) {
+// driveAllTypes drives the same request sequence through a fresh
+// host-path TCPServer and the given cohort-mode server in lock step and
+// asserts every response — headers, cookies, and page bytes — is
+// identical. The sequence covers all 15 implemented request types plus
+// the expired-session error page. The cohort server must use
+// MaxSessions 4096 (the host server's session geometry) so both issue
+// identical session ids. Returns the cohort server's stats after the
+// drive.
+func driveAllTypes(t *testing.T, dev *CohortServer) CohortServerStats {
+	t.Helper()
 	host := NewTCPServer(4096)
 	if err := host.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	defer host.Close()
 	go host.Serve()
-
-	dev := startCohortServer(t, CohortOptions{
-		CohortSize:       8,
-		MaxCohorts:       4,
-		FormationTimeout: 2 * time.Millisecond,
-		RequestDeadline:  30 * time.Second,
-		MaxSessions:      4096, // same session geometry as NewTCPServer(4096)
-	})
 
 	hostConn := dialT(t, host.Addr())
 	devConn := dialT(t, dev.Addr())
@@ -164,12 +160,87 @@ func TestCohortServerDifferentialAllTypes(t *testing.T) {
 	for _, s := range seq {
 		exchange(s.label, s.raw)
 	}
+	return dev.Stats()
+}
 
-	st := dev.Stats()
+// TestCohortServerDifferentialAllTypes is the fixed-timeout byte
+// identity drive: every request forms its own single-request cohort and
+// launches by the formation timeout.
+func TestCohortServerDifferentialAllTypes(t *testing.T) {
+	dev := startCohortServer(t, CohortOptions{
+		CohortSize:       8,
+		MaxCohorts:       4,
+		FormationTimeout: 2 * time.Millisecond,
+		RequestDeadline:  30 * time.Second,
+		MaxSessions:      4096, // same session geometry as NewTCPServer(4096)
+	})
+	st := driveAllTypes(t, dev)
 	// 16 banking requests, each its own single-request cohort (serial
 	// lock-step can never batch), all launched by the formation timeout.
 	if st.CohortsFormed != 16 || st.CohortsTimedOut != 16 {
 		t.Fatalf("cohorts formed=%d timed_out=%d, want 16/16", st.CohortsFormed, st.CohortsTimedOut)
+	}
+	if len(st.Types) != 15 {
+		t.Fatalf("stats cover %d types, want 15", len(st.Types))
+	}
+}
+
+// TestAdaptiveDifferentialHostFallback runs the same differential drive
+// with the adaptive controller on and the crossover rate pinned so high
+// that every type routes to the scalar host fallback. The pages must
+// stay byte-identical to the reference host server — the fallback path
+// runs the same services against the same sharded state — and every
+// request must be accounted as a host fallback.
+func TestAdaptiveDifferentialHostFallback(t *testing.T) {
+	dev := startCohortServer(t, CohortOptions{
+		CohortSize:      8,
+		MaxCohorts:      4,
+		RequestDeadline: 30 * time.Second,
+		MaxSessions:     4096,
+		SLO:             50 * time.Millisecond,
+		CrossoverRate:   1e12, // no realistic rate exceeds this: always host
+	})
+	st := driveAllTypes(t, dev)
+	if st.Adapt == nil {
+		t.Fatal("stats missing adapt section with SLO set")
+	}
+	if st.HostFallbacks != 16 {
+		t.Fatalf("host fallbacks = %d, want 16 (every banking request)", st.HostFallbacks)
+	}
+	if st.CohortsFormed != 0 {
+		t.Fatalf("cohorts formed = %d, want 0 when everything host-routes", st.CohortsFormed)
+	}
+	var hostReqs uint64
+	for _, ts := range st.Types {
+		hostReqs += ts.HostRequests
+	}
+	if hostReqs != 16 {
+		t.Fatalf("per-type host requests sum to %d, want 16", hostReqs)
+	}
+}
+
+// TestAdaptiveDifferentialDeviceOnly runs the drive with the adaptive
+// controller on but host fallback disabled (CrossoverRate < 0): every
+// request must still batch through the device pipeline under the
+// controller's windows, byte-identical to the host reference.
+func TestAdaptiveDifferentialDeviceOnly(t *testing.T) {
+	dev := startCohortServer(t, CohortOptions{
+		CohortSize:      8,
+		MaxCohorts:      4,
+		RequestDeadline: 30 * time.Second,
+		MaxSessions:     4096,
+		SLO:             50 * time.Millisecond,
+		CrossoverRate:   -1, // never route to host
+	})
+	st := driveAllTypes(t, dev)
+	if st.Adapt == nil {
+		t.Fatal("stats missing adapt section with SLO set")
+	}
+	if st.HostFallbacks != 0 {
+		t.Fatalf("host fallbacks = %d, want 0 with fallback disabled", st.HostFallbacks)
+	}
+	if st.CohortsFormed != 16 {
+		t.Fatalf("cohorts formed = %d, want 16", st.CohortsFormed)
 	}
 	if len(st.Types) != 15 {
 		t.Fatalf("stats cover %d types, want 15", len(st.Types))

@@ -119,6 +119,14 @@ type Unit struct {
 	Type  banking.ReqType
 	Group int
 	Reqs  []httpx.Request
+	// Host routes the unit to the scalar host execution path instead of
+	// the device kernels (the adaptive controller's CPU/GPU crossover,
+	// DESIGN.md §12). It still executes on the owning device's worker
+	// goroutine — that is what keeps the group's state single-writer —
+	// but runs banking.Execute directly, needs no execution slot, and
+	// bypasses the fault schedule (host execution doesn't touch the
+	// modeled device).
+	Host bool
 	// Done receives the unit's outcome exactly once, on the executing
 	// device's worker goroutine (or the dispatcher's when the unit is
 	// shed with Result.Err set). It must not block.
@@ -142,9 +150,10 @@ type StageExec struct {
 type Result struct {
 	Resps       [][]byte
 	Stages      []StageExec
-	KernelErrs  int // requests that took the kernel error path
-	Device      int // executing device id (-1 when shed)
-	Attempts    int // launch attempts on the executing device (≥1)
+	KernelErrs  int  // requests that took the kernel error path
+	Device      int  // executing device id (-1 when shed)
+	Host        bool // executed on the scalar host path (Unit.Host)
+	Attempts    int  // launch attempts on the executing device (≥1)
 	DeviceTime  sim.Time
 	RenderStart time.Time
 	RenderDur   time.Duration
@@ -382,6 +391,7 @@ type DeviceSnapshot struct {
 	QueueLen         int              `json:"queue_len"`
 	Outstanding      int              `json:"outstanding"`
 	UnitsDone        uint64           `json:"units_done"`
+	HostUnits        uint64           `json:"host_units"`
 	LaunchErrors     uint64           `json:"launch_errors"`
 	Stalls           uint64           `json:"stalls"`
 	Groups           []int            `json:"groups"`
@@ -422,6 +432,7 @@ func (c *Cluster) Snapshot() Snapshot {
 			QueueLen:         len(d.ch),
 			Outstanding:      d.outstanding,
 			UnitsDone:        d.unitsDone,
+			HostUnits:        d.hostUnits,
 			LaunchErrors:     d.launchErrors,
 			Stalls:           d.stalls,
 			Groups:           groupsOf[d.id],

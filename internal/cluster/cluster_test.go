@@ -511,3 +511,58 @@ func TestClusterManualDeterminism(t *testing.T) {
 		t.Error("aggregate stats differ across runs")
 	}
 }
+
+// TestClusterHostUnits: Unit.Host executes on the scalar path but
+// produces byte-identical pages, and the two routes share group state —
+// a host-path login's session works for a device-path browse.
+func TestClusterHostUnits(t *testing.T) {
+	cfg := Config{Devices: 2, CohortSize: 8}
+	uids := []uint64{6101, 6102, 6103}
+
+	ref := New(cfg)
+	want, _ := driveUsers(t, ref, cfg, uids)
+	ref.Close()
+
+	cl := New(cfg)
+	defer cl.Close()
+	var logins []*Unit
+	for _, uid := range uids {
+		u := unitFor(t, cl, loginRaw(uid))
+		u.Host = true
+		logins = append(logins, u)
+	}
+	lres := collect(t, cl, logins)
+	got := make(map[string][]byte)
+	var browses []*Unit
+	for i, uid := range uids {
+		if lres[i].Err != nil || !lres[i].Host {
+			t.Fatalf("host login %d: %+v", uid, lres[i])
+		}
+		got[fmt.Sprintf("%d/login", uid)] = lres[i].Resps[0]
+		sid := predictSID(cfg, uid)
+		// summary through the device kernels, profile through the host
+		// path again — both against the state the host login created.
+		browses = append(browses, unitFor(t, cl, cookieRaw("/account_summary.php", sid)))
+		pu := unitFor(t, cl, cookieRaw("/profile.php", sid))
+		pu.Host = true
+		browses = append(browses, pu)
+	}
+	bres := collect(t, cl, browses)
+	for i, uid := range uids {
+		if bres[2*i].Host || !bres[2*i+1].Host {
+			t.Fatalf("route flags wrong for %d: %v %v", uid, bres[2*i].Host, bres[2*i+1].Host)
+		}
+		got[fmt.Sprintf("%d/summary", uid)] = bres[2*i].Resps[0]
+		got[fmt.Sprintf("%d/profile", uid)] = bres[2*i+1].Resps[0]
+	}
+	diffPages(t, want, got)
+
+	snap := cl.Snapshot()
+	var hostUnits uint64
+	for _, d := range snap.Devices {
+		hostUnits += d.HostUnits
+	}
+	if hostUnits != uint64(2*len(uids)) {
+		t.Fatalf("host units = %d, want %d", hostUnits, 2*len(uids))
+	}
+}

@@ -68,6 +68,7 @@ type device struct {
 	health       Health
 	outstanding  int
 	unitsDone    uint64
+	hostUnits    uint64
 	launchErrors uint64
 	stalls       uint64
 	snapStats    simt.DeviceStats
@@ -110,10 +111,17 @@ func (d *device) run() {
 	defer d.cl.wg.Done()
 	stop := d.cl.stopCh
 	for {
-		for len(d.backlog) > 0 && len(d.freeSlots) > 0 && !d.deadFlag {
+		for len(d.backlog) > 0 && !d.deadFlag {
 			u := d.backlog[0]
+			if !u.Host && len(d.freeSlots) == 0 {
+				break // device units need an execution slot; keep FIFO order
+			}
 			d.backlog = d.backlog[1:]
-			d.tryLaunch(u)
+			if u.Host {
+				d.executeHost(u)
+			} else {
+				d.tryLaunch(u)
+			}
 		}
 		if d.deadFlag {
 			d.die(stop)
@@ -247,6 +255,38 @@ func (d *device) die(stop chan struct{}) {
 		case <-time.After(drainPoll):
 		}
 	}
+}
+
+// executeHost runs a host-fallback unit (Unit.Host) synchronously on
+// this worker goroutine through the scalar path — banking.Execute plus
+// RenderAlloc, exactly the TCPServer recipe, so the response bytes are
+// identical to host mode's. Running it here (not on the dispatcher)
+// preserves the single-writer contract: the worker that owns the group
+// is still the only code touching its Besim DB and session array. Host
+// units consume no execution slot, never advance the fault schedule
+// (host execution doesn't touch the modeled device), and leave the
+// virtual clock alone.
+func (d *device) executeHost(u *Unit) {
+	st := d.stateFor(u.Group)
+	svc := banking.ServiceFor(u.Type)
+	res := &Result{Device: d.id, Host: true, Attempts: 1}
+	res.RenderStart = time.Now()
+	res.Resps = make([][]byte, len(u.Reqs))
+	for i := range u.Reqs {
+		ctx := banking.Execute(svc, &u.Reqs[i], st.sessions, st.db, true)
+		if ctx.Err != "" {
+			res.KernelErrs++
+		}
+		res.Resps[i] = banking.RenderAlloc(ctx)
+	}
+	res.RenderDur = time.Since(res.RenderStart)
+	d.cl.statsMu.Lock()
+	d.outstanding--
+	d.unitsDone++
+	d.hostUnits++
+	d.mirrorLocked()
+	d.cl.statsMu.Unlock()
+	u.Done(res)
 }
 
 // stateFor resolves the group state a unit executes against. Group -1

@@ -46,11 +46,17 @@ const (
 	Filled Reason = iota
 	// TimedOut: the oldest request hit the formation timeout.
 	TimedOut
+	// Early: the pool's advisor launched the cohort below capacity
+	// (adaptive early-launch threshold, DESIGN.md §12).
+	Early
 )
 
 func (r Reason) String() string {
-	if r == TimedOut {
+	switch r {
+	case TimedOut:
 		return "timeout"
+	case Early:
+		return "early"
 	}
 	return "filled"
 }
@@ -92,6 +98,7 @@ type Stats struct {
 	Formed    uint64 // cohorts handed to onReady
 	Filled    uint64 // ... because they filled
 	TimedOut  uint64 // ... because the formation timeout fired
+	Early     uint64 // ... because the advisor launched them early
 	Requests  uint64 // requests accepted
 	Stalls    uint64 // Add calls rejected for lack of a Free context
 	SumOccup  uint64 // sum of cohort sizes at launch (for mean occupancy)
@@ -120,8 +127,17 @@ type Pool[T any] struct {
 	size     int
 	timeout  sim.Time
 	onReady  func(*Context[T], Reason)
+	advisor  func(*Context[T]) bool
 	stats    Stats
 }
+
+// SetAdvisor installs an early-launch hook: after every Add that leaves
+// a cohort below capacity, the advisor may return true to launch it
+// immediately with Reason Early. The adaptive controller uses this to
+// launch once a cohort reaches its computed threshold instead of waiting
+// for capacity or the formation timeout. Must be called before Add; nil
+// removes the hook.
+func (p *Pool[T]) SetAdvisor(fn func(*Context[T]) bool) { p.advisor = fn }
 
 // NewPool creates a pool of n contexts of the given cohort size. timeout
 // is the formation deadline measured from a cohort's first request
@@ -194,6 +210,8 @@ func (p *Pool[T]) Add(key string, req T) bool {
 	p.stats.Requests++
 	if len(c.requests) == c.capacity {
 		p.launch(c, Filled)
+	} else if p.advisor != nil && p.advisor(c) {
+		p.launch(c, Early)
 	}
 	return true
 }
@@ -252,9 +270,12 @@ func (p *Pool[T]) launch(c *Context[T], why Reason) {
 	c.state = Full
 	p.stats.Formed++
 	p.stats.SumOccup += uint64(len(c.requests))
-	if why == Filled {
+	switch why {
+	case Filled:
 		p.stats.Filled++
-	} else {
+	case Early:
+		p.stats.Early++
+	default:
 		p.stats.TimedOut++
 	}
 	p.onReady(c, why)

@@ -241,3 +241,38 @@ func TestFSMInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAdvisorEarlyLaunch(t *testing.T) {
+	eng := sim.NewEngine()
+	p, got := poolWithCollector(eng, 2, 8, 0)
+	thr := 3
+	p.SetAdvisor(func(c *Context[int]) bool { return c.Len() >= thr })
+	for i := 0; i < 3; i++ {
+		p.Add("login", i)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("launches = %d, want 1 early launch", len(*got))
+	}
+	if r := (*got)[0]; r.n != 3 || r.why != Early {
+		t.Fatalf("launch = %+v, want n=3 why=Early", r)
+	}
+	if Early.String() != "early" {
+		t.Fatalf("Early.String() = %q", Early.String())
+	}
+	// A threshold above capacity never fires early: filling still
+	// launches with Filled.
+	thr = 100
+	for i := 0; i < 8; i++ {
+		p.Add("login", i)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("launches = %d, want 2", len(*got))
+	}
+	if r := (*got)[1]; r.n != 8 || r.why != Filled {
+		t.Fatalf("second launch = %+v, want n=8 why=Filled", r)
+	}
+	st := p.Stats()
+	if st.Formed != 2 || st.Early != 1 || st.Filled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -12,8 +12,22 @@ import (
 	"rhythm/internal/stats"
 )
 
+// StatsSchemaVersion is the "schema_version" both stats documents carry.
+// Version 2 added the versioned /v1 control-plane paths, the adaptive
+// controller section ("adapt"), host-fallback counters, and per-type
+// early-launch counts (DESIGN.md §12).
+const StatsSchemaVersion = 2
+
+// The versioned control-plane paths. The unversioned legacy paths
+// (/rhythm-stats, /metrics, /rhythm-trace) remain as aliases.
+const (
+	StatsPathV1   = "/v1/stats"
+	MetricsPathV1 = "/v1/metrics"
+	TracePathV1   = "/v1/trace"
+)
+
 // MetricsPath is the Prometheus text-format endpoint both TCP servers
-// expose (DESIGN.md §10).
+// expose (DESIGN.md §10). Alias of MetricsPathV1.
 const MetricsPath = "/metrics"
 
 // TracePath is the Chrome trace-event capture endpoint both TCP servers
@@ -186,6 +200,41 @@ func writeClusterFamilies(w *obs.PromWriter, st CohortServerStats) {
 	w.Value("rhythm_cluster_retries_total", "", float64(st.DeviceRetries))
 	w.Family("rhythm_cluster_shed_cohorts_total", "counter", "Cohorts shed with 503s (queues full or no healthy device).")
 	w.Value("rhythm_cluster_shed_cohorts_total", "", float64(st.ShedCohorts))
+}
+
+// writeAdaptFamilies emits the adaptive-formation controller gauges
+// (DESIGN.md §12): per-type window, rate, threshold, and route, plus the
+// pool-wide host-fallback counter. Nothing is written when the server
+// runs with a fixed formation timeout (st.Adapt == nil).
+func writeAdaptFamilies(w *obs.PromWriter, st CohortServerStats) {
+	ad := st.Adapt
+	if ad == nil {
+		return
+	}
+	w.Family("rhythm_adapt_window_seconds", "gauge", "Current adaptive formation window, by request type.")
+	for _, ts := range ad.Types {
+		w.Value("rhythm_adapt_window_seconds", obs.Label("type", ts.Type), ts.WindowUs/1e6)
+	}
+	w.Family("rhythm_adapt_arrival_rate", "gauge", "Smoothed arrival rate in req/s, by request type.")
+	for _, ts := range ad.Types {
+		w.Value("rhythm_adapt_arrival_rate", obs.Label("type", ts.Type), ts.RateReqS)
+	}
+	w.Family("rhythm_adapt_early_threshold", "gauge", "Early-launch cohort threshold, by request type.")
+	for _, ts := range ad.Types {
+		w.Value("rhythm_adapt_early_threshold", obs.Label("type", ts.Type), float64(ts.EarlyThreshold))
+	}
+	w.Family("rhythm_adapt_host_route", "gauge", "1 while the type routes to the scalar host path (below crossover).")
+	for _, ts := range ad.Types {
+		v := 0.0
+		if ts.HostRoute {
+			v = 1
+		}
+		w.Value("rhythm_adapt_host_route", obs.Label("type", ts.Type), v)
+	}
+	w.Family("rhythm_adapt_host_fallback_total", "counter", "Requests served through the scalar host fallback path.")
+	w.Value("rhythm_adapt_host_fallback_total", "", float64(st.HostFallbacks))
+	w.Family("rhythm_adapt_retry_after_seconds", "gauge", "Backlog-derived Retry-After hint on 503 responses.")
+	w.Value("rhythm_adapt_retry_after_seconds", "", ad.RetryAfterMs/1e3)
 }
 
 // writeDeviceFamilies emits the SIMT device counters the paper's

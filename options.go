@@ -1,0 +1,189 @@
+package rhythm
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"rhythm/internal/cluster"
+)
+
+// Server is a live Rhythm TCP server, independent of execution mode.
+// New returns one bound to its address, so Addr is valid before Serve.
+// Serve blocks accepting connections; Drain stops the listener and (in
+// cohort mode) flushes partial cohorts and waits for in-flight work up
+// to the context deadline; Snapshot returns the mode-tagged stats the
+// /v1/stats endpoint serves.
+type Server interface {
+	// Addr reports the bound listen address.
+	Addr() net.Addr
+	// Seed creates a demo user and returns (userID, password).
+	Seed(userID uint64) (uint64, string)
+	// Serve accepts connections until Drain (or a listener error).
+	Serve() error
+	// Drain performs a graceful shutdown bounded by ctx.
+	Drain(ctx context.Context) error
+	// Snapshot returns current serving statistics.
+	Snapshot() ServerStats
+}
+
+// ServerStats is the unified Snapshot document: Mode says which of the
+// two sections is populated.
+type ServerStats struct {
+	// Mode is "host" or "cohort".
+	Mode string
+	// Host holds the scalar host path counters (Mode == "host").
+	Host *HostStats
+	// Cohort holds the cohort pipeline stats (Mode == "cohort").
+	Cohort *CohortServerStats
+}
+
+// Served reports total responses produced in either mode.
+func (s ServerStats) Served() uint64 {
+	if s.Host != nil {
+		return s.Host.Served
+	}
+	if s.Cohort != nil {
+		return s.Cohort.Served
+	}
+	return 0
+}
+
+// serverConfig is what the functional options mutate. Cohort mode is
+// the default; WithHostExecution switches to the scalar host path.
+type serverConfig struct {
+	host   bool
+	cohort CohortOptions
+}
+
+// Option configures New.
+type Option func(*serverConfig)
+
+// WithHostExecution serves every request on the scalar host path (the
+// paper's conventional-server baseline) instead of the cohort pipeline.
+// Formation, device, and SLO options are ignored in this mode.
+func WithHostExecution() Option {
+	return func(c *serverConfig) { c.host = true }
+}
+
+// WithDevices shards state across n modeled SIMT devices with
+// session-affinity routing and failover (DESIGN.md §11).
+func WithDevices(n int) Option {
+	return func(c *serverConfig) { c.cohort.Devices = n }
+}
+
+// WithFormation sets the cohort geometry: requests per cohort, cohort
+// contexts in flight across the pool, and the §3.1 formation deadline
+// (negative timeout disables it). Zero values keep the defaults
+// documented on CohortOptions.
+func WithFormation(size, contexts int, timeout time.Duration) Option {
+	return func(c *serverConfig) {
+		c.cohort.CohortSize = size
+		c.cohort.MaxCohorts = contexts
+		c.cohort.FormationTimeout = timeout
+	}
+}
+
+// WithSLO enables the adaptive formation controller (DESIGN.md §12)
+// with the given p99 latency target: per-type formation windows and
+// early-launch thresholds track the arrival rate and the measured
+// service model, and below the crossover rate requests are served on
+// the scalar host path.
+func WithSLO(p99 time.Duration) Option {
+	return func(c *serverConfig) { c.cohort.SLO = p99 }
+}
+
+// WithAdaptTick sets the adaptive controller's retuning period
+// (default 100ms). Only meaningful with WithSLO.
+func WithAdaptTick(d time.Duration) Option {
+	return func(c *serverConfig) { c.cohort.AdaptTick = d }
+}
+
+// WithCrossoverRate pins the adaptive host/device routing crossover in
+// req/s: >0 uses the explicit rate, <0 disables host fallback (always
+// batch), 0 (the default) derives it from the measured service model.
+// Only meaningful with WithSLO.
+func WithCrossoverRate(r float64) Option {
+	return func(c *serverConfig) { c.cohort.CrossoverRate = r }
+}
+
+// WithFaultPlan injects a deterministic device-fault schedule for
+// failover drills (DESIGN.md §11).
+func WithFaultPlan(plan *cluster.FaultPlan) Option {
+	return func(c *serverConfig) { c.cohort.FaultPlan = plan }
+}
+
+// WithRequestDeadline bounds a request's end-to-end residence including
+// formation delay; past it the connection gets a 504.
+func WithRequestDeadline(d time.Duration) Option {
+	return func(c *serverConfig) { c.cohort.RequestDeadline = d }
+}
+
+// WithMaxSessions sizes the session array (both modes).
+func WithMaxSessions(n int) Option {
+	return func(c *serverConfig) { c.cohort.MaxSessions = n }
+}
+
+// WithHostParallelism caps the host worker threads that execute kernel
+// warps (0 = all cores; see DESIGN.md §8).
+func WithHostParallelism(n int) Option {
+	return func(c *serverConfig) { c.cohort.HostParallelism = n }
+}
+
+// WithProfileOff disables the kernel-launch profiler.
+func WithProfileOff() Option {
+	return func(c *serverConfig) { c.cohort.ProfileOff = true }
+}
+
+// New builds a live banking server bound to addr (use ":0" for an
+// ephemeral port) and returns it behind the Server interface. By
+// default it serves through the cohort pipeline on modeled SIMT
+// devices; WithHostExecution selects the scalar host path instead.
+// This is the construction path rhythmd uses; NewTCPServer and
+// NewCohortServer remain for callers that need the concrete types.
+func New(addr string, opts ...Option) (Server, error) {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.host {
+		maxSessions := cfg.cohort.MaxSessions
+		if maxSessions == 0 {
+			maxSessions = 1 << 16
+		}
+		srv := NewTCPServer(maxSessions)
+		if err := srv.Listen(addr); err != nil {
+			return nil, err
+		}
+		return hostServer{srv}, nil
+	}
+	srv := NewCohortServer(cfg.cohort)
+	if err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return cohortServer{srv}, nil
+}
+
+// hostServer adapts TCPServer to the Server interface.
+type hostServer struct{ *TCPServer }
+
+func (h hostServer) Drain(ctx context.Context) error { return h.Close() }
+
+func (h hostServer) Snapshot() ServerStats {
+	return ServerStats{Mode: "host", Host: &HostStats{
+		SchemaVersion: StatsSchemaVersion,
+		Mode:          "host",
+		Served:        h.Served(),
+		Errors:        h.Errors(),
+	}}
+}
+
+// cohortServer adapts CohortServer to the Server interface.
+type cohortServer struct{ *CohortServer }
+
+func (c cohortServer) Drain(ctx context.Context) error { return c.Shutdown(ctx) }
+
+func (c cohortServer) Snapshot() ServerStats {
+	st := c.Stats()
+	return ServerStats{Mode: "cohort", Cohort: &st}
+}

@@ -1,0 +1,123 @@
+package rhythm
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startNew boots a server through the rhythm.New construction path on
+// an ephemeral port and registers a drain on test cleanup.
+func startNew(t *testing.T, opts ...Option) Server {
+	t.Helper()
+	srv, err := New("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+	return srv
+}
+
+// get issues one GET over a fresh connection and returns the raw
+// response bytes.
+func get(t *testing.T, srv Server, path string) []byte {
+	t.Helper()
+	conn := dialT(t, srv.Addr())
+	if _, err := io.WriteString(conn, fmt.Sprintf("GET %s HTTP/1.1\r\nHost: t\r\n\r\n", path)); err != nil {
+		t.Fatal(err)
+	}
+	return readRawResponse(t, bufio.NewReader(conn))
+}
+
+// TestNewHostServer covers the WithHostExecution path: the unified
+// constructor, the Snapshot wrapper, and the versioned control plane
+// with its legacy alias.
+func TestNewHostServer(t *testing.T) {
+	srv := startNew(t, WithHostExecution())
+	if snap := srv.Snapshot(); snap.Mode != "host" || snap.Host == nil || snap.Cohort != nil {
+		t.Fatalf("host snapshot wrong: %+v", snap)
+	}
+	for _, path := range []string{StatsPathV1, StatsPath} {
+		body := string(get(t, srv, path))
+		if !strings.Contains(body, `"schema_version": 2`) {
+			t.Fatalf("%s missing schema_version 2:\n%s", path, body)
+		}
+		if !strings.Contains(body, `"mode": "host"`) {
+			t.Fatalf("%s missing host mode:\n%s", path, body)
+		}
+	}
+	for _, path := range []string{MetricsPathV1, MetricsPath} {
+		if body := string(get(t, srv, path)); !strings.Contains(body, "rhythm_build_info") {
+			t.Fatalf("%s not a metrics document:\n%.300s", path, body)
+		}
+	}
+	for _, path := range []string{TracePathV1, TracePath} {
+		if body := string(get(t, srv, path)); !strings.Contains(body, "traceEvents") {
+			t.Fatalf("%s not a trace document:\n%.300s", path, body)
+		}
+	}
+	if snap := srv.Snapshot(); snap.Served() == 0 {
+		t.Fatal("snapshot counted no served requests")
+	}
+}
+
+// TestNewCohortServer covers the default (cohort) path with the
+// adaptive controller enabled: options plumb through to CohortOptions,
+// Snapshot carries the cohort stats with the adapt section, and both
+// stats paths answer with the versioned schema.
+func TestNewCohortServer(t *testing.T) {
+	srv := startNew(t,
+		WithDevices(1),
+		WithFormation(8, 4, 2*time.Millisecond),
+		WithRequestDeadline(30*time.Second),
+		WithSLO(50*time.Millisecond),
+		WithCrossoverRate(-1),
+	)
+	snap := srv.Snapshot()
+	if snap.Mode != "cohort" || snap.Cohort == nil || snap.Host != nil {
+		t.Fatalf("cohort snapshot wrong mode: %+v", snap.Mode)
+	}
+	if snap.Cohort.SchemaVersion != StatsSchemaVersion {
+		t.Fatalf("schema version = %d, want %d", snap.Cohort.SchemaVersion, StatsSchemaVersion)
+	}
+	if snap.Cohort.Adapt == nil {
+		t.Fatal("WithSLO did not enable the adaptive controller")
+	}
+	for _, path := range []string{StatsPathV1, StatsPath} {
+		body := string(get(t, srv, path))
+		if !strings.Contains(body, `"schema_version": 2`) || !strings.Contains(body, `"mode": "cohort"`) {
+			t.Fatalf("%s wrong stats document:\n%.300s", path, body)
+		}
+		if !strings.Contains(body, `"adapt"`) {
+			t.Fatalf("%s missing adapt section:\n%.300s", path, body)
+		}
+	}
+}
+
+// TestDeprecatedShims pins the pre-v2 construction surface: NewServer
+// still builds the offline simulator (now SimServer) and serves a
+// saturation run, and the concrete NewTCPServer/NewCohortServer
+// constructors still exist for callers that bypass rhythm.New.
+func TestDeprecatedShims(t *testing.T) {
+	var s *SimServer = NewServer(Options{CohortSize: 64, MaxCohorts: 2, Sessions: 256})
+	st := s.Serve(s.GenerateMixed(256))
+	if st.Completed != 256 {
+		t.Fatalf("shimmed NewServer run completed %d of 256: %+v", st.Completed, st)
+	}
+	// Concrete constructors remain the escape hatch under rhythm.New.
+	if srv := NewTCPServer(4096); srv == nil {
+		t.Fatal("NewTCPServer shim gone")
+	}
+	if srv := NewCohortServer(CohortOptions{}); srv == nil {
+		t.Fatal("NewCohortServer shim gone")
+	}
+}

@@ -118,9 +118,11 @@ type Stats struct {
 	MeanOccupancy float64
 }
 
-// Server is a Rhythm banking server on a simulated SIMT device. It is
-// single-goroutine: construct, serve, read stats.
-type Server struct {
+// SimServer is a Rhythm banking server on a simulated SIMT device,
+// driven offline under virtual time (no listener). It is
+// single-goroutine: construct, serve, read stats. For a live TCP server
+// use New, which returns the Server interface.
+type SimServer struct {
 	opts     Options
 	eng      *sim.Engine
 	dev      *simt.Device
@@ -130,8 +132,15 @@ type Server struct {
 	srv      *pipeline.Server
 }
 
-// NewServer builds a server and its workload generator.
-func NewServer(opts Options) *Server {
+// NewServer builds an offline simulation server.
+//
+// Deprecated: use NewSimServer. NewServer remains so pre-v2 callers
+// compile; it is a trivial alias and will not grow new options.
+func NewServer(opts Options) *SimServer { return NewSimServer(opts) }
+
+// NewSimServer builds an offline simulation server and its workload
+// generator.
+func NewSimServer(opts Options) *SimServer {
 	opts.fill()
 	eng := sim.NewEngine()
 	po := pipelineOptions(opts)
@@ -156,7 +165,7 @@ func NewServer(opts Options) *Server {
 	gen := banking.NewGenerator(opts.Seed, sessions)
 	gen.Populate(opts.Sessions)
 
-	return &Server{
+	return &SimServer{
 		opts:     opts,
 		eng:      eng,
 		dev:      dev,
@@ -198,7 +207,7 @@ func pipelineOptions(o Options) pipeline.Options {
 }
 
 // GenerateMixed produces n requests drawn from the Table 2 mix.
-func (s *Server) GenerateMixed(n int) [][]byte {
+func (s *SimServer) GenerateMixed(n int) [][]byte {
 	reqs := make([][]byte, n)
 	for i := range reqs {
 		reqs[i], _ = s.gen.Mixed()
@@ -208,7 +217,7 @@ func (s *Server) GenerateMixed(n int) [][]byte {
 
 // GenerateIsolated produces n requests of one type by its Table 2 name
 // (e.g., "account_summary").
-func (s *Server) GenerateIsolated(typeName string, n int) ([][]byte, error) {
+func (s *SimServer) GenerateIsolated(typeName string, n int) ([][]byte, error) {
 	rt, err := typeByName(typeName)
 	if err != nil {
 		return nil, err
@@ -242,14 +251,14 @@ func RequestTypes() []string {
 // Serve runs the given raw requests through the pipeline at saturation
 // and returns the run's statistics. Each call continues the same virtual
 // timeline and session state.
-func (s *Server) Serve(reqs [][]byte) Stats {
+func (s *SimServer) Serve(reqs [][]byte) Stats {
 	st := s.srv.Run(&pipeline.SliceSource{Reqs: reqs})
 	return convertStats(st, s.dev)
 }
 
 // ServePaced runs requests arriving at a fixed rate (requests/sec),
 // exercising cohort formation timeouts and partial cohorts.
-func (s *Server) ServePaced(reqs [][]byte, arrivalRate float64) Stats {
+func (s *SimServer) ServePaced(reqs [][]byte, arrivalRate float64) Stats {
 	if arrivalRate <= 0 {
 		panic("rhythm: arrival rate must be positive")
 	}

@@ -9,8 +9,8 @@ import (
 	"time"
 )
 
-func smallServer(p Platform) *Server {
-	return NewServer(Options{
+func smallServer(p Platform) *SimServer {
+	return NewSimServer(Options{
 		Platform:      p,
 		CohortSize:    128,
 		MaxCohorts:    4,

@@ -174,15 +174,16 @@ func (s *TCPServer) respond(raw []byte) ([]byte, *obs.RequestTrace) {
 		return errorResponse(400, "Bad Request"), nil
 	}
 	switch req.Path {
-	case StatsPath:
-		return jsonResponse(hostStats{
-			Mode:   "host",
-			Served: s.served.Load(),
-			Errors: s.errors.Load(),
+	case StatsPath, StatsPathV1:
+		return jsonResponse(HostStats{
+			SchemaVersion: StatsSchemaVersion,
+			Mode:          "host",
+			Served:        s.served.Load(),
+			Errors:        s.errors.Load(),
 		}), nil
-	case MetricsPath:
+	case MetricsPath, MetricsPathV1:
 		return s.metricsResponse(), nil
-	case TracePath:
+	case TracePath, TracePathV1:
 		return s.traceResponse(&req), nil
 	}
 	t, ok := banking.ByPath(req.Path)
@@ -256,11 +257,13 @@ func (s *TCPServer) traceResponse(req *httpx.Request) []byte {
 	return bodyResponse("application/json", traceDocument(s.tracer, since, wait, nil, 0))
 }
 
-// hostStats is the /rhythm-stats document of a host-mode server.
-type hostStats struct {
-	Mode   string `json:"mode"`
-	Served uint64 `json:"served"`
-	Errors uint64 `json:"errors"`
+// HostStats is the /v1/stats (and legacy /rhythm-stats) document of a
+// host-mode server.
+type HostStats struct {
+	SchemaVersion int    `json:"schema_version"`
+	Mode          string `json:"mode"`
+	Served        uint64 `json:"served"`
+	Errors        uint64 `json:"errors"`
 }
 
 func errorResponse(code int, reason string) []byte {
