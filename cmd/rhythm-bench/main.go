@@ -12,8 +12,12 @@
 // Flags scale the runs; -paper uses the paper's cohort geometry
 // (4096-request cohorts, 8 contexts), which takes several minutes.
 // -json suppresses the tables and instead emits one JSON record per
-// line on stdout (experiment, metric, value, wall_clock_s) so results
-// can be tracked across revisions.
+// line on stdout (experiment, metric, value, wall_clock_secs) so
+// results can be tracked across revisions. The stream opens with an
+// env/host_cores record so a reader can tell whether wall-clock
+// numbers came from a host that could actually run anything in
+// parallel. Every simulated (virtual-time) value is bit-identical at
+// any -sim-parallelism setting; only wall_clock_secs varies.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"rhythm/internal/harness"
@@ -37,6 +42,7 @@ func main() {
 		cpuReqs  = flag.Int("cpu-requests", 0, "override requests per CPU isolation run")
 		seed     = flag.Int64("seed", 0, "override workload seed")
 		jsonOut  = flag.Bool("json", false, "emit JSON records instead of tables")
+		simPar   = flag.Int("sim-parallelism", 0, "host workers per device for independent kernel launches (0 = all cores, 1 = serial; virtual-time results identical)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -59,6 +65,12 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *simPar != 0 {
+		cfg.SimParallelism = *simPar
+	}
+	if runtime.NumCPU() == 1 && cfg.SimParallelism != 1 {
+		fmt.Fprintln(os.Stderr, "rhythm-bench: single-core host: simulator parallelism cannot speed anything up; wall_clock_secs reflects serial execution")
 	}
 
 	what := flag.Arg(0)
@@ -114,12 +126,14 @@ type metric struct {
 
 // record is the -json line format. Every experiment emits at least its
 // wall clock; experiments with headline numbers emit one record per
-// metric, each stamped with the experiment's wall clock.
+// metric, each stamped with the experiment's wall clock. Wall clock is
+// the only host-dependent field — everything else is virtual-time and
+// bit-identical across hosts and parallelism settings.
 type record struct {
 	Experiment string  `json:"experiment"`
 	Metric     string  `json:"metric"`
 	Value      float64 `json:"value"`
-	WallClockS float64 `json:"wall_clock_s"`
+	WallClockS float64 `json:"wall_clock_secs"`
 }
 
 // adaptiveCfg trims the study's calibration runs to the committed
@@ -151,6 +165,10 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 	if jsonMode {
 		out = io.Discard
 		enc = json.NewEncoder(os.Stdout)
+		// Lead with the host's core count so wall-clock consumers (and
+		// the CI speedup step) can tell a single-core run apart from a
+		// genuinely slow one.
+		enc.Encode(record{Experiment: "env", Metric: "host_cores", Value: float64(runtime.NumCPU())})
 	}
 	// Experiments that reuse the (expensive) Table 3 runs share one.
 	var t3 *harness.Table3Result
@@ -287,7 +305,7 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 		if enc == nil {
 			return
 		}
-		enc.Encode(record{Experiment: name, Metric: "wall_clock_s", Value: wall, WallClockS: wall})
+		enc.Encode(record{Experiment: name, Metric: "wall_clock_secs", Value: wall, WallClockS: wall})
 		for _, m := range metrics {
 			enc.Encode(record{Experiment: name, Metric: m.name, Value: m.value, WallClockS: wall})
 		}

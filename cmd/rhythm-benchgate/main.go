@@ -22,6 +22,14 @@
 // adaptive controller must hold the fixed policy's throughput at the
 // high-rate step (within a small amortization tolerance) and beat its
 // p99 at the low-rate phases, where a fixed window only adds delay.
+//
+// With -exact the gate instead requires every shared metric to be
+// BIT-identical (math.Float64bits) between the two files, ignoring the
+// host-dependent wall_clock_secs and host_cores records. This is the
+// simulator-parallelism determinism check: two rhythm-bench runs at
+// different -sim-parallelism settings must agree on every virtual-time
+// value exactly — any drift, however small, is a scheduling bug, so no
+// tolerance applies.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -47,11 +56,16 @@ func main() {
 		tolerance    = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop before failing")
 		suffix       = flag.String("suffix", "/throughput_req_s", "metric suffix to gate on")
 		invariants   = flag.Bool("adaptive-invariants", false, "also check adaptive-vs-fixed invariants in the current run")
+		exact        = flag.Bool("exact", false, "require every shared metric bit-identical (ignores wall-clock and host_cores)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "rhythm-benchgate: -current is required")
 		os.Exit(2)
+	}
+
+	if *exact {
+		os.Exit(checkExact(*baselinePath, *currentPath))
 	}
 
 	baseline, err := load(*baselinePath, *suffix)
@@ -102,6 +116,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("rhythm-benchgate: %d metrics within %.0f%% of baseline\n", len(keys), 100**tolerance)
+}
+
+// hostDependent reports whether a metric key carries host wall-clock
+// or hardware information rather than a simulated value — the only
+// records allowed to differ between runs in -exact mode.
+func hostDependent(key string) bool {
+	return strings.HasSuffix(key, "::wall_clock_secs") ||
+		strings.HasSuffix(key, "::wall_clock_s") || // pre-rename baselines
+		strings.HasSuffix(key, "::host_cores")
+}
+
+// checkExact compares every metric of the two files bitwise, excluding
+// host-dependent records, and returns the process exit code.
+func checkExact(baselinePath, currentPath string) int {
+	baseline, err := load(baselinePath, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-benchgate:", err)
+		return 2
+	}
+	current, err := load(currentPath, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-benchgate:", err)
+		return 2
+	}
+	keys := map[string]bool{}
+	for k := range baseline {
+		if !hostDependent(k) {
+			keys[k] = true
+		}
+	}
+	for k := range current {
+		if !hostDependent(k) {
+			keys[k] = true
+		}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	if len(sorted) == 0 {
+		fmt.Fprintf(os.Stderr, "rhythm-benchgate: no comparable metrics in %s / %s\n", baselinePath, currentPath)
+		return 2
+	}
+
+	failed := 0
+	for _, k := range sorted {
+		base, bok := baseline[k]
+		cur, cok := current[k]
+		switch {
+		case !bok:
+			fmt.Printf("FAIL %-40s only in %s\n", k, currentPath)
+			failed++
+		case !cok:
+			fmt.Printf("FAIL %-40s only in %s\n", k, baselinePath)
+			failed++
+		case math.Float64bits(base) != math.Float64bits(cur):
+			fmt.Printf("FAIL %-40s %v != %v (bits %016x vs %016x)\n",
+				k, base, cur, math.Float64bits(base), math.Float64bits(cur))
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("rhythm-benchgate: %d of %d metrics differ — determinism violated\n", failed, len(sorted))
+		return 1
+	}
+	fmt.Printf("rhythm-benchgate: %d metrics bit-identical\n", len(sorted))
+	return 0
 }
 
 // checkAdaptiveInvariants enforces the adaptive experiment's

@@ -13,7 +13,8 @@
 //
 //	rhythmd [-addr :8080] [-seed-users 8] [-cohort]
 //	        [-cohort-size 128] [-contexts 4] [-formation-timeout 2ms]
-//	        [-deadline 5s] [-profile-off] [-pprof 127.0.0.1:6060]
+//	        [-deadline 5s] [-profile-off] [-sim-parallelism 0]
+//	        [-pprof 127.0.0.1:6060]
 //	        [-devices 4] [-fault-plan faults.json]
 //	        [-slo-p99 50ms] [-adapt-crossover 300]
 //
@@ -69,6 +70,7 @@ func main() {
 		formation  = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
 		deadline   = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
 		profileOff = flag.Bool("profile-off", false, "disable the kernel-launch profiler (cohort mode)")
+		simPar     = flag.Int("sim-parallelism", 0, "host workers per device for independent kernel launches (cohort mode; 0 = all cores, 1 = serial; results identical)")
 		pprofAddr  = flag.String("pprof", "", "start a net/http/pprof listener on this address (e.g. 127.0.0.1:6060)")
 		devices    = flag.Int("devices", 1, "SIMT devices in the pool (cohort mode)")
 		faultPlan  = flag.String("fault-plan", "", "JSON device-fault schedule to inject (cohort mode)")
@@ -107,6 +109,9 @@ func main() {
 		)
 		if *profileOff {
 			opts = append(opts, rhythm.WithProfileOff())
+		}
+		if *simPar != 0 {
+			opts = append(opts, rhythm.WithSimParallelism(*simPar))
 		}
 		if plan != nil {
 			opts = append(opts, rhythm.WithFaultPlan(plan))

@@ -88,6 +88,11 @@ type CohortOptions struct {
 	// HostParallelism caps the host workers executing kernel warps
 	// (0 = all cores; see DESIGN.md §8).
 	HostParallelism int
+	// SimParallelism caps the host workers executing independent kernel
+	// launches of one device epoch batch concurrently (0 = all cores;
+	// see DESIGN.md §13). Simulated results are bit-identical at every
+	// setting.
+	SimParallelism int
 	// ProfileOff disables the device's kernel-launch profiler
 	// (simt.Config.ProfileOff). On by default: recording is
 	// zero-allocation and costs <2% (BenchmarkProfilerOverhead).
@@ -334,6 +339,7 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	opts.fill()
 	cfg := simt.GTXTitan()
 	cfg.HostParallelism = opts.HostParallelism
+	cfg.SimParallelism = opts.SimParallelism
 	cfg.ProfileOff = opts.ProfileOff
 	cfg.ProfileRing = opts.ProfileRing
 	cl := cluster.New(cluster.Config{

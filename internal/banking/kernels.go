@@ -311,6 +311,12 @@ func NewParserProgram(args ParserArgs) simt.Program { return parserProgram{args}
 func (parserProgram) Name() string        { return "rhythm_parse" }
 func (parserProgram) Entry() simt.BlockID { return 0 }
 
+// LaunchFootprint declares that parsing touches no shared host state —
+// everything it writes (Reqs, Errs, Types, device columns) is private
+// to its own batch — so parser launches may overlap with anything
+// (simt.Footprinter; DESIGN.md §13).
+func (parserProgram) LaunchFootprint() simt.Footprint { return simt.Footprint{} }
+
 func (p parserProgram) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
 	pb := p.args.Batch
 	r := t.ID
@@ -398,6 +404,28 @@ func (p stageProgram) Name() string {
 }
 
 func (stageProgram) Entry() simt.BlockID { return 0 }
+
+// LaunchFootprint declares the one piece of shared host state a stage
+// kernel touches during execution: the session array. Cohort contexts,
+// device columns, and response buffers are private to the launch's own
+// cohort, and all Besim database access happens inside Thread.Defer
+// (replayed in the serial commit phase), so it needs no declaration
+// (simt.Footprinter; DESIGN.md §13). The session sites are exactly
+// three: the stage-0 prologue Lookup for session-bearing types
+// (NewCtx), the logout Delete (stage 0, it has no backend stages), and
+// the login Create in stage 1 (services.go loginStage case 1).
+func (p stageProgram) LaunchFootprint() simt.Footprint {
+	a := p.args
+	switch {
+	case a.Stage == 0 && a.Service.Spec.Type == Logout:
+		return simt.Footprint{Writes: []any{a.Sessions}}
+	case a.Stage == 0 && a.Service.NeedsSession:
+		return simt.Footprint{Reads: []any{a.Sessions}}
+	case a.Stage == 1 && a.Service.Spec.Type == Login:
+		return simt.Footprint{Writes: []any{a.Sessions}}
+	}
+	return simt.Footprint{}
+}
 
 func (p stageProgram) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
 	a := p.args
@@ -525,7 +553,10 @@ func (p stageProgram) emit(t *simt.Thread, r int, ctx *Ctx) {
 // the order-sensitive database execution to the serial end-of-launch
 // phase.
 func BesimProgram(dc *DeviceCohort, db *backend.DB) simt.Program {
-	return simt.FuncProgram{Label: "rhythm_besim", Body: func(t *simt.Thread) {
+	// The footprint is empty because the only shared state (db) is
+	// touched exclusively inside Thread.Defer, which the batch scheduler
+	// replays serially in canonical order regardless of declarations.
+	return simt.WithFootprint(simt.FuncProgram{Label: "rhythm_besim", Body: func(t *simt.Thread) {
 		r := t.ID
 		breq := loadColumn(t, dc.BReqBuf, r, dc.Size, backend.RequestSlot)
 		t.Compute(besimDeviceOps)
@@ -537,7 +568,7 @@ func BesimProgram(dc *DeviceCohort, db *backend.DB) simt.Program {
 			copy(slot, resp)
 			writeColumnRaw(m, dc.BRespBuf, r, dc.Size, slot)
 		})
-	}}
+	}}, simt.Footprint{})
 }
 
 // PackRequests writes raw requests row-major into a host staging image

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"sync"
+
+	"rhythm/internal/sim"
+)
+
+// epochAligner bounds the virtual-clock skew between the pool's device
+// workers. The devices run on independent goroutines with independent
+// engines; without alignment each free-runs through its own work as
+// fast as the host allows. With Config.AlignEpoch = E > 0, virtual time
+// is cut into E-wide epochs and a worker may only step its engine while
+// its clock is within one epoch of the slowest BUSY device — devices
+// with nothing to simulate leave the barrier (their clocks are parked)
+// and rejoin when work arrives, and dying devices deregister before
+// their quiesce drain so a mid-epoch failover can never wedge the pool.
+//
+// Alignment changes no simulated value on any device — each engine's
+// event order is worker-confined either way. What it bounds is the
+// cross-device interleaving window: a transferred unit arrives at a
+// device whose clock is at most one epoch away from the sender's,
+// modeling a lock-step multi-device simulation instead of an
+// arbitrarily skewed one.
+type epochAligner struct {
+	epoch sim.Time // 0 = alignment disabled; every call is a no-op
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	clocks []sim.Time
+	busy   []bool
+	left   []bool // permanently deregistered (dead devices)
+}
+
+func newEpochAligner(devices int, epoch sim.Time) *epochAligner {
+	a := &epochAligner{
+		epoch:  epoch,
+		clocks: make([]sim.Time, devices),
+		busy:   make([]bool, devices),
+	}
+	a.left = make([]bool, devices)
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// floorLocked reports the minimum clock over busy, non-left devices,
+// or -1 when no device is busy.
+func (a *epochAligner) floorLocked() sim.Time {
+	floor := sim.Time(-1)
+	for i, c := range a.clocks {
+		if !a.busy[i] || a.left[i] {
+			continue
+		}
+		if floor < 0 || c < floor {
+			floor = c
+		}
+	}
+	return floor
+}
+
+// gate marks device id busy at clock now and blocks until now is within
+// one epoch of the slowest busy device.
+func (a *epochAligner) gate(id int, now sim.Time) {
+	if a.epoch <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.left[id] {
+		return
+	}
+	if !a.busy[id] || a.clocks[id] != now {
+		a.busy[id] = true
+		a.clocks[id] = now
+		a.cond.Broadcast()
+	}
+	for {
+		floor := a.floorLocked()
+		if floor < 0 || now <= floor+a.epoch {
+			return
+		}
+		a.cond.Wait()
+		if a.left[id] {
+			return
+		}
+	}
+}
+
+// report publishes device id's clock after a step.
+func (a *epochAligner) report(id int, now sim.Time) {
+	if a.epoch <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if !a.left[id] && a.clocks[id] != now {
+		a.clocks[id] = now
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// idle marks device id as having nothing to simulate; it no longer
+// holds back faster devices. Idempotent, called from the worker's wait
+// loop.
+func (a *epochAligner) idle(id int) {
+	if a.epoch <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.busy[id] {
+		a.busy[id] = false
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// leave permanently deregisters a dying device so its quiesce drain
+// can run ahead without blocking on (or being awaited by) the barrier.
+func (a *epochAligner) leave(id int) {
+	if a.epoch <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if !a.left[id] {
+		a.left[id] = true
+		a.busy[id] = false
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}

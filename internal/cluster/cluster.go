@@ -71,6 +71,18 @@ type Config struct {
 	SessionNodesPerBucket int
 	// Simt configures each device (zero value = simt.GTXTitan()).
 	Simt simt.Config
+	// SimParallelism caps launch-level host concurrency inside each
+	// device's epoch batches (0 = all cores, 1 = serial). It is copied
+	// into Simt.SimParallelism when that field is unset; see DESIGN.md
+	// §13.
+	SimParallelism int
+	// AlignEpoch, when > 0, bounds the virtual-clock skew between device
+	// workers: a device may only step its engine while its clock is
+	// within AlignEpoch of the slowest busy device. 0 (the default)
+	// leaves devices free-running, which is safe — per-device results
+	// are worker-confined either way — but lets clocks drift apart
+	// arbitrarily.
+	AlignEpoch sim.Time
 	// Faults optionally injects device faults (nil = none).
 	Faults *FaultPlan
 	// Manual defers worker startup to Start(), letting a harness prefill
@@ -106,6 +118,9 @@ func (c *Config) fill() {
 	}
 	if c.Simt.Name == "" {
 		c.Simt = simt.GTXTitan()
+	}
+	if c.Simt.SimParallelism == 0 && c.SimParallelism != 0 {
+		c.Simt.SimParallelism = c.SimParallelism
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
@@ -183,6 +198,8 @@ type Cluster struct {
 	retries   uint64
 	sheds     uint64
 
+	aligner *epochAligner
+
 	stopCh    chan struct{}
 	stopOnce  sync.Once
 	startOnce sync.Once
@@ -194,9 +211,10 @@ type Cluster struct {
 func New(cfg Config) *Cluster {
 	cfg.fill()
 	c := &Cluster{
-		cfg:    cfg,
-		owner:  make([]int, cfg.Groups),
-		stopCh: make(chan struct{}),
+		cfg:     cfg,
+		owner:   make([]int, cfg.Groups),
+		aligner: newEpochAligner(cfg.Devices, cfg.AlignEpoch),
+		stopCh:  make(chan struct{}),
 	}
 	for g := 0; g < cfg.Groups; g++ {
 		c.groups = append(c.groups, &groupState{

@@ -127,7 +127,7 @@ func (d *device) run() {
 			d.die(stop)
 			return
 		}
-		if d.eng.Pending() > 0 {
+		if d.pendingWork() {
 			select {
 			case u := <-d.ch:
 				d.backlog = append(d.backlog, u)
@@ -135,10 +135,11 @@ func (d *device) run() {
 				stop = nil
 				d.stopped = true
 			default:
-				d.eng.Step()
+				d.step()
 			}
 			continue
 		}
+		d.cl.aligner.idle(d.id)
 		if d.stopped {
 			if len(d.ch) == 0 && len(d.backlog) == 0 && d.cl.totalInFlight() == 0 {
 				d.cl.statsMu.Lock()
@@ -223,8 +224,9 @@ func (d *device) tryLaunch(u *Unit) {
 // execute exactly once, and re-execution on the new owner reads the
 // same host-authoritative group state the old owner left behind.
 func (d *device) die(stop chan struct{}) {
-	for d.eng.Pending() > 0 {
-		d.eng.Step()
+	d.cl.aligner.leave(d.id)
+	for d.pendingWork() {
+		d.step()
 	}
 	d.cl.statsMu.Lock()
 	d.health = Dead
@@ -377,6 +379,24 @@ func (d *device) writeback(u *Unit, dc *banking.DeviceCohort, stream *simt.Strea
 		d.cl.statsMu.Unlock()
 		u.Done(res)
 	})
+}
+
+// pendingWork reports whether the device's simulation still has
+// anything to do: scheduled engine events, or gate-released kernel
+// launches waiting for their epoch flush (those produce no engine
+// events until the flush — see simt.Device.PendingLaunches).
+func (d *device) pendingWork() bool {
+	return d.eng.Pending() > 0 || d.dev.PendingLaunches() > 0
+}
+
+// step advances this device's engine by one event under the pool's
+// epoch aligner: when per-epoch virtual-clock alignment is enabled, the
+// worker first waits until its clock is within one epoch of the
+// slowest busy device, then steps and publishes its new clock.
+func (d *device) step() {
+	d.cl.aligner.gate(d.id, d.eng.Now())
+	d.eng.Step()
+	d.cl.aligner.report(d.id, d.eng.Now())
 }
 
 // mirrorLocked refreshes the statsMu-guarded copies of the

@@ -80,6 +80,7 @@ func CalibrateServiceModel(cfg Config) (a, b float64) {
 			4*size*banking.RequestSlot + 64<<20
 		devCfg := simt.GTXTitan()
 		devCfg.HostParallelism = cfg.HostParallelism
+		devCfg.SimParallelism = cfg.SimParallelism
 		dev := simt.NewDevice(eng, devCfg, memBytes, nil)
 		sessions, gen := newWorkload(cfg, banking.AccountSummary, 6*size)
 		srv := pipeline.New(eng, dev, po, backend.New(), sessions)

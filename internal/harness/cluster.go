@@ -62,6 +62,7 @@ func ClusterScalingStudy(cfg Config, counts []int) ClusterScalingResult {
 func runClusterPoint(cfg Config, devices int) ClusterScalingRow {
 	devCfg := simt.GTXTitan()
 	devCfg.HostParallelism = cfg.HostParallelism
+	devCfg.SimParallelism = cfg.SimParallelism
 	unitsPerGroup := cfg.GPUCohortsPerType
 	cl := cluster.New(cluster.Config{
 		Devices:        devices,

@@ -41,6 +41,15 @@ type Config struct {
 	// identical at every setting; only wall-clock changes. DefaultConfig
 	// honors the RHYTHM_HOST_PARALLELISM environment variable.
 	HostParallelism int
+	// SimParallelism bounds the host threads each simulated device uses
+	// to execute independent kernel launches of one epoch batch
+	// concurrently (simt.Config.SimParallelism; DESIGN.md §13). It
+	// composes with warp-level HostParallelism — both draw from the same
+	// host pool. 0 = runtime.GOMAXPROCS(0), 1 = serial. Results are
+	// bit-identical at every setting; only wall-clock changes.
+	// DefaultConfig honors the RHYTHM_SIM_PARALLELISM environment
+	// variable.
+	SimParallelism int
 }
 
 // DefaultConfig returns the quick-run configuration. The
@@ -59,12 +68,18 @@ func DefaultConfig() Config {
 		ValidateEvery:      512,
 		TraceRequests:      61, // the paper traced 61 requests (§2.3)
 		HostParallelism:    envHostParallelism(),
+		SimParallelism:     envSimParallelism(),
 	}
 }
 
 // envHostParallelism reads the RHYTHM_HOST_PARALLELISM override.
-func envHostParallelism() int {
-	v := os.Getenv("RHYTHM_HOST_PARALLELISM")
+func envHostParallelism() int { return envParallelism("RHYTHM_HOST_PARALLELISM") }
+
+// envSimParallelism reads the RHYTHM_SIM_PARALLELISM override.
+func envSimParallelism() int { return envParallelism("RHYTHM_SIM_PARALLELISM") }
+
+func envParallelism(env string) int {
+	v := os.Getenv(env)
 	if v == "" {
 		return 0
 	}
@@ -89,7 +104,7 @@ func PaperScaleConfig() Config {
 func (c Config) gpuRequestsPerType() int { return c.GPUCohortsPerType * c.CohortSize }
 
 func (c Config) validate() {
-	if c.CohortSize <= 0 || c.MaxCohorts <= 0 || c.GPUCohortsPerType <= 0 || c.HostParallelism < 0 {
+	if c.CohortSize <= 0 || c.MaxCohorts <= 0 || c.GPUCohortsPerType <= 0 || c.HostParallelism < 0 || c.SimParallelism < 0 {
 		panic(fmt.Sprintf("harness: bad config %+v", c))
 	}
 }

@@ -212,10 +212,14 @@ func RunTitan(cfg Config, opts TitanRunOptions) PlatformRun {
 	if opts.DeviceConfig != nil {
 		run.Name = devCfg.Name
 	}
-	// Warp-level host parallelism follows the harness knob unless the
-	// study supplied a device config with its own explicit setting.
+	// Warp- and launch-level host parallelism follow the harness knobs
+	// unless the study supplied a device config with its own explicit
+	// settings.
 	if devCfg.HostParallelism == 0 {
 		devCfg.HostParallelism = cfg.HostParallelism
+	}
+	if devCfg.SimParallelism == 0 {
+		devCfg.SimParallelism = cfg.SimParallelism
 	}
 
 	workers := cfg.hostWorkers()

@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+// TestOnDrainFiresAtQueueExhaustion: a drain hook runs when the queue
+// empties and may schedule more work; Run only stops once every hook
+// declines.
+func TestOnDrainFiresAtQueueExhaustion(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	rounds := 0
+	e.OnDrain(func(idle bool) bool {
+		if !idle || rounds >= 3 {
+			return false
+		}
+		rounds++
+		e.After(5, func() { fired = append(fired, e.Now()) })
+		return true
+	})
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("hook-scheduled events fired %d times, want 3", len(fired))
+	}
+	for i, at := range fired {
+		if want := Time(5 * (i + 1)); at != want {
+			t.Errorf("event %d fired at %d, want %d", i, at, want)
+		}
+	}
+}
+
+// TestOnDrainFiresBeforeClockAdvance: with a future event pending, the
+// hook is consulted (idle=false) before the clock jumps, so
+// immediately-runnable work it releases executes at the current time.
+func TestOnDrainFiresBeforeClockAdvance(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(100, func() { order = append(order, "future") })
+	released := false
+	e.OnDrain(func(idle bool) bool {
+		if released {
+			return false
+		}
+		released = true
+		if idle {
+			t.Fatal("hook saw idle=true while a future event was pending")
+		}
+		now := e.Now()
+		e.At(now, func() { order = append(order, "released") })
+		return true
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "released" || order[1] != "future" {
+		t.Fatalf("execution order %v, want [released future]", order)
+	}
+}
+
+// TestOnDrainRunUntil: RunUntil consults drain hooks before advancing
+// to the deadline, and still lands the clock on the deadline.
+func TestOnDrainRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	called := false
+	e.OnDrain(func(idle bool) bool {
+		if called {
+			return false
+		}
+		called = true
+		e.At(e.Now(), func() { ran = true })
+		return true
+	})
+	e.RunUntil(50)
+	if !ran {
+		t.Fatal("drain-released event did not run")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock at %d after RunUntil(50)", e.Now())
+	}
+}
+
+// TestOnDrainMultipleHooks: every registered hook is consulted, and one
+// returning true re-polls the others.
+func TestOnDrainMultipleHooks(t *testing.T) {
+	e := NewEngine()
+	calls := [2]int{}
+	gave := false
+	e.OnDrain(func(idle bool) bool {
+		calls[0]++
+		return false
+	})
+	e.OnDrain(func(idle bool) bool {
+		calls[1]++
+		if gave {
+			return false
+		}
+		gave = true
+		return true
+	})
+	e.Run()
+	// Round 1: hook 2 reports progress, so both are polled again; round
+	// 2: both decline and the run ends.
+	if calls[0] != 2 || calls[1] != 2 {
+		t.Fatalf("hook call counts %v, want [2 2]", calls)
+	}
+}

@@ -82,6 +82,7 @@ type Engine struct {
 	queue  eventQueue
 	fired  uint64
 	halted bool
+	drain  []func(idle bool) bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -131,11 +132,43 @@ func (e *Engine) Cancel(ev *Event) {
 // Halt stops Run/RunUntil after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// OnDrain registers fn to be consulted at the engine's drain points: just
+// before the clock advances past the current instant (idle=false) and when
+// the event queue has emptied (idle=true). fn reports whether it made
+// progress (typically by scheduling new events); it is called repeatedly
+// until every registered hook reports false. The SIMT device model uses
+// drain points as epoch boundaries for batched kernel-launch execution —
+// see DESIGN.md §13.
+func (e *Engine) OnDrain(fn func(idle bool) bool) {
+	e.drain = append(e.drain, fn)
+}
+
+// fireDrain runs every drain hook once and reports whether any made
+// progress.
+func (e *Engine) fireDrain(idle bool) bool {
+	progress := false
+	for _, fn := range e.drain {
+		if fn(idle) {
+			progress = true
+		}
+	}
+	return progress
+}
+
 // Step fires the single earliest pending event. It reports false when the
-// queue is empty.
+// queue is empty and no drain hook can produce more work.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
-		return false
+	for {
+		if len(e.queue) == 0 {
+			if !e.fireDrain(true) {
+				return false
+			}
+			continue
+		}
+		if e.queue[0].at > e.now && len(e.drain) > 0 && e.fireDrain(false) {
+			continue
+		}
+		break
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	if ev.dead {
@@ -160,6 +193,12 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
 		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			// Give drain hooks a chance to schedule work (e.g. flush
+			// batched launches whose ready times are at or before now)
+			// before declaring this window exhausted.
+			if e.fireDrain(len(e.queue) == 0) {
+				continue
+			}
 			break
 		}
 		e.Step()

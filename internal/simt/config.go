@@ -46,6 +46,17 @@ type Config struct {
 	// bytes) are identical at every setting — see DESIGN.md
 	// "Host parallelism" for the determinism contract.
 	HostParallelism int
+	// SimParallelism caps the host workers that execute independent
+	// kernel launches of one epoch batch concurrently (launch-level
+	// parallelism, the axis above HostParallelism's warp-level one).
+	// Launches accumulate between engine drain points and execute as one
+	// canonically ordered batch; non-conflicting launches (disjoint
+	// Footprints) run on up to SimParallelism workers while conflicting
+	// ones serialize in (stream, seq) order. 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 forces serial batch execution. Simulated
+	// results are byte-identical at every setting — see DESIGN.md §13
+	// for the epoch/merge determinism contract.
+	SimParallelism int
 
 	// ProfileOff disables the per-launch profiler ring (DESIGN.md §10).
 	// Profiling is on by default: recording is one mutex acquisition and
@@ -158,6 +169,8 @@ func (c Config) validate() {
 		panic("simt: Queues must be positive")
 	case c.HostParallelism < 0:
 		panic("simt: HostParallelism must be non-negative")
+	case c.SimParallelism < 0:
+		panic("simt: SimParallelism must be non-negative")
 	case c.ProfileRing < 0:
 		panic("simt: ProfileRing must be non-negative")
 	}

@@ -3,6 +3,7 @@ package simt
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rhythm/internal/mem"
 	"rhythm/internal/sim"
@@ -65,7 +66,26 @@ type Device struct {
 	stats   DeviceStats
 	prof    *launchRing // nil when Cfg.ProfileOff
 
+	// pending accumulates launches whose stream/queue gates have fired
+	// but whose kernels have not executed yet; flushPending drains it at
+	// the next engine drain point (epoch boundary). launchSeq is the
+	// device-wide arrival counter breaking canonical-order ties.
+	pending   []pendingLaunch
+	launchSeq uint64
+
 	constBrk mem.Addr // constant memory is carved from the low addresses
+}
+
+// pendingLaunch is one gate-released kernel launch awaiting its epoch's
+// batch execution.
+type pendingLaunch struct {
+	stream   *Stream
+	seq      uint64 // device-wide arrival order
+	prog     Program
+	n        int
+	init     func(i int, t *Thread)
+	done     func(LaunchStats)
+	complete func()
 }
 
 // warpPool models the device's execution capacity as warp-issue slots:
@@ -126,6 +146,11 @@ func (p *warpPool) utilization(now sim.Time) float64 {
 		return 0
 	}
 	return p.slotBusy / (float64(p.capacity) * float64(now))
+}
+
+// idle reports whether the pool has nothing running and nothing queued.
+func (p *warpPool) idle() bool {
+	return p.available == p.capacity && len(p.queue) == 0
 }
 
 // hwQueue is one hardware work queue. With a single queue (GTX690-style),
@@ -193,6 +218,22 @@ func NewDevice(eng *sim.Engine, cfg Config, memBytes int, bus *sim.Pipe) *Device
 		}
 		d.prof = newLaunchRing(ring)
 	}
+	// Epoch boundaries: flush batched launches whenever the engine would
+	// otherwise advance the clock while this device's compute pool is
+	// idle (the launches could have started), or when the event queue
+	// drains entirely. Both triggers depend only on virtual event
+	// structure, never on host scheduling, so batch membership — and
+	// with it every simulated number — is identical at every
+	// SimParallelism setting.
+	eng.OnDrain(func(idle bool) bool {
+		if len(d.pending) == 0 {
+			return false
+		}
+		if !idle && !d.compute.idle() {
+			return false
+		}
+		return d.flushPending()
+	})
 	return d
 }
 
@@ -265,17 +306,76 @@ func (s *Stream) enqueue(op func(complete func())) {
 // each thread before execution to attach per-thread arguments. done
 // (optional) receives the launch statistics at kernel completion.
 //
-// Functional execution happens at launch time (the bytes land in device
-// memory immediately in host order — streams only model time), which is
-// safe because Rhythm's pipeline never reads a buffer before the
-// completion callback of the op that wrote it.
+// Functional execution happens at the epoch boundary that closes over
+// the launch (the next engine drain point after its stream gates fire),
+// in canonical (stream, seq) batch order — streams only model time.
+// This is safe because Rhythm's pipeline never reads a buffer before
+// the completion callback of the op that wrote it, and completion
+// callbacks are only scheduled at batch flush. See DESIGN.md §13.
 func (s *Stream) Launch(prog Program, n int, init func(i int, t *Thread), done func(LaunchStats)) {
 	if n <= 0 {
 		panic("simt: launch needs at least one thread")
 	}
 	d := s.dev
 	s.enqueue(func(complete func()) {
-		st := d.runKernel(prog, n, init)
+		d.pending = append(d.pending, pendingLaunch{
+			stream:   s,
+			seq:      d.launchSeq,
+			prog:     prog,
+			n:        n,
+			init:     init,
+			done:     done,
+			complete: complete,
+		})
+		d.launchSeq++
+	})
+}
+
+// PendingLaunches reports how many gate-released launches are waiting
+// for the next epoch flush. Drivers that poll Engine.Pending to decide
+// whether the device still has work must OR it with this (an engine can
+// be momentarily out of events while launches wait for their batch).
+func (d *Device) PendingLaunches() int { return len(d.pending) }
+
+// flushPending executes every accumulated launch as one epoch batch and
+// reports whether it did anything. The sequence is the determinism
+// contract (DESIGN.md §13):
+//
+//  1. Sort the batch canonically by (stream id, arrival seq). Batch
+//     membership and order depend only on virtual event structure.
+//  2. Partition into conflict groups from declared Footprints. Groups
+//     execute concurrently on up to Cfg.SimParallelism host workers;
+//     launches within a group run serially in canonical order. Each
+//     launch's warps still fan out over Cfg.HostParallelism workers.
+//  3. Commit serially in canonical order: replay deferred side effects
+//     (Thread.Defer — Besim writes), accumulate DeviceStats, and submit
+//     to the compute pool, which schedules the profiler record, done
+//     callback, and stream-gate completion at virtual finish time.
+func (d *Device) flushPending() bool {
+	if len(d.pending) == 0 {
+		return false
+	}
+	batch := d.pending
+	d.pending = nil
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].stream.id != batch[j].stream.id {
+			return batch[i].stream.id < batch[j].stream.id
+		}
+		return batch[i].seq < batch[j].seq
+	})
+	groups := conflictGroups(batch)
+	results := make([]kernelExec, len(batch))
+	parallelFor(d.Cfg.simWorkers(), len(groups), func(g int) {
+		for _, i := range groups[g] {
+			results[i] = d.execKernel(batch[i].prog, batch[i].n, batch[i].init)
+		}
+	})
+	for i := range batch {
+		pl := batch[i]
+		st := results[i].stats
+		for _, fn := range results[i].deferred {
+			fn()
+		}
 		d.stats.Launches++
 		d.stats.IssueCycles += st.IssueCycles
 		d.stats.MemBytes += st.MemBytes
@@ -285,13 +385,13 @@ func (s *Stream) Launch(prog Program, n int, init func(i int, t *Thread), done f
 		d.stats.BlockExecs += st.BlockExecs
 		d.stats.EnergyJ += st.EnergyJ
 		d.stats.BusyTime += st.Duration
-		slots := st.Warps
 		start := d.eng.Now()
-		d.compute.submit(slots, st.Duration, func() {
+		done, complete, streamID := pl.done, pl.complete, pl.stream.id
+		d.compute.submit(st.Warps, st.Duration, func() {
 			if d.prof != nil {
 				st.Seq = d.prof.add(LaunchRecord{
 					Kernel:            st.Kernel,
-					Stream:            s.id,
+					Stream:            streamID,
 					Threads:           st.Threads,
 					Warps:             st.Warps,
 					Start:             start,
@@ -311,7 +411,8 @@ func (s *Stream) Launch(prog Program, n int, init func(i int, t *Thread), done f
 			}
 			complete()
 		})
-	})
+	}
+	return true
 }
 
 // MemcpyH2D enqueues a host-to-device copy of p to dst.
@@ -428,14 +529,25 @@ type warpResult struct {
 	deferred []func()
 }
 
-// runKernel executes every warp of the launch functionally and prices the
-// launch with the roofline model. Warps run concurrently on up to
+// kernelExec is one launch's execution-phase outcome: the priced stats
+// plus its deferred side effects flattened in (warp, issue) order,
+// awaiting the batch's serial commit phase.
+type kernelExec struct {
+	stats    LaunchStats
+	deferred []func()
+}
+
+// execKernel executes every warp of the launch functionally and prices
+// the launch with the roofline model. Warps run concurrently on up to
 // Cfg.HostParallelism host workers (see hostpool.go); simulated results
 // are identical to the serial path because each warp owns its thread
-// scratch, per-warp stats are reduced in warp-index order below, and
-// order-sensitive side effects are deferred (Thread.Defer) to the serial
-// phase at the end of this function.
-func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) LaunchStats {
+// scratch and per-warp stats are reduced in warp-index order below.
+// Order-sensitive side effects (Thread.Defer) are NOT run here: they are
+// returned in (warp, issue) order — the order a fully serial simulation
+// would have produced — for flushPending's serial commit phase, which
+// also keeps them off the concurrent path when several launches of one
+// epoch batch execute in parallel.
+func (d *Device) execKernel(prog Program, n int, init func(i int, t *Thread)) kernelExec {
 	cfg := d.Cfg
 	warps := (n + cfg.WarpSize - 1) / cfg.WarpSize
 	results := make([]warpResult, warps)
@@ -462,6 +574,7 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 	// reduction trivially schedule-independent.
 	var total warpStats
 	var maxWarpCycles int64
+	var deferred []func()
 	for w := range results {
 		ws := results[w].stats
 		total.issueCycles += ws.issueCycles
@@ -473,13 +586,7 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 		if ws.issueCycles > maxWarpCycles {
 			maxWarpCycles = ws.issueCycles
 		}
-	}
-	// Serial phase: deferred side effects run in (warp, issue) order —
-	// the order a fully serial simulation would have produced.
-	for w := range results {
-		for _, fn := range results[w].deferred {
-			fn()
-		}
+		deferred = append(deferred, results[w].deferred...)
 	}
 	dur := d.price(warps, total.issueCycles, maxWarpCycles, total.memBytes)
 	// The ideal-coalescing floor: the transactions a kernel requesting
@@ -488,19 +595,22 @@ func (d *Device) runKernel(prog Program, n int, init func(i int, t *Thread)) Lau
 	// column-major transpose optimization (§4.3) buys back.
 	seg := int64(cfg.SegmentBytes)
 	idealTxns := (total.accessBytes + seg - 1) / seg
-	return LaunchStats{
-		Kernel:        prog.Name(),
-		Threads:       n,
-		Warps:         warps,
-		IssueCycles:   total.issueCycles,
-		MemBytes:      total.memBytes,
-		Transactions:  total.transactions,
-		IdealTxns:     idealTxns,
-		BlockExecs:    total.blockExecs,
-		DivergentExec: total.divergentExec,
-		Duration:      dur,
-		Occupancy:     d.occupancyOf(warps),
-		EnergyJ:       d.energyOf(warps, total.issueCycles, total.memBytes, dur),
+	return kernelExec{
+		stats: LaunchStats{
+			Kernel:        prog.Name(),
+			Threads:       n,
+			Warps:         warps,
+			IssueCycles:   total.issueCycles,
+			MemBytes:      total.memBytes,
+			Transactions:  total.transactions,
+			IdealTxns:     idealTxns,
+			BlockExecs:    total.blockExecs,
+			DivergentExec: total.divergentExec,
+			Duration:      dur,
+			Occupancy:     d.occupancyOf(warps),
+			EnergyJ:       d.energyOf(warps, total.issueCycles, total.memBytes, dur),
+		},
+		deferred: deferred,
 	}
 }
 

@@ -43,11 +43,19 @@ func ensureHostWorkers(n int) {
 // parallelFor executes fn(0..n-1) across up to `workers` host threads.
 // workers <= 1 runs the loop inline (the serial path — no goroutines, no
 // atomics). Otherwise the calling goroutine participates alongside
-// pool workers, so progress never depends on pool availability; if the
-// pool's queue is saturated (deep nesting) the call simply runs with
-// fewer helpers. Iterations are claimed with an atomic counter
-// (work-stealing order), so fn must not care which worker runs which
-// index or in what order.
+// pool workers, so progress never depends on pool availability.
+// Iterations are claimed with an atomic counter (work-stealing order),
+// so fn must not care which worker runs which index or in what order.
+//
+// The call returns when every ITERATION has completed, not when every
+// helper has run: helpers that are still queued when the caller's own
+// loop finishes the work become no-ops whenever the pool gets to them.
+// That distinction is what makes nesting (launch-level parallelFor over
+// conflict groups, each group's kernels running warp-level parallelFor)
+// deadlock-free — a helper stuck behind busy pool workers can never be
+// something the caller is waiting FOR, because the caller participates
+// and can always drive the iteration count to n alone; it only ever
+// waits on helpers that are actively running fn.
 func parallelFor(workers, n int, fn func(int)) {
 	if workers > n {
 		workers = n
@@ -59,31 +67,30 @@ func parallelFor(workers, n int, fn func(int)) {
 		return
 	}
 	ensureHostWorkers(workers - 1)
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var next, completed atomic.Int64
+	done := make(chan struct{})
 	loop := func() {
-		defer wg.Done()
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
 			fn(i)
+			if completed.Add(1) == int64(n) {
+				close(done)
+			}
 		}
 	}
 	for w := 0; w < workers-1; w++ {
-		wg.Add(1)
 		select {
 		case hostPool.jobs <- loop:
 		default:
 			// Queue full: every pool worker is busy and backlogged. The
 			// caller's own loop below still guarantees completion.
-			wg.Done()
 		}
 	}
-	wg.Add(1)
 	loop()
-	wg.Wait()
+	<-done
 }
 
 // hostWorkers resolves the configured host parallelism for one launch:
@@ -97,5 +104,21 @@ func (c Config) hostWorkers() int {
 		panic("simt: negative HostParallelism")
 	default:
 		return c.HostParallelism
+	}
+}
+
+// simWorkers resolves the configured launch-level parallelism for one
+// epoch batch, with the same 0 = all cores / 1 = serial convention as
+// hostWorkers. Batch execution nests warp-level parallelFor calls inside
+// launch-level ones; both draw from the shared host pool, whose
+// caller-participation rule keeps nesting deadlock-free.
+func (c Config) simWorkers() int {
+	switch {
+	case c.SimParallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case c.SimParallelism < 0:
+		panic("simt: negative SimParallelism")
+	default:
+		return c.SimParallelism
 	}
 }

@@ -130,6 +130,14 @@ func WithHostParallelism(n int) Option {
 	return func(c *serverConfig) { c.cohort.HostParallelism = n }
 }
 
+// WithSimParallelism caps the host worker threads that execute
+// independent kernel launches of one device epoch batch concurrently
+// (0 = all cores; see DESIGN.md §13). Simulated results are
+// bit-identical at every setting; only wall-clock changes.
+func WithSimParallelism(n int) Option {
+	return func(c *serverConfig) { c.cohort.SimParallelism = n }
+}
+
 // WithProfileOff disables the kernel-launch profiler.
 func WithProfileOff() Option {
 	return func(c *serverConfig) { c.cohort.ProfileOff = true }
