@@ -13,8 +13,10 @@ HOST_ADDR=127.0.0.1:18601
 COHORT_ADDR=127.0.0.1:18602
 CLUSTER_ADDR=127.0.0.1:18603
 ADAPT_ADDR=127.0.0.1:18604
+CACHEH_ADDR=127.0.0.1:18605
+CACHEC_ADDR=127.0.0.1:18606
 WORK=$(mktemp -d)
-trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 
 if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/rhythmd
@@ -46,6 +48,14 @@ CLUSTER_PID=$!
 "$BIN" -cohort -addr "$ADAPT_ADDR" -cohort-size 32 -formation-timeout 2ms \
     -slo-p99 50ms -adapt-crossover 300 >"$WORK/adapt.log" 2>&1 &
 ADAPT_PID=$!
+# Render-cache legs: the same host and cohort servers with the
+# whole-page cache enabled. The session below is replayed twice; the
+# second pass must be served from the cache with unchanged bytes.
+"$BIN" -addr "$CACHEH_ADDR" -render-cache 4096 >"$WORK/cacheh.log" 2>&1 &
+CACHEH_PID=$!
+"$BIN" -cohort -addr "$CACHEC_ADDR" -cohort-size 8 -formation-timeout 2ms \
+    -render-cache 4096 >"$WORK/cachec.log" 2>&1 &
+CACHEC_PID=$!
 
 wait_ready() {
     for _ in $(seq 1 50); do
@@ -60,6 +70,8 @@ wait_ready "$HOST_ADDR"
 wait_ready "$COHORT_ADDR"
 wait_ready "$CLUSTER_ADDR"
 wait_ready "$ADAPT_ADDR"
+wait_ready "$CACHEH_ADDR"
+wait_ready "$CACHEC_ADDR"
 
 # Demo credentials are deterministic; both modes print the same list.
 CRED=$(grep -m1 '^  userid=' "$WORK/host.log")
@@ -81,6 +93,23 @@ drive cohort "$COHORT_ADDR"
 drive cluster "$CLUSTER_ADDR"
 drive adapt "$ADAPT_ADDR"
 
+# drive_twice <name> <addr>: like drive, but browse the authenticated
+# pages twice before logging out. Against a -render-cache server the
+# second pass is served from the cache; both passes must match the
+# uncached host's bytes exactly.
+drive_twice() {
+    local name=$1 addr=$2 jar="$WORK/$1.jar"
+    curl -sf -c "$jar" -d "userid=$USERID&passwd=$PASSWD" \
+        -o "$WORK/$name.login" "http://$addr/login.php"
+    curl -sf -b "$jar" -o "$WORK/$name.summary" "http://$addr/account_summary.php"
+    curl -sf -b "$jar" -o "$WORK/$name.profile" "http://$addr/profile.php"
+    curl -sf -b "$jar" -o "$WORK/$name.summary2" "http://$addr/account_summary.php"
+    curl -sf -b "$jar" -o "$WORK/$name.profile2" "http://$addr/profile.php"
+    curl -sf -b "$jar" -o "$WORK/$name.logout" "http://$addr/logout.php"
+}
+drive_twice cacheh "$CACHEH_ADDR"
+drive_twice cachec "$CACHEC_ADDR"
+
 # The modes must render byte-identical pages (cookies live in
 # headers; only bodies are compared here — the in-repo differential
 # test covers full-response identity for every request type). The
@@ -99,6 +128,33 @@ grep -q "Account Summary" "$WORK/host.summary" || {
     echo "e2e-smoke: summary page missing expected content" >&2
     exit 1
 }
+
+# Render-cache legs: every page of both passes must be byte-identical
+# to the uncached host path (a cache hit may not be distinguishable
+# from a fresh render), and the servers must actually have served the
+# second pass from the cache.
+check_cache_leg() {
+    local name=$1 addr=$2 page ref cstats
+    for page in login summary profile summary2 profile2 logout; do
+        ref=${page%2}
+        if ! diff -q "$WORK/host.$ref" "$WORK/$name.$page"; then
+            echo "e2e-smoke: $page body differs between host and $name (-render-cache) mode" >&2
+            diff "$WORK/host.$ref" "$WORK/$name.$page" | head -20 >&2 || true
+            exit 1
+        fi
+    done
+    cstats=$(curl -sf "http://$addr/v1/stats")
+    echo "$cstats" | grep -Eq '"cache_hits": [1-9]' || {
+        echo "e2e-smoke: $name served no cache hits after the session replay: $cstats" >&2
+        exit 1
+    }
+    echo "$cstats" | grep -Eq '"cache_misses": [1-9]' || {
+        echo "e2e-smoke: $name recorded no cache misses on the first pass: $cstats" >&2
+        exit 1
+    }
+}
+check_cache_leg cacheh "$CACHEH_ADDR"
+check_cache_leg cachec "$CACHEC_ADDR"
 
 # The cohort server must actually have batched through the device path.
 STATS=$(curl -sf "http://$COHORT_ADDR/rhythm-stats")
@@ -163,6 +219,14 @@ check_metrics cluster "$CLUSTER_ADDR" \
     rhythm_cluster_device_up rhythm_cluster_device_units_total \
     rhythm_cluster_failovers_total rhythm_cluster_retries_total \
     rhythm_cluster_shed_cohorts_total
+check_metrics cacheh "$CACHEH_ADDR" \
+    rhythm_build_info rhythm_requests_served_total \
+    rhythm_render_cache_hits_total rhythm_render_cache_misses_total \
+    rhythm_render_cache_entries
+check_metrics cachec "$CACHEC_ADDR" \
+    rhythm_build_info rhythm_requests_served_total rhythm_cohorts_total \
+    rhythm_render_cache_hits_total rhythm_render_cache_misses_total \
+    rhythm_render_cache_entries
 grep -q 'rhythm_request_latency_seconds_bucket{type="login",le="' "$WORK/cohort.metrics" || {
     echo "e2e-smoke: cohort /metrics missing per-type latency buckets" >&2
     exit 1
@@ -240,4 +304,4 @@ for needle in '"traceEvents"' '"formation-wait"' '"launch_seq"'; do
     }
 done
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, and adaptive modes — incl. a device loss mid-session and a 40->1200 req/s step through the formation controller; /metrics + /rhythm-trace healthy)"
+echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, and adaptive modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, and a double-pass replay against -render-cache host+cohort servers with cache hits; /metrics + /rhythm-trace healthy)"

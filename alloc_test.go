@@ -1,0 +1,166 @@
+package rhythm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"rhythm/internal/banking"
+	"rhythm/internal/httpx"
+)
+
+// TestAllocBudgets enforces the committed allocation budgets of the
+// frontend hot path (BENCH_allocs.json): classify, render, a render
+// cache hit, a render cache miss, and a /metrics scrape, measured with
+// testing.AllocsPerRun. Any increase over a committed budget fails the
+// build (the alloc-gate CI job); improvements print a reminder to
+// re-baseline. Re-baseline deliberately with:
+//
+//	RHYTHM_WRITE_ALLOC_BASELINE=1 go test -run TestAllocBudgets .
+func TestAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	measured := measureAllocs(t)
+
+	if os.Getenv("RHYTHM_WRITE_ALLOC_BASELINE") != "" {
+		buf, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_allocs.json", append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote BENCH_allocs.json: %s", buf)
+		return
+	}
+
+	raw, err := os.ReadFile("BENCH_allocs.json")
+	if err != nil {
+		t.Fatalf("no committed alloc baseline (re-baseline with RHYTHM_WRITE_ALLOC_BASELINE=1): %v", err)
+	}
+	var budgets map[string]float64
+	if err := json.Unmarshal(raw, &budgets); err != nil {
+		t.Fatalf("BENCH_allocs.json: %v", err)
+	}
+
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		budget := budgets[name]
+		got, ok := measured[name]
+		if !ok {
+			t.Errorf("%s: budgeted in BENCH_allocs.json but not measured", name)
+			continue
+		}
+		switch {
+		case got > budget:
+			t.Errorf("%s: %.2f allocs/request exceeds the committed budget %.2f — the hot path regressed", name, got, budget)
+		case got < budget-1:
+			t.Logf("%s: improved to %.2f allocs/request (budget %.2f) — consider re-baselining BENCH_allocs.json", name, got, budget)
+		default:
+			t.Logf("%s: %.2f allocs/request within budget %.2f", name, got, budget)
+		}
+	}
+	for name := range measured {
+		if _, ok := budgets[name]; !ok {
+			t.Errorf("%s: measured but missing from BENCH_allocs.json — re-baseline", name)
+		}
+	}
+}
+
+// measureAllocs builds a cache-enabled host server and measures each
+// hot-path segment in isolation. Everything runs in-process against the
+// same respond path the TCP handler uses, so the numbers track the real
+// serving loop, not a synthetic copy.
+func measureAllocs(t *testing.T) map[string]float64 {
+	t.Helper()
+	s := NewTCPServer(4096)
+	s.EnableRenderCache(1 << 12)
+	uid, pw := s.Seed(7001)
+	a := newConnArena()
+
+	body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
+	login := []byte(fmt.Sprintf("POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body))
+	resp, _ := s.respond(a, login)
+	cookie := setCookieValue(string(resp))
+	if cookie == "" {
+		t.Fatalf("login returned no cookie: %.200q", resp)
+	}
+	summary := []byte("GET /account_summary.php HTTP/1.1\r\nHost: t\r\nCookie: " + cookie + "\r\n\r\n")
+
+	m := map[string]float64{}
+	bad := false
+
+	// classify: parse into the arena request and route to a type — the
+	// prefix every banking request pays.
+	m["classify"] = testing.AllocsPerRun(500, func() {
+		if err := httpx.ParseInto(summary, &a.req); err != nil {
+			bad = true
+			return
+		}
+		if _, ok := banking.ByPath(a.req.Path); !ok {
+			bad = true
+		}
+	})
+
+	// render: serialize an executed page into the arena's reusable
+	// response buffer.
+	if err := httpx.ParseInto(summary, &a.req); err != nil {
+		t.Fatal(err)
+	}
+	ctx := a.scratch.Execute(banking.ServiceFor(banking.AccountSummary), &a.req, s.sessions, s.db, true)
+	if ctx.Err != "" {
+		t.Fatalf("execute failed: %s", ctx.Err)
+	}
+	m["render"] = testing.AllocsPerRun(500, func() {
+		banking.Render(ctx, a.out[:ctx.Spec.BufferBytes()])
+	})
+
+	// cache_hit: the full respond path when the page is cached — the
+	// steady state the render cache buys (budget: <= 1, the parse's
+	// raw-to-string conversion).
+	s.respond(a, summary) // prime
+	m["cache_hit"] = testing.AllocsPerRun(500, func() {
+		if r, _ := s.respond(a, summary); len(r) == 0 {
+			bad = true
+		}
+	})
+
+	// cache_miss: the full respond path when the user's state version
+	// just moved — execute, render, and re-insert.
+	m["cache_miss"] = testing.AllocsPerRun(200, func() {
+		s.cache.Invalidate(uid)
+		if r, _ := s.respond(a, summary); len(r) == 0 {
+			bad = true
+		}
+	})
+
+	// metrics_scrape: one Prometheus /metrics render.
+	m["metrics_scrape"] = testing.AllocsPerRun(100, func() {
+		if len(s.metricsResponse()) == 0 {
+			bad = true
+		}
+	})
+
+	if bad {
+		t.Fatal("a measured path failed while counting allocations")
+	}
+	return m
+}
+
+// setCookieValue extracts the Set-Cookie value from a raw HTTP response.
+func setCookieValue(resp string) string {
+	for _, line := range strings.Split(resp, "\r\n") {
+		if v, ok := strings.CutPrefix(line, "Set-Cookie: "); ok {
+			return v
+		}
+	}
+	return ""
+}

@@ -17,6 +17,11 @@
 //	rhythm-bench -json table3 > current.json
 //	rhythm-benchgate -baseline BENCH_baseline.json -current current.json [-tolerance 0.15]
 //
+// With -lower-better the direction flips for metrics where smaller is
+// good (allocations per request, latency): the gate fails when the
+// current value exceeds baseline*(1+tolerance), and improvements past
+// the tolerance print a reminder to re-baseline.
+//
 // With -adaptive-invariants it additionally checks the adaptive
 // experiment's cross-policy contract inside the current run: the
 // adaptive controller must hold the fixed policy's throughput at the
@@ -57,6 +62,7 @@ func main() {
 		suffix       = flag.String("suffix", "/throughput_req_s", "metric suffix to gate on")
 		invariants   = flag.Bool("adaptive-invariants", false, "also check adaptive-vs-fixed invariants in the current run")
 		exact        = flag.Bool("exact", false, "require every shared metric bit-identical (ignores wall-clock and host_cores)")
+		lowerBetter  = flag.Bool("lower-better", false, "gate metrics where lower is better (allocs, latency): fail when current exceeds baseline*(1+tolerance)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -90,22 +96,44 @@ func main() {
 	sort.Strings(keys)
 
 	failed := 0
+	improved := 0
 	for _, k := range keys {
 		base := baseline[k]
 		cur, ok := current[k]
 		if !ok {
-			fmt.Printf("FAIL %-40s baseline %.0f, missing from current run\n", k, base)
+			fmt.Printf("FAIL %-40s baseline %.2f, missing from current run\n", k, base)
 			failed++
 			continue
 		}
-		floor := base * (1 - *tolerance)
 		delta := 100 * (cur - base) / base
+		if *lowerBetter {
+			ceiling := base * (1 + *tolerance)
+			switch {
+			case cur > ceiling:
+				fmt.Printf("FAIL %-40s %.2f -> %.2f (%+.1f%%, ceiling %.2f)\n", k, base, cur, delta, ceiling)
+				failed++
+			case cur < base*(1-*tolerance):
+				fmt.Printf("ok   %-40s %.2f -> %.2f (%+.1f%%, improved)\n", k, base, cur, delta)
+				improved++
+			default:
+				fmt.Printf("ok   %-40s %.2f -> %.2f (%+.1f%%)\n", k, base, cur, delta)
+			}
+			continue
+		}
+		floor := base * (1 - *tolerance)
 		if cur < floor {
 			fmt.Printf("FAIL %-40s %.0f -> %.0f (%+.1f%%, floor %.0f)\n", k, base, cur, delta, floor)
 			failed++
 		} else {
+			if cur > base*(1+*tolerance) {
+				improved++
+			}
 			fmt.Printf("ok   %-40s %.0f -> %.0f (%+.1f%%)\n", k, base, cur, delta)
 		}
+	}
+	if improved > 0 {
+		fmt.Printf("rhythm-benchgate: %d metrics improved beyond %.0f%% — consider re-baselining the committed file\n",
+			improved, 100**tolerance)
 	}
 	if *invariants {
 		failed += checkAdaptiveInvariants(*currentPath)

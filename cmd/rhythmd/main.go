@@ -17,6 +17,14 @@
 //	        [-pprof 127.0.0.1:6060]
 //	        [-devices 4] [-fault-plan faults.json]
 //	        [-slo-p99 50ms] [-adapt-crossover 300]
+//	        [-render-cache 4096]
+//
+// -render-cache N enables the whole-page render cache (DESIGN.md §14,
+// both modes): repeated read-only requests are answered from memory,
+// bypassing execution and kernel launch, and are invalidated per user
+// when a backend write commits, so responses stay byte-identical to a
+// fresh render. Cache counters appear in /v1/stats and as
+// rhythm_render_cache_* in /metrics.
 //
 // -slo-p99 enables the adaptive formation controller (DESIGN.md §12):
 // instead of the fixed -formation-timeout, each request type's window
@@ -62,20 +70,21 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		seedUsers  = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
-		cohortOn   = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
-		size       = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
-		contexts   = flag.Int("contexts", 4, "cohort contexts in flight per device (cohort mode)")
-		formation  = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
-		deadline   = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
-		profileOff = flag.Bool("profile-off", false, "disable the kernel-launch profiler (cohort mode)")
-		simPar     = flag.Int("sim-parallelism", 0, "host workers per device for independent kernel launches (cohort mode; 0 = all cores, 1 = serial; results identical)")
-		pprofAddr  = flag.String("pprof", "", "start a net/http/pprof listener on this address (e.g. 127.0.0.1:6060)")
-		devices    = flag.Int("devices", 1, "SIMT devices in the pool (cohort mode)")
-		faultPlan  = flag.String("fault-plan", "", "JSON device-fault schedule to inject (cohort mode)")
-		sloP99     = flag.Duration("slo-p99", 0, "p99 latency target enabling the adaptive formation controller (cohort mode; 0 = fixed formation timeout)")
-		crossover  = flag.Float64("adapt-crossover", 0, "host/device routing crossover in req/s (with -slo-p99; 0 = derive from service model, <0 = never route to host)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seedUsers   = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
+		cohortOn    = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
+		size        = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
+		contexts    = flag.Int("contexts", 4, "cohort contexts in flight per device (cohort mode)")
+		formation   = flag.Duration("formation-timeout", 2*time.Millisecond, "cohort formation deadline (cohort mode)")
+		deadline    = flag.Duration("deadline", 5*time.Second, "per-request deadline incl. formation delay (cohort mode)")
+		profileOff  = flag.Bool("profile-off", false, "disable the kernel-launch profiler (cohort mode)")
+		simPar      = flag.Int("sim-parallelism", 0, "host workers per device for independent kernel launches (cohort mode; 0 = all cores, 1 = serial; results identical)")
+		pprofAddr   = flag.String("pprof", "", "start a net/http/pprof listener on this address (e.g. 127.0.0.1:6060)")
+		devices     = flag.Int("devices", 1, "SIMT devices in the pool (cohort mode)")
+		faultPlan   = flag.String("fault-plan", "", "JSON device-fault schedule to inject (cohort mode)")
+		sloP99      = flag.Duration("slo-p99", 0, "p99 latency target enabling the adaptive formation controller (cohort mode; 0 = fixed formation timeout)")
+		crossover   = flag.Float64("adapt-crossover", 0, "host/device routing crossover in req/s (with -slo-p99; 0 = derive from service model, <0 = never route to host)")
+		renderCache = flag.Int("render-cache", 0, "enable the whole-page render cache bounded to N entries (both modes; 0 = off)")
 	)
 	flag.Parse()
 
@@ -121,6 +130,9 @@ func main() {
 		}
 	} else {
 		opts = append(opts, rhythm.WithHostExecution())
+	}
+	if *renderCache > 0 {
+		opts = append(opts, rhythm.WithRenderCache(*renderCache))
 	}
 
 	srv, err := rhythm.New(*addr, opts...)

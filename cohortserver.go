@@ -18,6 +18,8 @@ import (
 	"rhythm/internal/cohort"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
+	"rhythm/internal/rcache"
+	"rhythm/internal/session"
 	"rhythm/internal/sim"
 	"rhythm/internal/simt"
 	"rhythm/internal/stats"
@@ -102,6 +104,13 @@ type CohortOptions struct {
 	// TraceCapacity bounds the request-trace recorder behind
 	// /rhythm-trace (0 = obs default, 1024).
 	TraceCapacity int
+	// RenderCache, when positive, enables the whole-page render cache
+	// with roughly this many entries: repeated read-only requests are
+	// answered from memory before admission, bypassing cohort formation
+	// and kernel launch entirely, byte-identical to a fresh render.
+	// Invalidation hooks the shard groups' Besim write commit (see
+	// internal/rcache and DESIGN.md §14). Zero disables caching.
+	RenderCache int
 }
 
 func (o *CohortOptions) fill() {
@@ -155,6 +164,13 @@ type liveReq struct {
 	admitted time.Time // loop pickup (set by admit)
 	spans    []obs.Span
 	resp     chan []byte // buffered(1): the loop never blocks delivering
+
+	// Render-cache insertion state, captured before admission: the
+	// resolved session/user and the user's state version at lookup time.
+	// The completion path inserts the rendered page under these.
+	cacheable  bool
+	csid       session.ID
+	cuid, cver uint64
 }
 
 // flushMsg asks the loop to launch the forming cohort for a key; gen
@@ -248,6 +264,12 @@ type CohortServerStats struct {
 	DeviceRetries uint64 `json:"device_retries"`
 	ShedCohorts   uint64 `json:"shed_cohorts"`
 
+	// Render-cache counters (zero when the cache is disabled).
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheEntries       uint64 `json:"cache_entries"`
+
 	// Adapt is the adaptive-formation controller's state (nil when the
 	// server runs a fixed formation timeout).
 	Adapt *adapt.Snapshot `json:"adapt,omitempty"`
@@ -284,6 +306,9 @@ type CohortServer struct {
 	// methods are internally locked; the hot handler path touches it only
 	// in Arrival and RetryAfter.
 	ctrl *adapt.Controller
+	// cache, when non-nil, is the whole-page render cache; hits are
+	// answered before admission.
+	cache *rcache.Cache
 
 	admitCh chan *liveReq
 	flushCh chan flushMsg
@@ -370,6 +395,13 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		latHist:   newLatencyHistograms(int(banking.NumTypes)),
 		formHist:  stats.NewHistogram(stats.LatencyBucketsNs()),
 		occupHist: stats.NewHistogram(stats.PowersOfTwoBuckets(opts.CohortSize)),
+	}
+	if opts.RenderCache > 0 {
+		s.cache = rcache.New(opts.RenderCache)
+		// The hook observes every committed Besim write cluster-wide:
+		// device kernels replay their deferred writes into the owning
+		// group's DB through the same mutators the host path calls.
+		cl.SetWriteHook(s.cache.Invalidate)
 	}
 	// Pool timeout 0: formation deadlines run on wall-clock timers (the
 	// pool's engine argument is unused at timeout 0 — the cluster's
@@ -547,14 +579,16 @@ func (s *CohortServer) handle(conn net.Conn) {
 		s.connWG.Done()
 	}()
 	r := bufio.NewReader(conn)
+	a := newParseArena()
 	for {
 		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-		raw, err := readRequest(r)
+		raw, err := readRequestInto(r, a.raw[:0])
+		a.raw = raw
 		if err != nil {
 			return
 		}
 		lc.busy.Store(true)
-		resp, lr := s.respond(raw)
+		resp, lr := s.respond(a, raw)
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		wstart := time.Now()
 		_, werr := conn.Write(resp)
@@ -576,11 +610,11 @@ func (s *CohortServer) handle(conn net.Conn) {
 // it to the device loop and waits for the cohort path's response. The
 // returned liveReq is non-nil only when the response was delivered over
 // lr.resp — the caller may then read lr.spans to finish the trace.
-func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
+func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq) {
 	s.served.Add(1)
 	start := time.Now()
-	req, err := httpx.Parse(raw)
-	if err != nil {
+	req := &a.req
+	if err := httpx.ParseInto(raw, req); err != nil {
 		s.parseErrors.Add(1)
 		return errorResponse(400, "Bad Request"), nil
 	}
@@ -590,7 +624,7 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 	case MetricsPath, MetricsPathV1:
 		return s.metricsResponse(), nil
 	case TracePath, TracePathV1:
-		return s.traceResponse(&req), nil
+		return s.traceResponse(req), nil
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
@@ -605,8 +639,36 @@ func (s *CohortServer) respond(raw []byte) ([]byte, *liveReq) {
 		s.rejectedQueue.Add(1)
 		return busyResponse(s.retryAfter()), nil
 	}
-	lr := &liveReq{req: req, t: t, enq: time.Now(), resp: make(chan []byte, 1)}
-	lr.group = s.cl.GroupFor(&lr.req, t)
+	group := s.cl.GroupFor(req, t)
+
+	// Render-cache lookup, before admission: a hit bypasses cohort
+	// formation and kernel launch entirely. The state version is
+	// captured BEFORE execution so a concurrent write can only make the
+	// later insert unreachable, never stale (DESIGN.md §14). Session
+	// lookup here is race-safe: the group's array is bucket-locked.
+	var (
+		cacheable  bool
+		csid       session.ID
+		cuid, cver uint64
+	)
+	if s.cache != nil && group >= 0 && rcache.Cacheable(t) {
+		if sid, ok := session.ParseID(req.Cookie("MY_ID")); ok {
+			if uid, ok := s.cl.GroupSessions(group).Lookup(sid); ok {
+				cacheable, csid, cuid = true, sid, uid
+				cver = s.cache.Version(cuid)
+				if resp, hit := s.cache.Get(t, csid, cuid, cver, req); hit {
+					s.latHist[t].Observe(float64(time.Since(start)))
+					return resp, nil
+				}
+			}
+		}
+	}
+
+	lr := &liveReq{t: t, group: group, enq: time.Now(), resp: make(chan []byte, 1),
+		cacheable: cacheable, csid: csid, cuid: cuid, cver: cver}
+	// The in-flight request owns its param/cookie slices: the arena's
+	// request is recycled as soon as this handler reads again.
+	req.CopyTo(&lr.req)
 	lr.spans = append(lr.spans, obs.Span{Name: "classify", Start: start, Dur: lr.enq.Sub(start)})
 	select {
 	case s.admitCh <- lr:
@@ -741,6 +803,9 @@ func (s *CohortServer) completeHost(lr *liveReq, res *cluster.Result) {
 	s.hostFallbacks++
 	s.typeStats(lr.t).hostReqs++
 	s.kernelErrors += uint64(res.KernelErrs)
+	if s.cache != nil && lr.cacheable && res.KernelErrs == 0 {
+		s.cache.Put(lr.t, lr.csid, lr.cuid, lr.cver, &lr.req, res.Resps[0])
+	}
 	lr.spans = append(lr.spans, obs.Span{Name: "host-execute", Start: res.RenderStart, Dur: res.RenderDur})
 	lr.resp <- res.Resps[0]
 	lat := float64(time.Since(lr.enq))
@@ -930,6 +995,11 @@ func (s *CohortServer) complete(c *cohort.Context[*liveReq], res *cluster.Result
 	s.kernelErrors += uint64(res.KernelErrs)
 	now := time.Now()
 	for i, lr := range reqs {
+		// Conservative insertion gate: a cohort with any kernel error is
+		// not cached (per-request errors are only aggregated).
+		if s.cache != nil && lr.cacheable && res.KernelErrs == 0 {
+			s.cache.Put(lr.t, lr.csid, lr.cuid, lr.cver, &lr.req, res.Resps[i])
+		}
 		lr.spans = append(lr.spans, obs.Span{Name: "render", Start: res.RenderStart, Dur: res.RenderDur})
 		lr.resp <- res.Resps[i]
 		lat := float64(now.Sub(lr.enq))
@@ -1023,6 +1093,13 @@ func (s *CohortServer) snapshot() CohortServerStats {
 		ShedCohorts:      s.shedCohorts,
 		Types:            make(map[string]CohortTypeStats, len(s.perType)),
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheInvalidations = cs.Invalidations
+		st.CacheEntries = cs.Entries
+	}
 	if s.ctrl != nil {
 		snap := s.ctrl.Snapshot()
 		st.Adapt = &snap
@@ -1091,6 +1168,9 @@ func (s *CohortServer) metricsResponse() []byte {
 	writeDeviceFamilies(w, st.Device, st.ProfiledLaunches)
 	writeClusterFamilies(w, st)
 	writeAdaptFamilies(w, st)
+	if s.cache != nil {
+		writeRenderCacheFamilies(w, s.cache.Stats())
+	}
 	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
 	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
 	return bodyResponse(promContentType, w.Bytes())

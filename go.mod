@@ -1,3 +1,9 @@
 module rhythm
 
 go 1.22
+
+// Pin the CI toolchain: setup-go reads this file (go-version-file), so
+// every job builds and gates allocations with the same compiler. The
+// language level stays 1.22; alloc budgets are compiler-sensitive, so
+// bump this and re-baseline BENCH_allocs.json together.
+toolchain go1.24.0

@@ -64,6 +64,13 @@ type DB struct {
 	orders   map[uint64][]string
 	bills    map[uint64][]string
 	requests uint64
+	// writeHook, when set, is invoked with the affected user id after a
+	// state mutation commits. The Besim deferred-write replay drives the
+	// same mutator methods, so one hook covers both the host path and
+	// device-kernel deferred writes; the render cache uses it to bump the
+	// user's state version. First-touch synthesis is deterministic and
+	// does not fire the hook — it never changes what a page would render.
+	writeHook func(uid uint64)
 }
 
 // New returns an empty database.
@@ -79,6 +86,17 @@ func New() *DB {
 
 // Requests reports how many backend requests have been handled.
 func (db *DB) Requests() uint64 { return db.requests }
+
+// SetWriteHook registers fn to run after every committed state
+// mutation (AddPayee, Transfer, PayBill, PlaceOrder, UpdateProfile)
+// with the user id whose state changed.
+func (db *DB) SetWriteHook(fn func(uid uint64)) { db.writeHook = fn }
+
+func (db *DB) noteWrite(uid uint64) {
+	if db.writeHook != nil {
+		db.writeHook(uid)
+	}
+}
 
 // mix is the splitmix64 finalizer, the deterministic seed for synthesized
 // customer data.
@@ -190,6 +208,7 @@ func (db *DB) GetPayees(uid uint64) []Payee {
 // AddPayee registers a new payee.
 func (db *DB) AddPayee(uid uint64, name, account string) {
 	db.payees[uid] = append(db.GetPayees(uid), Payee{Name: name, Account: account})
+	db.noteWrite(uid)
 }
 
 // Auth verifies a password, returning the profile on success.
@@ -210,6 +229,7 @@ func (db *DB) Transfer(uid uint64, from, to int, cents int64) (fromBal, toBal in
 	}
 	accts[from].Balance -= cents
 	accts[to].Balance += cents
+	db.noteWrite(uid)
 	return accts[from].Balance, accts[to].Balance, nil
 }
 
@@ -217,6 +237,7 @@ func (db *DB) Transfer(uid uint64, from, to int, cents int64) (fromBal, toBal in
 func (db *DB) PayBill(uid uint64, payee string, cents int64, date string) string {
 	conf := fmt.Sprintf("BP-%08x", uint32(mix(uid^uint64(len(db.bills[uid]))^0xb111)))
 	db.bills[uid] = append(db.bills[uid], fmt.Sprintf("%s|%s|%d|%s", conf, payee, cents, date))
+	db.noteWrite(uid)
 	return conf
 }
 
@@ -257,6 +278,7 @@ func (db *DB) OrderCheck(uid uint64, style string, qty int) (string, int64) {
 func (db *DB) PlaceOrder(uid uint64, orderID string) string {
 	conf := "OK-" + orderID
 	db.orders[uid] = append(db.orders[uid], orderID)
+	db.noteWrite(uid)
 	return conf
 }
 
@@ -275,6 +297,7 @@ func (db *DB) UpdateProfile(uid uint64, fields map[string]string) *Profile {
 	if v, ok := fields["phone"]; ok && v != "" {
 		p.Phone = v
 	}
+	db.noteWrite(uid)
 	return p
 }
 

@@ -1,7 +1,6 @@
 package banking
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 )
@@ -116,20 +115,34 @@ func greeting(ctx *Ctx, name string) {
 	p.PadTo(mark + 300)
 }
 
-// esc HTML-escapes dynamic text.
+// escReplacer is shared across requests; Replace is safe for
+// concurrent use and building it per call dominated the execute path's
+// allocation profile.
+var escReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+// esc HTML-escapes dynamic text. Most dynamic fragments carry nothing
+// to escape, so the common case returns s unchanged without copying.
 func esc(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	return escReplacer.Replace(s)
 }
 
-// money renders cents as a dollar amount.
+// money renders cents as a dollar amount in one allocation.
 func money(cents int64) string {
-	sign := ""
+	var b [24]byte
+	buf := b[:0]
 	if cents < 0 {
-		sign = "-"
+		buf = append(buf, '-')
 		cents = -cents
 	}
-	return fmt.Sprintf("%s$%d.%02d", sign, cents/100, cents%100)
+	buf = append(buf, '$')
+	buf = strconv.AppendInt(buf, cents/100, 10)
+	buf = append(buf, '.')
+	c := cents % 100
+	buf = append(buf, byte('0'+c/10), byte('0'+c%10))
+	return string(buf)
 }
 
 // beLines splits a backend response into lines, reporting whether the

@@ -71,28 +71,37 @@ func ServiceFor(t ReqType) *Service { return registry[t] }
 // builder. It returns the ctx even on failure (Err set) so an error page
 // can be rendered.
 func NewCtx(svc *Service, req *httpx.Request, sessions *session.Array, padding bool) *Ctx {
-	ctx := &Ctx{Req: req, Sessions: sessions, Spec: svc.Spec, Page: NewPageBuilder()}
+	ctx := &Ctx{Page: NewPageBuilder()}
+	initCtx(ctx, svc, req, sessions, padding)
+	return ctx
+}
+
+// initCtx fills a context (fresh or recycled) whose Page builder is
+// already attached and empty, performing NewCtx's fixed-cost charge and
+// session resolution without allocating.
+func initCtx(ctx *Ctx, svc *Service, req *httpx.Request, sessions *session.Array, padding bool) {
+	page := ctx.Page
+	*ctx = Ctx{Req: req, Sessions: sessions, Spec: svc.Spec, Page: page}
 	ctx.Page.SetPadding(padding)
 	ctx.Charge(InstrFixed)
 	ctx.Page.Block(blockBase(svc.Spec.Type))
 	if !svc.NeedsSession {
-		return ctx
+		return
 	}
 	cookie := req.Cookie("MY_ID")
 	sid, ok := session.ParseID(cookie)
 	if !ok {
 		ctx.Fail("missing or malformed session cookie")
-		return ctx
+		return
 	}
 	uid, ok := sessions.Lookup(sid)
 	if !ok {
 		ctx.Fail("session expired")
-		return ctx
+		return
 	}
 	ctx.SID = sid
 	ctx.UserID = uid
 	ctx.NewCookie = "MY_ID=" + sid.String()
-	return ctx
 }
 
 // Execute runs one request through every stage against a local backend —
@@ -102,6 +111,33 @@ func Execute(svc *Service, req *httpx.Request, sessions *session.Array, db *back
 	ctx := NewCtx(svc, req, sessions, padding)
 	RunStages(svc, ctx, func(breq []byte) []byte { return db.Handle(breq) })
 	return ctx
+}
+
+// Scratch is a reusable execution context: one per connection (or per
+// worker) runs every request through the same Ctx and PageBuilder,
+// resetting rather than reallocating between requests. The returned ctx
+// from Execute is valid until the next Execute on the same Scratch.
+type Scratch struct {
+	ctx  Ctx
+	page PageBuilder
+}
+
+// NewScratch returns an empty reusable execution context.
+func NewScratch() *Scratch {
+	sc := &Scratch{}
+	sc.page.padding = true
+	sc.ctx.Page = &sc.page
+	return sc
+}
+
+// Execute runs one request exactly like the package-level Execute but
+// reuses the Scratch's context and page builder, eliminating both
+// steady-state allocations.
+func (sc *Scratch) Execute(svc *Service, req *httpx.Request, sessions *session.Array, db *backend.DB, padding bool) *Ctx {
+	sc.page.Reset()
+	initCtx(&sc.ctx, svc, req, sessions, padding)
+	RunStages(svc, &sc.ctx, func(breq []byte) []byte { return db.Handle(breq) })
+	return &sc.ctx
 }
 
 // RunStages drives the stage functions, invoking callBackend for each
@@ -140,7 +176,7 @@ func blockBase(t ReqType) uint32 { return uint32(t+1) * 1000 }
 // buildErrorPage renders the divergent error path: a short message in a
 // full-size buffer so the cohort's geometry is undisturbed (§4.4).
 func buildErrorPage(ctx *Ctx) {
-	ctx.Page = NewPageBuilder() // discard partial content
+	ctx.Page.Reset() // discard partial content, keep capacity
 	ctx.Page.Block(blockBase(ctx.Spec.Type) + 999)
 	ctx.Page.Static("<html><head><title>SPECweb Banking - Error</title></head><body>\n<h1>Request failed</h1>\n<p class=\"error\">")
 	ctx.Page.Dynamic(ctx.Err)

@@ -11,8 +11,10 @@ import (
 // whose coalescing depends on whether every lane's body offset is still
 // aligned — which is exactly what PadTo maintains.
 type Piece struct {
-	// Data is the fragment content.
-	Data []byte
+	// Data is the fragment content. It is a string so appending template
+	// or backend-derived text never copies: the piece aliases the source
+	// bytes, and the renderer writes it straight into the response buffer.
+	Data string
 	// Static marks template content (constant memory on the device,
 	// cheap per byte); dynamic content is backend-derived and expensive.
 	Static bool
@@ -45,12 +47,25 @@ type PageBuilder struct {
 // NewPageBuilder returns a builder with alignment padding enabled.
 func NewPageBuilder() *PageBuilder { return &PageBuilder{padding: true} }
 
+// Reset clears the builder for reuse, keeping the piece/block/mark
+// slice capacity (and the padding setting) so a pooled builder builds
+// its next page without reallocating.
+func (b *PageBuilder) Reset() {
+	b.pieces = b.pieces[:0]
+	b.bodyLen = 0
+	b.instr = 0
+	b.blocks = b.blocks[:0]
+	b.misaligned = 0
+	b.marks = b.marks[:0]
+	b.lastBlock = 0
+}
+
 // SetPadding toggles §4.3.2 whitespace alignment (the ablation knob).
 func (b *PageBuilder) SetPadding(on bool) { b.padding = on }
 
 // Static appends template content.
 func (b *PageBuilder) Static(s string) {
-	b.pieces = append(b.pieces, Piece{Data: []byte(s), Static: true})
+	b.pieces = append(b.pieces, Piece{Data: s, Static: true})
 	b.bodyLen += len(s)
 	b.instr += int64(len(s)) * InstrPerStaticByte
 	b.emitBlocks(len(s))
@@ -58,7 +73,7 @@ func (b *PageBuilder) Static(s string) {
 
 // Dynamic appends backend-derived content.
 func (b *PageBuilder) Dynamic(s string) {
-	b.pieces = append(b.pieces, Piece{Data: []byte(s)})
+	b.pieces = append(b.pieces, Piece{Data: s})
 	b.bodyLen += len(s)
 	b.instr += int64(len(s)) * InstrPerDynamicByte
 	b.emitBlocks(len(s))
@@ -152,13 +167,18 @@ func (b *PageBuilder) Pieces() []Piece { return b.pieces }
 // Blocks returns the recorded basic-block trace.
 func (b *PageBuilder) Blocks() []uint32 { return b.blocks }
 
-// spaces returns n space characters.
-func spaces(n int) []byte {
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = ' '
+// spacesBank backs spaces(): padding runs slice it instead of
+// allocating, so PadTo is allocation-free for any realistic pad.
+var spacesBank = strings.Repeat(" ", 1<<16)
+
+// spaces returns n space characters without allocating when n fits the
+// precomputed bank (it always does: pads are bounded by the 64KB max
+// response buffer).
+func spaces(n int) string {
+	if n <= len(spacesBank) {
+		return spacesBank[:n]
 	}
-	return b
+	return strings.Repeat(" ", n)
 }
 
 // fillerText produces n bytes of deterministic HTML-ish filler prose.

@@ -44,7 +44,7 @@ func Render(ctx *Ctx, buf []byte) []byte {
 		panic(fmt.Sprintf("banking: header length %d, want %d (cookie %q)", w.Len(), HeaderLen, cookie))
 	}
 	for _, piece := range ctx.Page.Pieces() {
-		w.Write(piece.Data)
+		w.WriteString(piece.Data)
 	}
 	// Trailing whitespace fill out to the fixed buffer size.
 	w.PadTo(len(buf))

@@ -139,6 +139,18 @@ func (s Spec) ContentBytes() int { return s.SpecWebKB * 1024 }
 // BufferBytes is the padded Rhythm response buffer in bytes.
 func (s Spec) BufferBytes() int { return s.RhythmKB * 1024 }
 
+// MaxBufferBytes is the largest response buffer any type uses; a
+// connection arena sized to it can render every type in place.
+func MaxBufferBytes() int {
+	m := 0
+	for _, s := range Specs {
+		if b := s.BufferBytes(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
 // MixWeights returns the request mix as a weight slice indexed by type.
 func MixWeights() []float64 {
 	w := make([]float64, NumTypes)

@@ -262,6 +262,20 @@ func (c *Cluster) GroupCount() int { return c.cfg.Groups }
 // pre-populating sessions before dispatching).
 func (c *Cluster) GroupSessions(g int) *session.Array { return c.groups[g].sessions }
 
+// SetWriteHook registers fn on every shard group's database (and the
+// per-device stray databases, which stateless units touch). A device
+// kernel's Besim deferred writes replay into the owning group's DB
+// through the same mutators the host path uses, so fn observes every
+// committed write cluster-wide. Call before any unit is dispatched.
+func (c *Cluster) SetWriteHook(fn func(uid uint64)) {
+	for _, g := range c.groups {
+		g.db.SetWriteHook(fn)
+	}
+	for _, d := range c.devs {
+		d.stray.db.SetWriteHook(fn)
+	}
+}
+
 // GroupFor reports the shard group a request routes to: logins pin to
 // the group that will own the created session (hashing the userid form
 // field the way session.Create will); cookie-bearing requests recover

@@ -63,6 +63,16 @@ func (r *Request) Param(key string) string {
 	return ""
 }
 
+// CopyTo deep-copies r into dst with independent Params/Cookies slices,
+// so dst stays valid after r (an arena-held request) is reused for the
+// next request on the connection. The strings share r's immutable
+// backing and need no copy.
+func (r *Request) CopyTo(dst *Request) {
+	*dst = *r
+	dst.Params = append([]Param(nil), r.Params...)
+	dst.Cookies = append([]Param(nil), r.Cookies...)
+}
+
 // Cookie returns the value of the first cookie named key ("" if absent).
 func (r *Request) Cookie(key string) string {
 	for _, c := range r.Cookies {
@@ -90,6 +100,24 @@ const maxHeaders = 64
 // Content-Length-delimited body holding form parameters for POST.
 func Parse(raw []byte) (Request, error) {
 	var req Request
+	err := ParseInto(raw, &req)
+	return req, err
+}
+
+// ParseInto parses one HTTP/1.1 request from raw into req, reusing the
+// capacity of req.Params and req.Cookies across calls. It is the
+// allocation-lean core of Parse: a connection arena holds one Request
+// and feeds every request on the connection through it, so steady-state
+// parsing performs exactly one allocation (the raw-bytes-to-string
+// conversion the parsed fields alias). All other fields are reset.
+func ParseInto(raw []byte, req *Request) error {
+	req.Method = GET
+	req.Path = ""
+	req.Params = req.Params[:0]
+	req.Cookies = req.Cookies[:0]
+	req.ContentLength = 0
+	req.Body = ""
+	req.ScanCost = 0
 	s := string(raw)
 	// Trim trailing NULs: cohort request slots are fixed-size.
 	if i := strings.IndexByte(s, 0); i >= 0 {
@@ -97,12 +125,12 @@ func Parse(raw []byte) (Request, error) {
 	}
 	lineEnd := strings.Index(s, "\r\n")
 	if lineEnd < 0 {
-		return req, ErrIncomplete
+		return ErrIncomplete
 	}
 	line := s[:lineEnd]
 	sp1 := strings.IndexByte(line, ' ')
 	if sp1 < 0 {
-		return req, ErrMalformed
+		return ErrMalformed
 	}
 	switch line[:sp1] {
 	case "GET":
@@ -110,16 +138,16 @@ func Parse(raw []byte) (Request, error) {
 	case "POST":
 		req.Method = POST
 	default:
-		return req, fmt.Errorf("%w: %q", ErrBadMethod, line[:sp1])
+		return fmt.Errorf("%w: %q", ErrBadMethod, line[:sp1])
 	}
 	rest := line[sp1+1:]
 	sp2 := strings.IndexByte(rest, ' ')
 	if sp2 < 0 {
-		return req, ErrMalformed
+		return ErrMalformed
 	}
 	uri := rest[:sp2]
 	if !strings.HasPrefix(rest[sp2+1:], "HTTP/1.") {
-		return req, ErrMalformed
+		return ErrMalformed
 	}
 	if q := strings.IndexByte(uri, '?'); q >= 0 {
 		req.Path = uri[:q]
@@ -134,7 +162,7 @@ func Parse(raw []byte) (Request, error) {
 	for {
 		end := strings.Index(s[pos:], "\r\n")
 		if end < 0 {
-			return req, ErrIncomplete
+			return ErrIncomplete
 		}
 		if end == 0 { // blank line: end of headers
 			pos += 2
@@ -144,11 +172,11 @@ func Parse(raw []byte) (Request, error) {
 		pos += end + 2
 		headers++
 		if headers > maxHeaders {
-			return req, ErrTooManyHdrs
+			return ErrTooManyHdrs
 		}
 		colon := strings.IndexByte(h, ':')
 		if colon < 0 {
-			return req, ErrMalformed
+			return ErrMalformed
 		}
 		name := strings.TrimSpace(h[:colon])
 		value := strings.TrimSpace(h[colon+1:])
@@ -156,7 +184,7 @@ func Parse(raw []byte) (Request, error) {
 		case strings.EqualFold(name, "Content-Length"):
 			n, err := strconv.Atoi(value)
 			if err != nil || n < 0 {
-				return req, ErrBadLength
+				return ErrBadLength
 			}
 			req.ContentLength = n
 		case strings.EqualFold(name, "Cookie"):
@@ -167,7 +195,7 @@ func Parse(raw []byte) (Request, error) {
 	// Body (POST form data).
 	if req.ContentLength > 0 {
 		if len(s)-pos < req.ContentLength {
-			return req, ErrIncomplete
+			return ErrIncomplete
 		}
 		req.Body = s[pos : pos+req.ContentLength]
 		if req.Method == POST {
@@ -176,7 +204,7 @@ func Parse(raw []byte) (Request, error) {
 		pos += req.ContentLength
 	}
 	req.ScanCost = pos
-	return req, nil
+	return nil
 }
 
 // parseParams parses "a=1&b=2" into params (appended to dst).
@@ -200,9 +228,17 @@ func parseParams(qs string, dst []Param) []Param {
 	return dst
 }
 
-// parseCookies parses "a=1; b=2" into cookies (appended to dst).
+// parseCookies parses "a=1; b=2" into cookies (appended to dst). It
+// walks the header value with IndexByte rather than strings.Split so the
+// hot path never allocates an intermediate slice.
 func parseCookies(v string, dst []Param) []Param {
-	for _, part := range strings.Split(v, ";") {
+	for len(v) > 0 {
+		var part string
+		if semi := strings.IndexByte(v, ';'); semi >= 0 {
+			part, v = v[:semi], v[semi+1:]
+		} else {
+			part, v = v, ""
+		}
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue

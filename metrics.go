@@ -8,6 +8,7 @@ import (
 	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
+	"rhythm/internal/rcache"
 	"rhythm/internal/simt"
 	"rhythm/internal/stats"
 )
@@ -260,4 +261,21 @@ func writeDeviceFamilies(w *obs.PromWriter, ds simt.DeviceStats, profiled uint64
 	w.Value("rhythm_device_busy_seconds_total", "", float64(ds.BusyTime)/1e9)
 	w.Family("rhythm_device_profiled_launches_total", "counter", "Launches recorded by the profiler ring (0 when profiling is off).")
 	w.Value("rhythm_device_profiled_launches_total", "", float64(profiled))
+}
+
+// writeRenderCacheFamilies emits the whole-page render-cache counters
+// (both serving modes, only when the cache is enabled).
+func writeRenderCacheFamilies(w *obs.PromWriter, cs rcache.Stats) {
+	w.Family("rhythm_render_cache_hits_total", "counter", "Requests answered from the render cache (no execution or kernel launch).")
+	w.Value("rhythm_render_cache_hits_total", "", float64(cs.Hits))
+	w.Family("rhythm_render_cache_misses_total", "counter", "Cacheable requests that had to execute.")
+	w.Value("rhythm_render_cache_misses_total", "", float64(cs.Misses))
+	w.Family("rhythm_render_cache_inserts_total", "counter", "Pages inserted into the render cache.")
+	w.Value("rhythm_render_cache_inserts_total", "", float64(cs.Inserts))
+	w.Family("rhythm_render_cache_invalidations_total", "counter", "User state-version bumps from committed backend writes.")
+	w.Value("rhythm_render_cache_invalidations_total", "", float64(cs.Invalidations))
+	w.Family("rhythm_render_cache_evictions_total", "counter", "Entries dropped (stale after invalidation, or capacity).")
+	w.Value("rhythm_render_cache_evictions_total", "", float64(cs.Evictions))
+	w.Family("rhythm_render_cache_entries", "gauge", "Live render-cache entries.")
+	w.Value("rhythm_render_cache_entries", "", float64(cs.Entries))
 }

@@ -143,6 +143,17 @@ func WithProfileOff() Option {
 	return func(c *serverConfig) { c.cohort.ProfileOff = true }
 }
 
+// WithRenderCache enables the whole-page render cache bounded to
+// roughly entries pages (DESIGN.md §14). Repeated read-only requests
+// are answered from memory — bypassing execution (host mode) or cohort
+// formation and kernel launch (cohort mode) — and stay byte-identical
+// to a fresh render: cached pages are invalidated per user whenever a
+// Besim deferred write commits. entries <= 0 leaves the cache off (the
+// default).
+func WithRenderCache(entries int) Option {
+	return func(c *serverConfig) { c.cohort.RenderCache = entries }
+}
+
 // New builds a live banking server bound to addr (use ":0" for an
 // ephemeral port) and returns it behind the Server interface. By
 // default it serves through the cohort pipeline on modeled SIMT
@@ -160,6 +171,9 @@ func New(addr string, opts ...Option) (Server, error) {
 			maxSessions = 1 << 16
 		}
 		srv := NewTCPServer(maxSessions)
+		if cfg.cohort.RenderCache > 0 {
+			srv.EnableRenderCache(cfg.cohort.RenderCache)
+		}
 		if err := srv.Listen(addr); err != nil {
 			return nil, err
 		}
@@ -178,12 +192,8 @@ type hostServer struct{ *TCPServer }
 func (h hostServer) Drain(ctx context.Context) error { return h.Close() }
 
 func (h hostServer) Snapshot() ServerStats {
-	return ServerStats{Mode: "host", Host: &HostStats{
-		SchemaVersion: StatsSchemaVersion,
-		Mode:          "host",
-		Served:        h.Served(),
-		Errors:        h.Errors(),
-	}}
+	doc := h.statsDocument()
+	return ServerStats{Mode: "host", Host: &doc}
 }
 
 // cohortServer adapts CohortServer to the Server interface.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rhythm
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package rhythm
+
+// raceEnabled reports whether the race detector is active; allocation
+// budgets are only meaningful without it.
+const raceEnabled = true

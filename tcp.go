@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +14,7 @@ import (
 	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
+	"rhythm/internal/rcache"
 	"rhythm/internal/session"
 	"rhythm/internal/stats"
 )
@@ -42,6 +41,18 @@ type TCPServer struct {
 	typeCounts []atomic.Uint64
 	latHist    []*stats.Histogram
 	tracer     *obs.Recorder
+
+	// cache, when non-nil, is the whole-page render cache; hits bypass
+	// the banking lock, execution, and tracing entirely.
+	cache *rcache.Cache
+}
+
+// EnableRenderCache attaches a whole-page render cache of at most
+// entries pages, invalidated by the backend write hook. Call before
+// Serve.
+func (s *TCPServer) EnableRenderCache(entries int) {
+	s.cache = rcache.New(entries)
+	s.db.SetWriteHook(s.cache.Invalidate)
 }
 
 // NewTCPServer builds a TCP banking server with capacity for
@@ -136,17 +147,47 @@ func (s *TCPServer) Close() error {
 	return s.ln.Close()
 }
 
+// connArena holds the per-connection reusable buffers of the zero-copy
+// hot path: the raw request bytes, the parsed request (param/cookie
+// slices recycled by ParseInto), the banking execution scratch, and a
+// max-size render buffer. One arena serves every request on its
+// connection, so the steady state allocates nothing but the parse's
+// raw-to-string conversion — see DESIGN.md §14.
+type connArena struct {
+	raw     []byte
+	req     httpx.Request
+	scratch *banking.Scratch
+	out     []byte
+}
+
+func newConnArena() *connArena {
+	return &connArena{
+		raw:     make([]byte, 0, 1024),
+		scratch: banking.NewScratch(),
+		out:     make([]byte, banking.MaxBufferBytes()),
+	}
+}
+
+// newParseArena builds an arena without the host execution buffers, for
+// the cohort server (its handlers only read, parse, and classify —
+// execution and rendering happen on the device workers).
+func newParseArena() *connArena {
+	return &connArena{raw: make([]byte, 0, 1024)}
+}
+
 // handle serves one keep-alive connection.
 func (s *TCPServer) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	a := newConnArena()
 	for {
 		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-		raw, err := readRequest(r)
+		raw, err := readRequestInto(r, a.raw[:0])
+		a.raw = raw // keep grown capacity for the next request
 		if err != nil {
 			return
 		}
-		resp, tr := s.respond(raw)
+		resp, tr := s.respond(a, raw)
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		wstart := time.Now()
 		_, werr := conn.Write(resp)
@@ -160,31 +201,29 @@ func (s *TCPServer) handle(conn net.Conn) {
 	}
 }
 
-// respond answers one request. Only the service execution itself takes
-// the server lock; parsing happens before it and rendering after (the
-// ctx is private to this goroutine once Execute returns). For banking
-// requests it also returns the request's lifecycle trace (minus the
-// write span, which the caller appends before committing).
-func (s *TCPServer) respond(raw []byte) ([]byte, *obs.RequestTrace) {
+// respond answers one request using the connection's arena. Only the
+// service execution itself takes the server lock; parsing happens
+// before it and rendering after (the scratch ctx is private to this
+// goroutine once Execute returns). A render-cache hit skips the lock,
+// the execution, and tracing entirely — its only allocation is the
+// parse's raw-to-string conversion. For executed banking requests it
+// also returns the request's lifecycle trace (minus the write span,
+// which the caller appends before committing).
+func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace) {
 	s.served.Add(1)
 	start := time.Now()
-	req, err := httpx.Parse(raw)
-	if err != nil {
+	req := &a.req
+	if err := httpx.ParseInto(raw, req); err != nil {
 		s.errors.Add(1)
 		return errorResponse(400, "Bad Request"), nil
 	}
 	switch req.Path {
 	case StatsPath, StatsPathV1:
-		return jsonResponse(HostStats{
-			SchemaVersion: StatsSchemaVersion,
-			Mode:          "host",
-			Served:        s.served.Load(),
-			Errors:        s.errors.Load(),
-		}), nil
+		return jsonResponse(s.statsDocument()), nil
 	case MetricsPath, MetricsPathV1:
 		return s.metricsResponse(), nil
 	case TracePath, TracePathV1:
-		return s.traceResponse(&req), nil
+		return s.traceResponse(req), nil
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
@@ -196,15 +235,41 @@ func (s *TCPServer) respond(raw []byte) ([]byte, *obs.RequestTrace) {
 	}
 	s.typeCounts[t].Add(1)
 	classified := time.Now()
+
+	// Render-cache lookup. The state version is captured BEFORE the
+	// execute so a concurrent write can only make the inserted entry
+	// unreachable, never stale (DESIGN.md §14). Session resolution here
+	// is lock-free: the session array is internally bucket-locked.
+	var (
+		cacheable  bool
+		csid       session.ID
+		cuid, cver uint64
+	)
+	if s.cache != nil && rcache.Cacheable(t) {
+		if sid, ok := session.ParseID(req.Cookie("MY_ID")); ok {
+			if uid, ok := s.sessions.Lookup(sid); ok {
+				cacheable, csid, cuid = true, sid, uid
+				cver = s.cache.Version(cuid)
+				if resp, hit := s.cache.Get(t, csid, cuid, cver, req); hit {
+					s.latHist[t].Observe(float64(time.Since(start)))
+					return resp, nil
+				}
+			}
+		}
+	}
+
 	s.mu.Lock()
-	ctx := banking.Execute(banking.ServiceFor(t), &req, s.sessions, s.db, true)
+	ctx := a.scratch.Execute(banking.ServiceFor(t), req, s.sessions, s.db, true)
 	s.mu.Unlock()
 	executed := time.Now()
 	if ctx.Err != "" {
 		s.errors.Add(1)
 	}
-	resp := banking.RenderAlloc(ctx)
+	resp := banking.Render(ctx, a.out[:ctx.Spec.BufferBytes()])
 	rendered := time.Now()
+	if cacheable && ctx.Err == "" {
+		s.cache.Put(t, csid, cuid, cver, req, resp)
+	}
 	s.latHist[t].Observe(float64(rendered.Sub(start)))
 	return resp, &obs.RequestTrace{
 		Type: t.String(),
@@ -214,6 +279,24 @@ func (s *TCPServer) respond(raw []byte) ([]byte, *obs.RequestTrace) {
 			{Name: "render", Start: executed, Dur: rendered.Sub(executed)},
 		},
 	}
+}
+
+// statsDocument builds the host-mode /v1/stats payload.
+func (s *TCPServer) statsDocument() HostStats {
+	st := HostStats{
+		SchemaVersion: StatsSchemaVersion,
+		Mode:          "host",
+		Served:        s.served.Load(),
+		Errors:        s.errors.Load(),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheInvalidations = cs.Invalidations
+		st.CacheEntries = cs.Entries
+	}
+	return st
 }
 
 // metricsResponse renders the host-mode Prometheus /metrics document.
@@ -235,6 +318,9 @@ func (s *TCPServer) metricsResponse() []byte {
 		}
 	}
 	writeLatencyFamilies(w, names, s.latHist)
+	if s.cache != nil {
+		writeRenderCacheFamilies(w, s.cache.Stats())
+	}
 	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
 	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
 	return bodyResponse(promContentType, w.Bytes())
@@ -264,6 +350,11 @@ type HostStats struct {
 	Mode          string `json:"mode"`
 	Served        uint64 `json:"served"`
 	Errors        uint64 `json:"errors"`
+	// Render-cache counters (zero when the cache is disabled).
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheEntries       uint64 `json:"cache_entries"`
 }
 
 func errorResponse(code int, reason string) []byte {
@@ -273,35 +364,89 @@ func errorResponse(code int, reason string) []byte {
 	return w.Finish()
 }
 
-// readRequest reads one HTTP/1.1 request (headers + Content-Length body)
-// from r.
-func readRequest(r *bufio.Reader) ([]byte, error) {
-	var raw strings.Builder
+// readRequestInto reads one HTTP/1.1 request (headers + Content-Length
+// body) from r, appending into buf and returning the extended slice.
+// It is the arena-backed replacement for the old per-request
+// strings.Builder: once a connection's buffer has grown to its working
+// size, reading a request performs no allocation (lines are consumed
+// via ReadSlice and the Content-Length value is scanned in place).
+func readRequestInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 	contentLength := 0
 	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return nil, err
+		lineStart := len(buf)
+		for {
+			frag, err := r.ReadSlice('\n')
+			buf = append(buf, frag...)
+			if err == nil {
+				break
+			}
+			if err == bufio.ErrBufferFull {
+				continue // header line longer than the reader buffer
+			}
+			return buf, err
 		}
-		raw.WriteString(line)
-		trimmed := strings.TrimRight(line, "\r\n")
-		if trimmed == "" {
+		line := buf[lineStart:]
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
 			break
 		}
-		if v, ok := strings.CutPrefix(strings.ToLower(trimmed), "content-length:"); ok {
-			n, err := strconv.Atoi(strings.TrimSpace(v))
-			if err != nil || n < 0 || n > 1<<20 {
-				return nil, fmt.Errorf("rhythm: bad content length %q", v)
+		if n, ok := contentLengthValue(line); ok {
+			if n < 0 || n > 1<<20 {
+				return buf, fmt.Errorf("rhythm: bad content length %q", line)
 			}
 			contentLength = n
 		}
 	}
 	if contentLength > 0 {
-		body := make([]byte, contentLength)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return nil, err
+		bodyStart := len(buf)
+		if cap(buf)-bodyStart < contentLength {
+			grown := make([]byte, bodyStart, bodyStart+contentLength)
+			copy(grown, buf)
+			buf = grown
 		}
-		raw.Write(body)
+		buf = buf[:bodyStart+contentLength]
+		if _, err := io.ReadFull(r, buf[bodyStart:]); err != nil {
+			return buf, err
+		}
 	}
-	return []byte(raw.String()), nil
+	return buf, nil
+}
+
+// contentLengthValue matches a Content-Length header line
+// case-insensitively and parses its decimal value in place, reporting
+// (-1, true) for a malformed value.
+func contentLengthValue(line []byte) (int, bool) {
+	const name = "content-length:"
+	if len(line) < len(name) {
+		return 0, false
+	}
+	for i := 0; i < len(name); i++ {
+		c := line[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return 0, false
+		}
+	}
+	v := line[len(name):]
+	for len(v) > 0 && (v[0] == ' ' || v[0] == '\t') {
+		v = v[1:]
+	}
+	for len(v) > 0 && (v[len(v)-1] == ' ' || v[len(v)-1] == '\t') {
+		v = v[:len(v)-1]
+	}
+	if len(v) == 0 {
+		return -1, true
+	}
+	n := 0
+	for _, c := range v {
+		if c < '0' || c > '9' || n > (1<<30) {
+			return -1, true
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
