@@ -9,20 +9,25 @@ set -euo pipefail
 
 BIN=${BIN:-$(mktemp -d)/rhythmd}
 LOADBIN=${LOADBIN:-$(dirname "$BIN")/rhythm-load}
+FLIGHTBIN=${FLIGHTBIN:-$(dirname "$BIN")/rhythm-flight}
 HOST_ADDR=127.0.0.1:18601
 COHORT_ADDR=127.0.0.1:18602
 CLUSTER_ADDR=127.0.0.1:18603
 ADAPT_ADDR=127.0.0.1:18604
 CACHEH_ADDR=127.0.0.1:18605
 CACHEC_ADDR=127.0.0.1:18606
+FLIGHT_ADDR=127.0.0.1:18607
 WORK=$(mktemp -d)
-trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID $FLIGHT_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 
 if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/rhythmd
 fi
 if [ ! -x "$LOADBIN" ]; then
     go build -o "$LOADBIN" ./cmd/rhythm-load
+fi
+if [ ! -x "$FLIGHTBIN" ]; then
+    go build -o "$FLIGHTBIN" ./cmd/rhythm-flight
 fi
 
 # Fault plan for the multi-device leg: kill the device that owns the
@@ -56,6 +61,15 @@ CACHEH_PID=$!
 "$BIN" -cohort -addr "$CACHEC_ADDR" -cohort-size 8 -formation-timeout 2ms \
     -render-cache 4096 >"$WORK/cachec.log" 2>&1 &
 CACHEC_PID=$!
+# Flight-recorder leg: same multi-device fault injection as the cluster
+# leg, but with the slow-promotion threshold pinned below the 2ms
+# formation timeout so every device-path request is promoted into the
+# anomaly ring — the injected loss must then surface as a retained
+# record carrying the full failover attempt trail.
+"$BIN" -cohort -addr "$FLIGHT_ADDR" -cohort-size 8 -formation-timeout 2ms \
+    -devices 4 -fault-plan "$WORK/faults.json" -flight-slow 1ms \
+    >"$WORK/flight.log" 2>&1 &
+FLIGHT_PID=$!
 
 wait_ready() {
     for _ in $(seq 1 50); do
@@ -72,6 +86,7 @@ wait_ready "$CLUSTER_ADDR"
 wait_ready "$ADAPT_ADDR"
 wait_ready "$CACHEH_ADDR"
 wait_ready "$CACHEC_ADDR"
+wait_ready "$FLIGHT_ADDR"
 
 # Demo credentials are deterministic; both modes print the same list.
 CRED=$(grep -m1 '^  userid=' "$WORK/host.log")
@@ -92,6 +107,7 @@ drive host "$HOST_ADDR"
 drive cohort "$COHORT_ADDR"
 drive cluster "$CLUSTER_ADDR"
 drive adapt "$ADAPT_ADDR"
+drive flight "$FLIGHT_ADDR"
 
 # drive_twice <name> <addr>: like drive, but browse the authenticated
 # pages twice before logging out. Against a -render-cache server the
@@ -116,7 +132,7 @@ drive_twice cachec "$CACHEC_ADDR"
 # cluster leg loses its device mid-session, so identity there also
 # proves the failover/idempotency contract end to end.
 for page in login summary profile logout; do
-    for mode in cohort cluster adapt; do
+    for mode in cohort cluster adapt flight; do
         if ! diff -q "$WORK/host.$page" "$WORK/$mode.$page"; then
             echo "e2e-smoke: $page body differs between host and $mode mode" >&2
             diff "$WORK/host.$page" "$WORK/$mode.$page" | head -20 >&2 || true
@@ -260,8 +276,8 @@ fetch() {
     return 1
 }
 ASTATS=$(fetch "http://$ADAPT_ADDR/v1/stats")
-echo "$ASTATS" | grep -q '"schema_version": 2' || {
-    echo "e2e-smoke: /v1/stats missing schema_version 2: $ASTATS" >&2
+echo "$ASTATS" | grep -q '"schema_version": 3' || {
+    echo "e2e-smoke: /v1/stats missing schema_version 3: $ASTATS" >&2
     exit 1
 }
 echo "$ASTATS" | grep -q '"adapt"' || {
@@ -280,7 +296,7 @@ echo "$ASTATS" | grep -Eq '"host_fallbacks": [1-9]' || {
 # a variable: piping curl straight into grep -q trips pipefail when
 # grep exits at the first match).
 LSTATS=$(fetch "http://$ADAPT_ADDR/rhythm-stats")
-echo "$LSTATS" | grep -q '"schema_version": 2' || {
+echo "$LSTATS" | grep -q '"schema_version": 3' || {
     echo "e2e-smoke: legacy /rhythm-stats alias lost the versioned schema" >&2
     exit 1
 }
@@ -304,4 +320,80 @@ for needle in '"traceEvents"' '"formation-wait"' '"launch_seq"'; do
     }
 done
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, and adaptive modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, and a double-pass replay against -render-cache host+cohort servers with cache hits; /metrics + /rhythm-trace healthy)"
+# Flight-recorder leg: the health engine must answer with the versioned
+# burn-rate schema, and the anomaly ring must have retained records
+# (every request here is "slow" by the pinned 1ms threshold) carrying
+# the launch context the ISSUE promises for tail debugging — including
+# at least one record whose attempt trail shows the injected failover.
+FHEALTH=$(fetch "http://$FLIGHT_ADDR/v1/health")
+for needle in '"schema_version": 3' '"state"' '"fast_burn"' '"slow_burn"' \
+    '"flight_anomalies"' '"exemplars"'; do
+    echo "$FHEALTH" | grep -q "$needle" || {
+        echo "e2e-smoke: /v1/health missing $needle: $FHEALTH" >&2
+        exit 1
+    }
+done
+curl -sf -o "$WORK/flight.json" "http://$FLIGHT_ADDR/v1/debug/flight?n=64" || {
+    echo "e2e-smoke: /v1/debug/flight scrape failed" >&2
+    exit 1
+}
+for needle in '"trace_id"' '"formation_wait_us"' '"launch_seqs"' \
+    '"cohort_size"' '"device"'; do
+    grep -q "$needle" "$WORK/flight.json" || {
+        echo "e2e-smoke: flight document missing $needle" >&2
+        head -50 "$WORK/flight.json" >&2
+        exit 1
+    }
+done
+grep -Eq '"slow": [1-9]' "$WORK/flight.json" || {
+    echo "e2e-smoke: flight recorder promoted no slow anomalies despite 1ms threshold" >&2
+    head -50 "$WORK/flight.json" >&2
+    exit 1
+}
+grep -Eq '"attempts": [2-9]' "$WORK/flight.json" || {
+    echo "e2e-smoke: no flight record carries the failover attempt trail (attempts >= 2)" >&2
+    head -80 "$WORK/flight.json" >&2
+    exit 1
+}
+check_metrics flight "$FLIGHT_ADDR" \
+    rhythm_build_info rhythm_requests_served_total \
+    rhythm_flight_requests_total rhythm_flight_anomalies_total \
+    rhythm_request_latency_exemplar_trace_id
+grep -Eq '^rhythm_flight_anomalies_total [1-9]' "$WORK/flight.metrics" || {
+    echo "e2e-smoke: /metrics shows zero promoted flight anomalies" >&2
+    grep '^rhythm_flight' "$WORK/flight.metrics" >&2 || true
+    exit 1
+}
+# The operator CLI must render the same data human-readably, and its
+# Chrome export must be a loadable trace-event document.
+"$FLIGHTBIN" -n 8 "$FLIGHT_ADDR" >"$WORK/flight-cli.txt" 2>&1 || {
+    echo "e2e-smoke: rhythm-flight client failed" >&2
+    cat "$WORK/flight-cli.txt" >&2
+    exit 1
+}
+grep -q 'anomalies promoted' "$WORK/flight-cli.txt" || {
+    echo "e2e-smoke: rhythm-flight output missing recorder summary" >&2
+    cat "$WORK/flight-cli.txt" >&2
+    exit 1
+}
+"$FLIGHTBIN" -health "$FLIGHT_ADDR" >"$WORK/flight-health.txt" 2>&1 || {
+    echo "e2e-smoke: rhythm-flight -health failed" >&2
+    cat "$WORK/flight-health.txt" >&2
+    exit 1
+}
+grep -q '^health: ' "$WORK/flight-health.txt" || {
+    echo "e2e-smoke: rhythm-flight -health output missing state line" >&2
+    cat "$WORK/flight-health.txt" >&2
+    exit 1
+}
+"$FLIGHTBIN" -chrome -o "$WORK/flight-chrome.json" "$FLIGHT_ADDR" >/dev/null 2>&1 || {
+    echo "e2e-smoke: rhythm-flight -chrome export failed" >&2
+    exit 1
+}
+grep -q '"traceEvents"' "$WORK/flight-chrome.json" || {
+    echo "e2e-smoke: rhythm-flight Chrome export missing traceEvents" >&2
+    head -20 "$WORK/flight-chrome.json" >&2
+    exit 1
+}
+
+echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, adaptive, and flight-recorder modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, a double-pass replay against -render-cache host+cohort servers with cache hits, and a fault-injected flight leg with promoted anomalies, /v1/health burn rates, and the rhythm-flight CLI; /metrics + /rhythm-trace healthy)"

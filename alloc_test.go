@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
@@ -88,7 +89,7 @@ func measureAllocs(t *testing.T) map[string]float64 {
 
 	body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
 	login := []byte(fmt.Sprintf("POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body))
-	resp, _ := s.respond(a, login)
+	resp, _, _ := s.respond(a, login)
 	cookie := setCookieValue(string(resp))
 	if cookie == "" {
 		t.Fatalf("login returned no cookie: %.200q", resp)
@@ -128,7 +129,7 @@ func measureAllocs(t *testing.T) map[string]float64 {
 	// raw-to-string conversion).
 	s.respond(a, summary) // prime
 	m["cache_hit"] = testing.AllocsPerRun(500, func() {
-		if r, _ := s.respond(a, summary); len(r) == 0 {
+		if r, _, _ := s.respond(a, summary); len(r) == 0 {
 			bad = true
 		}
 	})
@@ -137,9 +138,27 @@ func measureAllocs(t *testing.T) map[string]float64 {
 	// just moved — execute, render, and re-insert.
 	m["cache_miss"] = testing.AllocsPerRun(200, func() {
 		s.cache.Invalidate(uid)
-		if r, _ := s.respond(a, summary); len(r) == 0 {
+		if r, _, _ := s.respond(a, summary); len(r) == 0 {
 			bad = true
 		}
+	})
+
+	// flight_append: arming, filling, and finishing the per-request
+	// flight record plus the response-header trace-ID splice — the
+	// recorder's always-on per-request cost (budget: <= 1 alloc/request;
+	// measured 0 — ring slots are preallocated and the splice reuses the
+	// arena's write buffer).
+	flightStart := time.Now()
+	m["flight_append"] = testing.AllocsPerRun(500, func() {
+		id := s.flight.NextID()
+		a.frec.Reset()
+		a.frec.TraceID = id
+		a.frec.Type = "account_summary"
+		a.frec.Start = flightStart
+		a.frec.HostExec = true
+		a.frec.Latency = time.Millisecond
+		s.flight.Finish(&a.frec)
+		a.wbuf = spliceTraceHeader(a.wbuf, resp, id)
 	})
 
 	// metrics_scrape: one Prometheus /metrics render.

@@ -7,7 +7,7 @@
 //
 // Experiments: table1 table2 table3 fig2 fig8 fig9 fig10 scaling
 // resources cohort-sweep parser hyperq cluster-scaling ablations
-// timeout frontend all
+// timeout frontend flight all
 //
 // Flags scale the runs; -paper uses the paper's cohort geometry
 // (4096-request cohorts, 8 contexts), which takes several minutes.
@@ -112,6 +112,7 @@ Experiments:
   timeout       cohort formation timeout policy sweep
   adaptive      SLO-aware adaptive formation vs fixed timeout (DESIGN.md Sec 12)
   frontend      zero-copy frontend hot path + render cache (DESIGN.md Sec 14)
+  flight        flight recorder always-on overhead (DESIGN.md Sec 15)
   all           everything above
 
 Flags:
@@ -304,6 +305,21 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 			ms = append(ms, metric{"cached/cache_hit_pct", r.Cached.HitPct})
 			return ms
 		},
+		"flight": func() []metric {
+			r := harness.FlightStudy(frontendCfg(cfg))
+			harness.RenderFlight(r).Print(out)
+			// Only slowdown_x is gated (lower-better, tight tolerance):
+			// it is a same-host ratio, so runner speed divides out. The
+			// wall-clock throughputs are informational.
+			return []metric{
+				{"recorder-off/wall_throughput_req_s", r.Off.ThroughputReqS},
+				{"recorder-on/wall_throughput_req_s", r.On.ThroughputReqS},
+				{"recorder-off/allocs_per_req", r.Off.AllocsPerReq},
+				{"recorder-on/allocs_per_req", r.On.AllocsPerReq},
+				{"recorder/slowdown_x", r.SlowdownX},
+				{"recorder/promoted", float64(r.Promoted)},
+			}
+		},
 		"adaptive": func() []metric {
 			r := harness.AdaptiveStudy(adaptiveCfg(cfg))
 			harness.RenderAdaptive(r).Print(out)
@@ -342,6 +358,7 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 		"scaling", "resources", "cohort-sweep", "parser", "hyperq",
 		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out",
 		"cluster-scaling", "ablations", "timeout", "adaptive", "frontend",
+		"flight",
 	}
 	if what == "all" {
 		fmt.Fprintf(out, "Rhythm reproduction: full evaluation (cohort=%d contexts=%d)\n\n", cfg.CohortSize, cfg.MaxCohorts)

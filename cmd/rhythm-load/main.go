@@ -27,6 +27,12 @@
 // (rhythmd -cohort -slo-p99 ...) this is the way to watch the formation
 // controller widen and narrow its windows; with -hist the controller's
 // per-type window/threshold gauges are printed after the run.
+//
+// -slowest N prints the N worst requests with the server-assigned trace
+// id from each response's X-Rhythm-Trace header. Slow requests past the
+// server's promotion threshold have a full causal flight record —
+// formation wait, cohort size, launch seqs, device, failover hops —
+// retrievable by that id at /v1/debug/flight (or with cmd/rhythm-flight).
 package main
 
 import (
@@ -57,7 +63,8 @@ func main() {
 		first    = flag.Uint64("first-user", 1001, "first user id")
 		paths    = flag.String("paths", "/account_summary.php,/profile.php,/transfer.php",
 			"comma-separated request paths to cycle through")
-		hist     = flag.Bool("hist", false, "print the client-side latency histogram (cumulative buckets) and, on adaptive servers, the controller gauges")
+		hist     = flag.Bool("hist", false, "print the client-side latency histogram (cumulative buckets) with p99.9/max rows and, on adaptive servers, the controller gauges")
+		slowest  = flag.Int("slowest", 0, "print the N slowest requests with their server-assigned X-Rhythm-Trace ids (join against /v1/debug/flight)")
 		rate     = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s across all conns (0 = closed loop)")
 		schedule = flag.String("rate-schedule", "", `open-loop rate schedule, e.g. "40x2s,1200x3s" (steps) or "100-2000x10s" (ramp); overrides -rate and -duration`)
 	)
@@ -88,6 +95,7 @@ func main() {
 	type result struct {
 		lat      *stats.LatencyRecorder
 		ok, errs uint64
+		slow     []slowReq
 		fail     error
 	}
 	results := make([]result, *conns)
@@ -105,7 +113,7 @@ func main() {
 			r := &results[i]
 			r.lat = stats.NewLatencyRecorder()
 			uid := *first + uint64(i)%uint64(*users)
-			if err := drive(*addr, uid, targets, deadline, arrivals, r.lat, &r.ok, &r.errs); err != nil {
+			if err := drive(*addr, uid, targets, deadline, arrivals, r.lat, &r.ok, &r.errs, &r.slow, *slowest); err != nil {
 				r.fail = err
 			}
 		}(i)
@@ -114,6 +122,7 @@ func main() {
 
 	lat := stats.NewLatencyRecorder()
 	var ok, errs uint64
+	var slow []slowReq
 	failures := 0
 	for i := range results {
 		if results[i].fail != nil {
@@ -124,6 +133,9 @@ func main() {
 		lat.Merge(results[i].lat)
 		ok += results[i].ok
 		errs += results[i].errs
+		for _, s := range results[i].slow {
+			slow = addSlow(slow, *slowest, s)
+		}
 	}
 	elapsed := duration.Seconds()
 
@@ -138,10 +150,14 @@ func main() {
 	}
 	fmt.Printf("  requests:   %d ok, %d non-200 (503/504 shed), %d dead conns\n", ok, errs, failures)
 	fmt.Printf("  throughput: %.1f req/s\n", float64(ok)/elapsed)
-	fmt.Printf("  latency:    p50 %v  p99 %v  max %v\n",
-		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)), time.Duration(lat.Max()))
+	fmt.Printf("  latency:    p50 %v  p99 %v  p99.9 %v  max %v\n",
+		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)),
+		time.Duration(lat.Percentile(99.9)), time.Duration(lat.Max()))
 	if *hist {
 		printHistogram(lat)
+	}
+	if *slowest > 0 {
+		printSlowest(slow)
 	}
 
 	after, afterOK := fetchStats(*addr)
@@ -219,6 +235,58 @@ func printHistogram(lat *stats.LatencyRecorder) {
 		if c == total && i < len(bounds) {
 			break
 		}
+	}
+	fmt.Printf("    p99.9    %v\n", time.Duration(lat.Percentile(99.9)))
+	fmt.Printf("    max      %v\n", time.Duration(lat.Max()))
+}
+
+// slowReq is one candidate for the -slowest table: client-observed
+// latency plus the server-assigned flight trace ID from the
+// X-Rhythm-Trace response header.
+type slowReq struct {
+	lat    time.Duration
+	path   string
+	status int
+	trace  string
+}
+
+// addSlow maintains a slice of the n slowest requests, sorted slowest
+// first.
+func addSlow(s []slowReq, n int, r ...slowReq) []slowReq {
+	for _, c := range r {
+		i := len(s)
+		for i > 0 && s[i-1].lat < c.lat {
+			i--
+		}
+		if i == n {
+			continue
+		}
+		s = append(s, slowReq{})
+		copy(s[i+1:], s[i:])
+		s[i] = c
+		if len(s) > n {
+			s = s[:n]
+		}
+	}
+	return s
+}
+
+// printSlowest renders the -slowest table. The trace column joins
+// against the server's flight recorder: promoted anomalies show their
+// full causal record at /v1/debug/flight (or via rhythm-flight).
+func printSlowest(slow []slowReq) {
+	if len(slow) == 0 {
+		fmt.Println("  slowest:    no samples")
+		return
+	}
+	fmt.Println("  slowest requests (server trace ids; join against /v1/debug/flight):")
+	fmt.Printf("    %-12s %-6s %-12s %s\n", "latency", "status", "trace", "path")
+	for _, s := range slow {
+		trace := s.trace
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Printf("    %-12v %-6d %-12s %s\n", s.lat, s.status, trace, s.path)
 	}
 }
 
@@ -302,7 +370,7 @@ func pace(arrivals chan<- time.Time, segs []rateSegment) {
 // deadline — back-to-back when arrivals is nil (closed loop), else one
 // request per arrival token, with latency measured from the scheduled
 // arrival time so queueing delay is charged to the request.
-func drive(addr string, uid uint64, targets []string, deadline time.Time, arrivals <-chan time.Time, lat *stats.LatencyRecorder, ok, errs *uint64) error {
+func drive(addr string, uid uint64, targets []string, deadline time.Time, arrivals <-chan time.Time, lat *stats.LatencyRecorder, ok, errs *uint64, slow *[]slowReq, slowN int) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -348,15 +416,21 @@ func drive(addr string, uid uint64, targets []string, deadline time.Time, arriva
 			start = time.Now()
 		}
 		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\nCookie: %s\r\n\r\n", path, cookie)
-		status, _, _, err := readResponse(r)
+		status, rhdrs, _, err := readResponse(r)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		lat.Record(float64(time.Since(start)))
+		elapsed := time.Since(start)
+		lat.Record(float64(elapsed))
 		if status == 200 {
 			*ok++
 		} else {
 			*errs++
+		}
+		if slowN > 0 {
+			*slow = addSlow(*slow, slowN, slowReq{
+				lat: elapsed, path: path, status: status, trace: rhdrs["x-rhythm-trace"],
+			})
 		}
 	}
 }

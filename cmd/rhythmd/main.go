@@ -18,6 +18,8 @@
 //	        [-devices 4] [-fault-plan faults.json]
 //	        [-slo-p99 50ms] [-adapt-crossover 300]
 //	        [-render-cache 4096]
+//	        [-flight-ring 256] [-flight-slow 250ms]
+//	        [-health-objective 0.99] [-health-fast-window 5m] [-health-slow-window 1h]
 //
 // -render-cache N enables the whole-page render cache (DESIGN.md §14,
 // both modes): repeated read-only requests are answered from memory,
@@ -46,6 +48,17 @@
 // /rhythm-trace), raw JSON counters at /v1/stats. -pprof starts a
 // net/http/pprof side listener for Go runtime profiles of the serving
 // process itself.
+//
+// Tail-latency debugging (DESIGN.md §15, both modes): every request is
+// assigned a trace ID, echoed in the X-Rhythm-Trace response header.
+// Slow, errored, shed, and deadline-missed requests are promoted into
+// the flight recorder's bounded anomaly ring, browsable at
+// /v1/debug/flight?n=N (&format=chrome exports Perfetto-loadable
+// trace events; see also cmd/rhythm-flight). /v1/health reports the
+// SLO burn-rate verdict (ok/warn/critical) with per-type burn rates and
+// the top contributing flight exemplars. -flight-slow pins the slow
+// threshold (default: adaptive p99), -flight-ring sizes the ring, and
+// the -health-* flags tune the burn windows.
 //
 // It prints demo credentials at startup; log in with
 // POST /login.php (userid, passwd) and browse. SIGINT/SIGTERM drains
@@ -85,6 +98,11 @@ func main() {
 		sloP99      = flag.Duration("slo-p99", 0, "p99 latency target enabling the adaptive formation controller (cohort mode; 0 = fixed formation timeout)")
 		crossover   = flag.Float64("adapt-crossover", 0, "host/device routing crossover in req/s (with -slo-p99; 0 = derive from service model, <0 = never route to host)")
 		renderCache = flag.Int("render-cache", 0, "enable the whole-page render cache bounded to N entries (both modes; 0 = off)")
+		flightRing  = flag.Int("flight-ring", 0, "flight-recorder anomaly ring size (both modes; 0 = 256)")
+		flightSlow  = flag.Duration("flight-slow", 0, "explicit slow-promotion latency threshold for the flight recorder (both modes; 0 = adaptive p99)")
+		healthObj   = flag.Float64("health-objective", 0, "/v1/health burn-rate objective, the target good fraction (both modes; 0 = 0.99)")
+		healthFast  = flag.Duration("health-fast-window", 0, "/v1/health fast burn window (both modes; 0 = 5m)")
+		healthSlowW = flag.Duration("health-slow-window", 0, "/v1/health slow burn window (both modes; 0 = 1h)")
 	)
 	flag.Parse()
 
@@ -133,6 +151,12 @@ func main() {
 	}
 	if *renderCache > 0 {
 		opts = append(opts, rhythm.WithRenderCache(*renderCache))
+	}
+	if *flightRing != 0 || *flightSlow != 0 {
+		opts = append(opts, rhythm.WithFlightRecorder(*flightRing, *flightSlow))
+	}
+	if *healthObj != 0 || *healthFast != 0 || *healthSlowW != 0 {
+		opts = append(opts, rhythm.WithHealthSLO(*healthObj, *healthFast, *healthSlowW))
 	}
 
 	srv, err := rhythm.New(*addr, opts...)
@@ -199,6 +223,8 @@ func printCreds(addr string, seedUsers int, seed func(uint64) (uint64, string)) 
 	fmt.Printf("  curl -s http://%s/v1/stats\n", addr)
 	fmt.Printf("  curl -s http://%s/v1/metrics\n", addr)
 	fmt.Printf("  curl -s 'http://%s/v1/trace?secs=5' > trace.json   # load in Perfetto\n", addr)
+	fmt.Printf("  curl -s http://%s/v1/health\n", addr)
+	fmt.Printf("  curl -s 'http://%s/v1/debug/flight?n=20'\n", addr)
 }
 
 func waitForSignal() {

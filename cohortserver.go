@@ -16,8 +16,10 @@ import (
 	"rhythm/internal/banking"
 	"rhythm/internal/cluster"
 	"rhythm/internal/cohort"
+	"rhythm/internal/flight"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
+	"rhythm/internal/obs/health"
 	"rhythm/internal/rcache"
 	"rhythm/internal/session"
 	"rhythm/internal/sim"
@@ -111,6 +113,18 @@ type CohortOptions struct {
 	// Invalidation hooks the shard groups' Besim write commit (see
 	// internal/rcache and DESIGN.md §14). Zero disables caching.
 	RenderCache int
+	// FlightRing sizes the flight recorder's anomaly ring (0 = default
+	// 256); FlightSlow sets an explicit slow-promotion threshold (0 =
+	// adaptive p99 estimate). See internal/flight and DESIGN.md §15.
+	FlightRing int
+	FlightSlow time.Duration
+	// HealthObjective is the /v1/health burn-rate objective (0 = 0.99);
+	// HealthFastWindow and HealthSlowWindow are the burn evaluation
+	// horizons (0 = 5m and 1h). The latency target the counts classify
+	// against is SLO when set, else a 250ms default.
+	HealthObjective  float64
+	HealthFastWindow time.Duration
+	HealthSlowWindow time.Duration
 }
 
 func (o *CohortOptions) fill() {
@@ -164,6 +178,14 @@ type liveReq struct {
 	admitted time.Time // loop pickup (set by admit)
 	spans    []obs.Span
 	resp     chan []byte // buffered(1): the loop never blocks delivering
+
+	// frec is the request's flight record, shared handler↔loop under the
+	// same resp-channel fence as spans: the loop fills the causal fields
+	// (cohort size, launch reason, device, launch seqs, status) before
+	// sending on resp, and the handler Finishes it only after receiving.
+	// The no-response paths (504, loop exit) must NOT touch frec — the
+	// loop may still be writing — and use a local Record instead.
+	frec flight.Record
 
 	// Render-cache insertion state, captured before admission: the
 	// resolved session/user and the user's state version at lookup time.
@@ -270,6 +292,10 @@ type CohortServerStats struct {
 	CacheInvalidations uint64 `json:"cache_invalidations"`
 	CacheEntries       uint64 `json:"cache_entries"`
 
+	// Flight-recorder counters (DESIGN.md §15).
+	FlightRequests  uint64 `json:"flight_requests"`
+	FlightAnomalies uint64 `json:"flight_anomalies"`
+
 	// Adapt is the adaptive-formation controller's state (nil when the
 	// server runs a fixed formation timeout).
 	Adapt *adapt.Snapshot `json:"adapt,omitempty"`
@@ -341,6 +367,17 @@ type CohortServer struct {
 	formHist  *stats.Histogram   // formation wait, nanoseconds
 	occupHist *stats.Histogram   // cohort occupancy at launch
 
+	// flight is the always-on tail-latency recorder behind
+	// /v1/debug/flight; hEngine the SLO burn-rate engine behind
+	// /v1/health; badByType counts per-type requests that never reach
+	// latHist (sheds, deadline misses) so the health engine's totals see
+	// them; captureBusy serializes blocking ?secs=N trace captures
+	// (DESIGN.md §15).
+	flight      *flight.Recorder
+	hEngine     *health.Engine
+	badByType   []atomic.Uint64 // per banking.ReqType
+	captureBusy atomic.Bool
+
 	// Loop-owned state (no locking: single goroutine until doneCh).
 	draining      bool
 	inflight      int
@@ -395,7 +432,23 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		latHist:   newLatencyHistograms(int(banking.NumTypes)),
 		formHist:  stats.NewHistogram(stats.LatencyBucketsNs()),
 		occupHist: stats.NewHistogram(stats.PowersOfTwoBuckets(opts.CohortSize)),
+		flight:    flight.New(flight.Config{Ring: opts.FlightRing, Slow: opts.FlightSlow}),
+		badByType: make([]atomic.Uint64, banking.NumTypes),
 	}
+	healthSLO := opts.SLO
+	if healthSLO <= 0 {
+		healthSLO = defaultHealthSLO
+	}
+	names := typeNames()
+	sloNs := float64(healthSLO)
+	s.hEngine = health.New(health.Config{
+		Objective:  opts.HealthObjective,
+		SLO:        healthSLO,
+		FastWindow: opts.HealthFastWindow,
+		SlowWindow: opts.HealthSlowWindow,
+	}, func() map[string]health.Counts {
+		return sloCounts(names, s.latHist, sloNs, s.badByType)
+	})
 	if opts.RenderCache > 0 {
 		s.cache = rcache.New(opts.RenderCache)
 		// The hook observes every committed Besim write cluster-wide:
@@ -588,16 +641,25 @@ func (s *CohortServer) handle(conn net.Conn) {
 			return
 		}
 		lc.busy.Store(true)
-		resp, lr := s.respond(a, raw)
+		resp, lr, id := s.respond(a, raw)
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		wstart := time.Now()
-		_, werr := conn.Write(resp)
+		wout := resp
+		if id != 0 {
+			a.wbuf = spliceTraceHeader(a.wbuf, resp, id)
+			wout = a.wbuf
+		}
+		_, werr := conn.Write(wout)
 		lc.busy.Store(false)
 		if lr != nil {
 			// Response came through lr.resp, so the loop is done with the
-			// span slice (channel happens-before); finish and commit it.
+			// span slice and flight record (channel happens-before); finish
+			// and commit both.
 			lr.spans = append(lr.spans, obs.Span{Name: "write", Start: wstart, Dur: time.Since(wstart)})
 			s.tracer.Add(obs.RequestTrace{Type: lr.t.String(), Spans: lr.spans})
+			lr.frec.Spans = lr.spans
+			lr.frec.Latency = time.Since(lr.frec.Start)
+			s.flight.Finish(&lr.frec)
 		}
 		if werr != nil || s.closing.Load() {
 			return
@@ -609,35 +671,46 @@ func (s *CohortServer) handle(conn net.Conn) {
 // answers it directly (stats, metrics, traces, images, errors) or admits
 // it to the device loop and waits for the cohort path's response. The
 // returned liveReq is non-nil only when the response was delivered over
-// lr.resp — the caller may then read lr.spans to finish the trace.
-func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq) {
+// lr.resp — the caller may then read lr.spans and lr.frec to finish the
+// trace and flight record. The returned trace ID is non-zero for every
+// banking request (the caller splices it into the response headers); on
+// the nil-liveReq banking paths the flight record has already been
+// finished here with a local Record.
+func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint64) {
 	s.served.Add(1)
 	start := time.Now()
 	req := &a.req
 	if err := httpx.ParseInto(raw, req); err != nil {
 		s.parseErrors.Add(1)
-		return errorResponse(400, "Bad Request"), nil
+		return errorResponse(400, "Bad Request"), nil, 0
 	}
 	switch req.Path {
 	case StatsPath, StatsPathV1:
-		return s.statsResponse(), nil
+		return s.statsResponse(), nil, 0
 	case MetricsPath, MetricsPathV1:
-		return s.metricsResponse(), nil
+		return s.metricsResponse(), nil, 0
 	case TracePath, TracePathV1:
-		return s.traceResponse(req), nil
+		return s.traceResponse(req), nil, 0
+	case FlightPathV1:
+		return flightResponse(req, s.flight), nil, 0
+	case HealthPathV1:
+		return healthResponse(s.hEngine, s.flight), nil, 0
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
 		if resp, ok := banking.ImageResponse(req.Path); ok {
 			s.images.Add(1)
-			return resp, nil
+			return resp, nil, 0
 		}
 		s.notFound.Add(1)
-		return errorResponse(404, "Not Found"), nil
+		return errorResponse(404, "Not Found"), nil, 0
 	}
+	id := s.flight.NextID()
 	if s.closing.Load() {
 		s.rejectedQueue.Add(1)
-		return busyResponse(s.retryAfter()), nil
+		s.badByType[t].Add(1)
+		s.finishLocal(id, t, start, flight.StatusShed)
+		return busyResponse(s.retryAfter()), nil, id
 	}
 	group := s.cl.GroupFor(req, t)
 
@@ -657,8 +730,9 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq) {
 				cacheable, csid, cuid = true, sid, uid
 				cver = s.cache.Version(cuid)
 				if resp, hit := s.cache.Get(t, csid, cuid, cver, req); hit {
-					s.latHist[t].Observe(float64(time.Since(start)))
-					return resp, nil
+					s.latHist[t].ObserveEx(float64(time.Since(start)), id)
+					s.finishLocal(id, t, start, flight.StatusOK)
+					return resp, nil, id
 				}
 			}
 		}
@@ -669,33 +743,58 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq) {
 	// The in-flight request owns its param/cookie slices: the arena's
 	// request is recycled as soon as this handler reads again.
 	req.CopyTo(&lr.req)
+	lr.frec.Reset()
+	lr.frec.TraceID = id
+	lr.frec.Type = t.String()
+	lr.frec.Start = start
 	lr.spans = append(lr.spans, obs.Span{Name: "classify", Start: start, Dur: lr.enq.Sub(start)})
 	select {
 	case s.admitCh <- lr:
 	default:
 		s.rejectedQueue.Add(1)
-		return busyResponse(s.retryAfter()), nil
+		s.badByType[t].Add(1)
+		s.finishLocal(id, t, start, flight.StatusShed)
+		return busyResponse(s.retryAfter()), nil, id
 	}
 	deadline := time.NewTimer(s.opts.RequestDeadline)
 	defer deadline.Stop()
 	select {
 	case resp := <-lr.resp:
-		return resp, lr
+		return resp, lr, id
 	case <-deadline.C:
 		s.deadlineMisses.Add(1)
-		return errorResponse(504, "Gateway Timeout"), nil
+		s.badByType[t].Add(1)
+		s.finishLocal(id, t, start, flight.StatusDeadline)
+		return errorResponse(504, "Gateway Timeout"), nil, id
 	case <-s.doneCh:
 		// The loop exited while we waited. Either our response raced the
 		// exit (delivered, then doneCh closed — the buffered channel
 		// still holds it) or the request was never consumed.
 		select {
 		case resp := <-lr.resp:
-			return resp, lr
+			return resp, lr, id
 		default:
 			s.rejectedQueue.Add(1)
-			return busyResponse(s.retryAfter()), nil
+			s.badByType[t].Add(1)
+			s.finishLocal(id, t, start, flight.StatusShed)
+			return busyResponse(s.retryAfter()), nil, id
 		}
 	}
+}
+
+// finishLocal finishes a flight record for a banking request answered
+// without a loop response (cache hit, shed, deadline miss). The
+// liveReq's embedded record may still be owned by the loop on those
+// paths, so a stack-local Record carries the outcome instead.
+func (s *CohortServer) finishLocal(id uint64, t banking.ReqType, start time.Time, status flight.Status) {
+	var rec flight.Record
+	rec.Reset()
+	rec.TraceID = id
+	rec.Type = t.String()
+	rec.Start = start
+	rec.Latency = time.Since(start)
+	rec.Status = status
+	s.flight.Finish(&rec)
 }
 
 // loop is the dispatch loop: the only goroutine that touches the pool,
@@ -768,6 +867,8 @@ func (s *CohortServer) admit(lr *liveReq) {
 	}
 	if len(s.overflow) >= s.opts.OverflowLimit {
 		s.rejectedPool++
+		s.badByType[lr.t].Add(1)
+		lr.frec.Status = flight.StatusShed
 		lr.resp <- busyResponse(s.retryAfter())
 		return
 	}
@@ -788,6 +889,8 @@ func (s *CohortServer) dispatchHost(lr *liveReq) {
 	if !s.cl.Dispatch(unit) {
 		s.inflight--
 		s.rejectedPool++
+		s.badByType[lr.t].Add(1)
+		lr.frec.Status = flight.StatusShed
 		lr.resp <- busyResponse(s.retryAfter())
 	}
 }
@@ -797,6 +900,8 @@ func (s *CohortServer) completeHost(lr *liveReq, res *cluster.Result) {
 	s.inflight--
 	if res.Err != nil {
 		s.rejectedPool++
+		s.badByType[lr.t].Add(1)
+		lr.frec.Status = flight.StatusShed
 		lr.resp <- busyResponse(s.retryAfter())
 		return
 	}
@@ -807,10 +912,22 @@ func (s *CohortServer) completeHost(lr *liveReq, res *cluster.Result) {
 		s.cache.Put(lr.t, lr.csid, lr.cuid, lr.cver, &lr.req, res.Resps[0])
 	}
 	lr.spans = append(lr.spans, obs.Span{Name: "host-execute", Start: res.RenderStart, Dur: res.RenderDur})
+	lr.frec.HostExec = true
+	lr.frec.LaunchReason = "host"
+	lr.frec.Device = res.Device
+	// A hop is a failover to another device; fold it into the record's
+	// attempt trail so tail debugging sees the move (flight.Record).
+	lr.frec.Attempts = res.Attempts + res.Hops
+	lr.frec.CohortSize = 1
+	if res.KernelErrs > 0 {
+		lr.frec.Status = flight.StatusKernelErr
+		s.badByType[lr.t].Add(1)
+	}
+	id := lr.frec.TraceID // read before the send hands frec to the handler
 	lr.resp <- res.Resps[0]
 	lat := float64(time.Since(lr.enq))
 	s.record(s.reqLat, lat)
-	s.latHist[lr.t].Observe(lat)
+	s.latHist[lr.t].ObserveEx(lat, id)
 }
 
 // place tries pool admission; on success it manages the wall-clock
@@ -909,11 +1026,21 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 	t := reqs[0].t
 	count := len(reqs)
 	now := time.Now()
+	reason := "timeout"
+	switch why {
+	case cohort.Filled:
+		reason = "filled"
+	case cohort.Early:
+		reason = "early"
+	}
 	for _, lr := range reqs {
 		wait := float64(now.Sub(lr.enq))
 		s.record(s.formWait, wait)
 		s.formHist.Observe(wait)
 		lr.spans = append(lr.spans, obs.Span{Name: "formation-wait", Start: lr.admitted, Dur: now.Sub(lr.admitted)})
+		lr.frec.FormationWait = now.Sub(lr.admitted)
+		lr.frec.CohortSize = count
+		lr.frec.LaunchReason = reason
 	}
 	s.occupHist.Observe(float64(count))
 	tc := s.typeStats(t)
@@ -954,6 +1081,8 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 func (s *CohortServer) shed(c *cohort.Context[*liveReq], reqs []*liveReq) {
 	s.shedCohorts++
 	for _, lr := range reqs {
+		s.badByType[lr.t].Add(1)
+		lr.frec.Status = flight.StatusShed
 		lr.resp <- busyResponse(s.retryAfter())
 	}
 	s.finish(c)
@@ -990,6 +1119,7 @@ func (s *CohortServer) complete(c *cohort.Context[*liveReq], res *cluster.Result
 		}
 		for _, lr := range reqs {
 			lr.spans = append(lr.spans, span)
+			lr.frec.AddLaunch(se.Stats.Seq)
 		}
 	}
 	s.kernelErrors += uint64(res.KernelErrs)
@@ -1001,10 +1131,19 @@ func (s *CohortServer) complete(c *cohort.Context[*liveReq], res *cluster.Result
 			s.cache.Put(lr.t, lr.csid, lr.cuid, lr.cver, &lr.req, res.Resps[i])
 		}
 		lr.spans = append(lr.spans, obs.Span{Name: "render", Start: res.RenderStart, Dur: res.RenderDur})
+		lr.frec.Device = res.Device
+		lr.frec.Attempts = res.Attempts + res.Hops
+		if res.KernelErrs > 0 {
+			// Kernel errors are aggregated per cohort, not attributed per
+			// request, so every rider is flagged (conservative).
+			lr.frec.Status = flight.StatusKernelErr
+			s.badByType[lr.t].Add(1)
+		}
+		id := lr.frec.TraceID // read before the send hands frec to the handler
 		lr.resp <- res.Resps[i]
 		lat := float64(now.Sub(lr.enq))
 		s.record(s.reqLat, lat)
-		s.latHist[lr.t].Observe(lat)
+		s.latHist[lr.t].ObserveEx(lat, id)
 	}
 	s.record(s.launchLat, float64(res.DeviceTime))
 	if s.ctrl != nil {
@@ -1091,6 +1230,8 @@ func (s *CohortServer) snapshot() CohortServerStats {
 		Failovers:        cs.Failovers,
 		DeviceRetries:    cs.Retries,
 		ShedCohorts:      s.shedCohorts,
+		FlightRequests:   s.flight.Total(),
+		FlightAnomalies:  s.flight.Promoted(),
 		Types:            make(map[string]CohortTypeStats, len(s.perType)),
 	}
 	if s.cache != nil {
@@ -1173,6 +1314,7 @@ func (s *CohortServer) metricsResponse() []byte {
 	}
 	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
 	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
+	writeFlightFamilies(w, s.flight)
 	return bodyResponse(promContentType, w.Bytes())
 }
 
@@ -1187,6 +1329,13 @@ func (s *CohortServer) traceResponse(req *httpx.Request) []byte {
 	var launches []simt.LaunchRecord
 	wait := secs > 0
 	if wait {
+		// One blocking capture at a time: each holds its connection's
+		// handler goroutine for secs seconds, so unbounded concurrent
+		// captures would pile up goroutines (DESIGN.md §15).
+		if !s.captureBusy.CompareAndSwap(false, true) {
+			return tooManyCapturesResponse()
+		}
+		defer s.captureBusy.Store(false)
 		since = time.Now()
 		// Launch sequence numbers are per device, so the capture floor
 		// is too: the cluster filters each ring before merging.

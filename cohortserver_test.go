@@ -42,7 +42,10 @@ func dialT(t *testing.T, addr net.Addr) net.Conn {
 
 // readRawResponse reads one full HTTP response — status line, headers,
 // and Content-Length body — returning the exact bytes for differential
-// comparison.
+// comparison. The X-Rhythm-Trace header is dropped: flight trace IDs
+// are server-assigned in arrival order, which legitimately differs
+// between the two servers (and across concurrent requests), while
+// every other byte must match.
 func readRawResponse(t *testing.T, r *bufio.Reader) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -52,7 +55,9 @@ func readRawResponse(t *testing.T, r *bufio.Reader) []byte {
 		if err != nil {
 			t.Fatalf("reading response: %v (got %q so far)", err, buf.String())
 		}
-		buf.WriteString(line)
+		if !strings.HasPrefix(line, "X-Rhythm-Trace:") {
+			buf.WriteString(line)
+		}
 		trimmed := strings.TrimRight(line, "\r\n")
 		if trimmed == "" {
 			break

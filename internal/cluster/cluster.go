@@ -150,6 +150,10 @@ type Unit struct {
 	// attempts counts consecutive failed launch attempts on the current
 	// device; it resets when the unit fails over.
 	attempts int
+	// hops counts how many times the unit moved to another device
+	// (failover or dead-device displacement); unlike attempts it is
+	// never reset, so a Result can report the full failover trail.
+	hops int
 }
 
 // StageExec is one stage kernel's execution record within a Result.
@@ -169,6 +173,7 @@ type Result struct {
 	Device      int  // executing device id (-1 when shed)
 	Host        bool // executed on the scalar host path (Unit.Host)
 	Attempts    int  // launch attempts on the executing device (≥1)
+	Hops        int  // devices the unit moved across before executing (0 = none)
 	DeviceTime  sim.Time
 	RenderStart time.Time
 	RenderDur   time.Duration
@@ -375,6 +380,7 @@ func (c *Cluster) offerLocked(d *device, u *Unit) bool {
 // ErrNoHealthyDevice.
 func (c *Cluster) transfer(u *Unit, from int, isRetry bool) {
 	u.attempts = 0
+	u.hops++
 	c.statsMu.Lock()
 	c.devs[from].outstanding--
 	if isRetry {

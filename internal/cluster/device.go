@@ -271,7 +271,7 @@ func (d *device) die(stop chan struct{}) {
 func (d *device) executeHost(u *Unit) {
 	st := d.stateFor(u.Group)
 	svc := banking.ServiceFor(u.Type)
-	res := &Result{Device: d.id, Host: true, Attempts: 1}
+	res := &Result{Device: d.id, Host: true, Attempts: 1, Hops: u.hops}
 	res.RenderStart = time.Now()
 	res.Resps = make([][]byte, len(u.Reqs))
 	for i := range u.Reqs {
@@ -330,7 +330,7 @@ func (d *device) execute(u *Unit, slot int) {
 	copy(dc.Reqs, u.Reqs)
 	stream := d.streams[slot]
 	launchStart := d.eng.Now()
-	res := &Result{Device: d.id, Attempts: u.attempts + 1}
+	res := &Result{Device: d.id, Attempts: u.attempts + 1, Hops: u.hops}
 	var nextStage func(k int)
 	nextStage = func(k int) {
 		args := banking.StageArgs{

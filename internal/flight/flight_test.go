@@ -1,0 +1,302 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rhythm/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func okRecord(id uint64, lat time.Duration) Record {
+	r := Record{Device: -1}
+	r.TraceID = id
+	r.Type = "login"
+	r.Start = time.Now()
+	r.Latency = lat
+	r.Status = StatusOK
+	return r
+}
+
+// TestPromotionByStatus: every non-OK terminal status promotes with its
+// matching reason, exactly once; a fast OK request recycles.
+func TestPromotionByStatus(t *testing.T) {
+	r := New(Config{Ring: 8, Slow: time.Second})
+	cases := []struct {
+		status Status
+		reason Reason
+	}{
+		{StatusError, ReasonError},
+		{StatusShed, ReasonShed},
+		{StatusDeadline, ReasonDeadline},
+		{StatusKernelErr, ReasonKernel},
+	}
+	rec := okRecord(1, time.Millisecond)
+	if r.Finish(&rec) {
+		t.Fatal("fast OK request was promoted")
+	}
+	for i, c := range cases {
+		rec := okRecord(uint64(i+2), time.Millisecond)
+		rec.Status = c.status
+		if !r.Finish(&rec) {
+			t.Fatalf("status %v not promoted", c.status)
+		}
+		if rec.Reason != c.reason {
+			t.Fatalf("status %v promoted with reason %v, want %v", c.status, rec.Reason, c.reason)
+		}
+	}
+	s := r.Snapshot(0)
+	if s.Total != 5 || s.Promoted != 4 || len(s.Records) != 4 {
+		t.Fatalf("counters total=%d promoted=%d records=%d, want 5/4/4",
+			s.Total, s.Promoted, len(s.Records))
+	}
+	for reason, want := range map[string]uint64{
+		"error": 1, "shed": 1, "deadline": 1, "kernel-error": 1,
+	} {
+		if s.ByReason[reason] != want {
+			t.Fatalf("by_reason[%s] = %d, want %d", reason, s.ByReason[reason], want)
+		}
+	}
+}
+
+// TestExplicitSlowThreshold: with Config.Slow set, OK requests past the
+// threshold promote as "slow" and faster ones recycle.
+func TestExplicitSlowThreshold(t *testing.T) {
+	r := New(Config{Ring: 4, Slow: 10 * time.Millisecond})
+	fast := okRecord(1, 9*time.Millisecond)
+	slow := okRecord(2, 11*time.Millisecond)
+	if r.Finish(&fast) {
+		t.Fatal("request under the threshold promoted")
+	}
+	if !r.Finish(&slow) || slow.Reason != ReasonSlow {
+		t.Fatalf("request over the threshold not promoted as slow (reason %v)", slow.Reason)
+	}
+}
+
+// TestAdaptiveThreshold: with no explicit threshold, the recorder warms
+// up on the live distribution and then promotes only the outliers.
+func TestAdaptiveThreshold(t *testing.T) {
+	r := New(Config{Ring: 64, MinSamples: 256})
+	// Warm-up: nothing promotes for slowness, even huge latencies.
+	for i := 0; i < 255; i++ {
+		rec := okRecord(uint64(i), time.Minute)
+		if r.Finish(&rec) {
+			t.Fatalf("request %d promoted during warm-up", i)
+		}
+	}
+	// Establish a tight distribution around 1ms — enough samples that
+	// the warm-up outliers fall past the p99 rank.
+	for i := 0; i < 30000; i++ {
+		rec := okRecord(uint64(1000+i), time.Millisecond)
+		r.Finish(&rec)
+	}
+	if th := r.threshNs.Load(); th <= 0 || th > int64(5*time.Millisecond) {
+		t.Fatalf("adaptive threshold %dns not near the 1ms distribution", th)
+	}
+	fast := okRecord(9000, time.Millisecond)
+	if r.Finish(&fast) {
+		t.Fatal("typical request promoted after warm-up")
+	}
+	slow := okRecord(9001, time.Second)
+	if !r.Finish(&slow) || slow.Reason != ReasonSlow {
+		t.Fatal("outlier not promoted after warm-up")
+	}
+}
+
+// TestRingBoundedOldestOut: the anomaly ring keeps only the newest Ring
+// records, exported oldest→newest, and Snapshot(n) trims to the last n.
+func TestRingBoundedOldestOut(t *testing.T) {
+	r := New(Config{Ring: 4, Slow: time.Second})
+	for i := 1; i <= 10; i++ {
+		rec := okRecord(uint64(i), time.Millisecond)
+		rec.Status = StatusError
+		r.Finish(&rec)
+	}
+	s := r.Snapshot(0)
+	if len(s.Records) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(s.Records))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if s.Records[i].TraceID != want {
+			t.Fatalf("ring[%d] = trace %d, want %d", i, s.Records[i].TraceID, want)
+		}
+	}
+	if s2 := r.Snapshot(2); len(s2.Records) != 2 || s2.Records[0].TraceID != 9 {
+		t.Fatalf("Snapshot(2) = %v, want traces 9,10", s2.Records)
+	}
+}
+
+// TestConcurrentExactlyOnce exercises the promote/recycle machine from
+// many goroutines (the -race CI leg turns any ring or counter race into
+// a failure) and checks every anomaly is recorded exactly once.
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const workers = 8
+	const perWorker = 500
+	r := New(Config{Ring: workers * perWorker, Slow: time.Second})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var rec Record // per-connection scratch, reused across requests
+			for i := 0; i < perWorker; i++ {
+				rec.Reset()
+				rec.TraceID = r.NextID()
+				rec.Type = "login"
+				rec.Latency = time.Millisecond
+				switch i % 4 {
+				case 0:
+					rec.Status = StatusShed
+				case 1:
+					rec.Status = StatusDeadline
+				default:
+					rec.Status = StatusOK
+				}
+				promoted := r.Finish(&rec)
+				if want := rec.Status != StatusOK; promoted != want {
+					t.Errorf("status %v promoted=%v", rec.Status, promoted)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot(0)
+	wantPromoted := uint64(workers * perWorker / 2)
+	if s.Total != workers*perWorker || s.Promoted != wantPromoted {
+		t.Fatalf("total=%d promoted=%d, want %d/%d",
+			s.Total, s.Promoted, workers*perWorker, wantPromoted)
+	}
+	if s.ByReason["shed"] != wantPromoted/2 || s.ByReason["deadline"] != wantPromoted/2 {
+		t.Fatalf("by_reason = %v, want %d each", s.ByReason, wantPromoted/2)
+	}
+	seen := map[uint64]bool{}
+	for _, rec := range s.Records {
+		if seen[rec.TraceID] {
+			t.Fatalf("trace %d recorded twice", rec.TraceID)
+		}
+		seen[rec.TraceID] = true
+	}
+}
+
+// fixedSnapshot builds a deterministic two-record snapshot (pinned
+// timestamps, a failover hop, kernel linkage) for the export tests.
+func fixedSnapshot() Snapshot {
+	base := time.Date(2014, 3, 1, 12, 0, 0, 0, time.UTC)
+	mk := func(name string, off, dur time.Duration, args map[string]any) obs.Span {
+		return obs.Span{Name: name, Start: base.Add(off), Dur: dur, Args: args}
+	}
+	slow := Record{
+		TraceID: 41, Type: "account_summary", Start: base,
+		Latency: 48 * time.Millisecond, Status: StatusOK, Reason: ReasonSlow,
+		Device: 3, Attempts: 2, CohortSize: 12, LaunchReason: "timeout",
+		FormationWait: 31 * time.Millisecond,
+		Spans: []obs.Span{
+			mk("classify", 0, 40*time.Microsecond, nil),
+			mk("formation-wait", time.Millisecond, 31*time.Millisecond, nil),
+			mk("stage-0", 33*time.Millisecond, 9*time.Millisecond,
+				map[string]any{"launch_seq": uint64(7001), "cohort": 12}),
+			mk("render", 43*time.Millisecond, 3*time.Millisecond, nil),
+			mk("write", 47*time.Millisecond, time.Millisecond, nil),
+		},
+	}
+	slow.AddLaunch(7001)
+	dead := Record{
+		TraceID: 57, Type: "login", Start: base.Add(time.Second),
+		Latency: 250 * time.Millisecond, Status: StatusDeadline,
+		Reason: ReasonDeadline, Device: -1, Attempts: 0,
+	}
+	return Snapshot{
+		Counters: Counters{Total: 1000, Promoted: 2, RingSize: 256, RingCount: 2,
+			ThreshNs: 33554432, ByReason: map[string]uint64{"slow": 1, "deadline": 1}},
+		Records: []Record{slow, dead},
+	}
+}
+
+// TestChromeGolden pins the flight Chrome-trace export byte-for-byte
+// (refresh deliberately with -update).
+func TestChromeGolden(t *testing.T) {
+	got := fixedSnapshot().Chrome()
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chrome export drifted from golden; rerun with -update if deliberate.\ngot:\n%s", got)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+}
+
+// TestJSONDocument: the /v1/debug/flight document carries the causal
+// fields the debugging workflow joins on.
+func TestJSONDocument(t *testing.T) {
+	out := fixedSnapshot().JSON()
+	var doc struct {
+		Schema   int    `json:"schema"`
+		Total    uint64 `json:"total"`
+		Promoted uint64 `json:"promoted"`
+		Records  []struct {
+			TraceID         uint64   `json:"trace_id"`
+			Status          string   `json:"status"`
+			Reason          string   `json:"reason"`
+			Device          int      `json:"device"`
+			Attempts        int      `json:"attempts"`
+			CohortSize      int      `json:"cohort_size"`
+			LaunchSeqs      []uint64 `json:"launch_seqs"`
+			FormationWaitUs float64  `json:"formation_wait_us"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("flight document is not valid JSON: %v", err)
+	}
+	if doc.Schema != 1 || doc.Total != 1000 || doc.Promoted != 2 || len(doc.Records) != 2 {
+		t.Fatalf("document header wrong: %+v", doc)
+	}
+	slow := doc.Records[0]
+	if slow.TraceID != 41 || slow.Reason != "slow" || slow.Device != 3 ||
+		slow.Attempts != 2 || slow.CohortSize != 12 ||
+		len(slow.LaunchSeqs) != 1 || slow.LaunchSeqs[0] != 7001 ||
+		slow.FormationWaitUs != 31000 {
+		t.Fatalf("slow record lost causal fields: %+v", slow)
+	}
+	if doc.Records[1].Status != "deadline" {
+		t.Fatalf("deadline record status = %q", doc.Records[1].Status)
+	}
+}
+
+// BenchmarkFinish measures the fast-path append (the CI alloc gate holds
+// this at ≤1 alloc/req via TestAllocBudgets at the repo root).
+func BenchmarkFinish(b *testing.B) {
+	r := New(Config{Ring: 256, Slow: time.Hour})
+	var rec Record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		rec.TraceID = r.NextID()
+		rec.Type = "login"
+		rec.Latency = time.Millisecond
+		r.Finish(&rec)
+	}
+	if r.Total() == 0 {
+		b.Fatal("no requests finished")
+	}
+}

@@ -1,0 +1,250 @@
+// Package health is the SLO burn-rate engine (DESIGN.md §15). It
+// follows the multi-window burn-rate practice from the SRE literature:
+// an error budget of (1 - objective) is "burning at rate 1" when
+// violations arrive exactly at the tolerated fraction; burn rates are
+// evaluated over a fast window (catches sharp regressions quickly) and
+// a slow window (filters blips), and the two combine into an
+// ok/warn/critical verdict.
+//
+// The engine is pull-based: it holds a source callback returning the
+// server's cumulative per-type good/total counts (good = answered
+// within the SLO; total additionally includes sheds, deadline misses,
+// and kernel errors, which never count as good). Each Evaluate call
+// records a timestamped point and differences it against the retained
+// history at the window horizons — no background goroutine, no ticker,
+// and a server that is never scraped costs nothing.
+package health
+
+import (
+	"sync"
+	"time"
+)
+
+// Counts is one request type's cumulative outcome tally.
+type Counts struct {
+	Good  uint64 // answered within the SLO latency target
+	Total uint64 // all finished requests, including sheds/deadlines/errors
+}
+
+// Config tunes the engine; zero fields take the stated defaults.
+type Config struct {
+	// Objective is the target good fraction (default 0.99). The error
+	// budget is 1 - Objective.
+	Objective float64
+	// SLO is the latency target the counts were classified by
+	// (informational, echoed into reports).
+	SLO time.Duration
+	// FastWindow and SlowWindow are the burn evaluation horizons
+	// (defaults 5m and 1h).
+	FastWindow, SlowWindow time.Duration
+	// WarnBurn and CritBurn are the burn-rate thresholds (defaults 2
+	// and 10, the SRE-workbook page/ticket split).
+	WarnBurn, CritBurn float64
+	// MaxPoints bounds the retained history ring (default 512).
+	MaxPoints int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// States, ordered by severity.
+const (
+	StateOK       = "ok"
+	StateWarn     = "warn"
+	StateCritical = "critical"
+)
+
+type point struct {
+	t      time.Time
+	counts map[string]Counts
+}
+
+// Engine computes burn rates from a server's cumulative counters.
+type Engine struct {
+	cfg    Config
+	source func() map[string]Counts
+
+	mu     sync.Mutex
+	points []point // ring, oldest at (next-len)%cap
+	next   int
+	start  point
+}
+
+// New builds an engine over a cumulative-counts source. The origin
+// point (zero counts at construction time) anchors burn computation
+// until the history spans the windows.
+func New(cfg Config, source func() map[string]Counts) *Engine {
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		cfg.Objective = 0.99
+	}
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = 5 * time.Minute
+	}
+	if cfg.SlowWindow <= 0 {
+		cfg.SlowWindow = time.Hour
+	}
+	if cfg.WarnBurn <= 0 {
+		cfg.WarnBurn = 2
+	}
+	if cfg.CritBurn <= 0 {
+		cfg.CritBurn = 10
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 512
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Engine{
+		cfg:    cfg,
+		source: source,
+		points: make([]point, 0, cfg.MaxPoints),
+		start:  point{t: cfg.Now(), counts: map[string]Counts{}},
+	}
+}
+
+// TypeReport is one request type's burn breakdown.
+type TypeReport struct {
+	Type     string  `json:"type"`
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	Bad      uint64  `json:"bad_fast_window"`
+	Total    uint64  `json:"total_fast_window"`
+	State    string  `json:"state"`
+}
+
+// Report is one health evaluation.
+type Report struct {
+	State          string       `json:"state"`
+	Objective      float64      `json:"objective"`
+	SLOMillis      float64      `json:"slo_ms"`
+	FastWindowSecs float64      `json:"fast_window_secs"`
+	SlowWindowSecs float64      `json:"slow_window_secs"`
+	FastBurn       float64      `json:"fast_burn"`
+	SlowBurn       float64      `json:"slow_burn"`
+	WarnBurn       float64      `json:"warn_burn"`
+	CritBurn       float64      `json:"crit_burn"`
+	Types          []TypeReport `json:"types"`
+}
+
+// Evaluate samples the source, appends the point to the history, and
+// reports current burn state. Safe from any goroutine.
+func (e *Engine) Evaluate() Report {
+	now := e.cfg.Now()
+	cur := e.source()
+
+	e.mu.Lock()
+	if len(e.points) < cap(e.points) {
+		e.points = append(e.points, point{t: now, counts: cur})
+	} else {
+		e.points[e.next%len(e.points)] = point{t: now, counts: cur}
+	}
+	e.next++
+	fastRef := e.refPoint(now.Add(-e.cfg.FastWindow))
+	slowRef := e.refPoint(now.Add(-e.cfg.SlowWindow))
+	e.mu.Unlock()
+
+	rep := Report{
+		Objective:      e.cfg.Objective,
+		SLOMillis:      float64(e.cfg.SLO) / 1e6,
+		FastWindowSecs: e.cfg.FastWindow.Seconds(),
+		SlowWindowSecs: e.cfg.SlowWindow.Seconds(),
+		WarnBurn:       e.cfg.WarnBurn,
+		CritBurn:       e.cfg.CritBurn,
+	}
+	budget := 1 - e.cfg.Objective
+
+	var fastBad, fastTotal, slowBad, slowTotal uint64
+	for name, c := range cur {
+		fb, ft := delta(c, fastRef.counts[name])
+		sb, st := delta(c, slowRef.counts[name])
+		fastBad += fb
+		fastTotal += ft
+		slowBad += sb
+		slowTotal += st
+		tr := TypeReport{
+			Type:     name,
+			FastBurn: burn(fb, ft, budget),
+			SlowBurn: burn(sb, st, budget),
+			Bad:      fb,
+			Total:    ft,
+		}
+		tr.State = e.state(tr.FastBurn, tr.SlowBurn)
+		rep.Types = append(rep.Types, tr)
+	}
+	sortTypes(rep.Types)
+	rep.FastBurn = burn(fastBad, fastTotal, budget)
+	rep.SlowBurn = burn(slowBad, slowTotal, budget)
+	rep.State = e.state(rep.FastBurn, rep.SlowBurn)
+	return rep
+}
+
+// refPoint returns the newest retained point no newer than cutoff, or
+// the origin point when history does not reach back that far. Called
+// with e.mu held.
+func (e *Engine) refPoint(cutoff time.Time) point {
+	best := e.start
+	n := len(e.points)
+	for i := 0; i < n; i++ {
+		p := e.points[(e.next-n+i)%n]
+		if p.t.After(cutoff) {
+			break
+		}
+		best = p
+	}
+	return best
+}
+
+// delta differences cumulative counts, clamping regressions (a counter
+// reset) to zero.
+func delta(cur, ref Counts) (bad, total uint64) {
+	if cur.Total <= ref.Total {
+		return 0, 0
+	}
+	total = cur.Total - ref.Total
+	goodD := uint64(0)
+	if cur.Good > ref.Good {
+		goodD = cur.Good - ref.Good
+	}
+	if goodD > total {
+		goodD = total
+	}
+	return total - goodD, total
+}
+
+// burn converts a bad fraction into an error-budget burn rate: 1.0
+// means violations arrive exactly at the tolerated (1-objective) rate.
+func burn(bad, total uint64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// state applies the multi-window rule: critical needs the fast window
+// burning hard while the slow window confirms the budget is actually
+// being spent; warn fires on either a hot fast window or a slow window
+// past budget.
+func (e *Engine) state(fast, slow float64) string {
+	switch {
+	case fast >= e.cfg.CritBurn && slow >= 1:
+		return StateCritical
+	case fast >= e.cfg.WarnBurn || slow >= 1:
+		return StateWarn
+	default:
+		return StateOK
+	}
+}
+
+// sortTypes orders the per-type breakdown worst-first (fast burn desc,
+// name asc for determinism).
+func sortTypes(ts []TypeReport) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &ts[j-1], &ts[j]
+			if a.FastBurn > b.FastBurn || (a.FastBurn == b.FastBurn && a.Type <= b.Type) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a controllable test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// harness pairs an engine with mutable cumulative counts.
+type harness struct {
+	mu     sync.Mutex
+	counts map[string]Counts
+	clk    *clock
+	eng    *Engine
+}
+
+func newHarness(cfg Config) *harness {
+	h := &harness{
+		counts: map[string]Counts{},
+		clk:    &clock{t: time.Date(2014, 3, 1, 12, 0, 0, 0, time.UTC)},
+	}
+	cfg.Now = h.clk.now
+	h.eng = New(cfg, func() map[string]Counts {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		out := make(map[string]Counts, len(h.counts))
+		for k, v := range h.counts {
+			out[k] = v
+		}
+		return out
+	})
+	return h
+}
+
+func (h *harness) add(typ string, good, bad uint64) {
+	h.mu.Lock()
+	c := h.counts[typ]
+	c.Good += good
+	c.Total += good + bad
+	h.counts[typ] = c
+	h.mu.Unlock()
+}
+
+// TestBurnMath: the burn rate is the violation fraction over the error
+// budget — burning exactly at budget is rate 1.
+func TestBurnMath(t *testing.T) {
+	h := newHarness(Config{Objective: 0.99, FastWindow: time.Minute, SlowWindow: 10 * time.Minute})
+	h.add("login", 990, 10) // 1% bad = exactly at a 1% budget
+	h.clk.advance(30 * time.Second)
+	rep := h.eng.Evaluate()
+	if rep.FastBurn < 0.99 || rep.FastBurn > 1.01 {
+		t.Fatalf("fast burn = %v, want ~1.0", rep.FastBurn)
+	}
+	if rep.State != StateOK {
+		t.Fatalf("state = %q at burn 1 on fast window only, want ok", rep.State)
+	}
+	if len(rep.Types) != 1 || rep.Types[0].Type != "login" ||
+		rep.Types[0].Bad != 10 || rep.Types[0].Total != 1000 {
+		t.Fatalf("per-type breakdown wrong: %+v", rep.Types)
+	}
+}
+
+// TestStateTransitions: healthy traffic is ok; a violation storm flips
+// warn then critical once the slow window confirms the spend; recovery
+// returns to ok as the windows roll past the incident.
+func TestStateTransitions(t *testing.T) {
+	cfg := Config{
+		Objective:  0.99,
+		FastWindow: time.Minute,
+		SlowWindow: 4 * time.Minute,
+		WarnBurn:   2,
+		CritBurn:   10,
+	}
+	h := newHarness(cfg)
+
+	h.add("login", 1000, 0)
+	h.clk.advance(30 * time.Second)
+	if rep := h.eng.Evaluate(); rep.State != StateOK {
+		t.Fatalf("clean traffic state = %q, want ok", rep.State)
+	}
+
+	// Storm: 50% violations, far past both thresholds on both windows.
+	h.add("login", 500, 500)
+	h.clk.advance(30 * time.Second)
+	rep := h.eng.Evaluate()
+	if rep.State != StateCritical {
+		t.Fatalf("storm state = %q (fast %v slow %v), want critical",
+			rep.State, rep.FastBurn, rep.SlowBurn)
+	}
+	if rep.Types[0].State != StateCritical {
+		t.Fatalf("per-type state = %q, want critical", rep.Types[0].State)
+	}
+
+	// Recovery: clean traffic; the fast window rolls past the storm
+	// first (warn: slow window still remembers), then the slow window.
+	for i := 0; i < 4; i++ {
+		h.add("login", 2000, 0)
+		h.clk.advance(time.Minute)
+	}
+	rep = h.eng.Evaluate()
+	if rep.FastBurn != 0 {
+		t.Fatalf("fast burn = %v after recovery, want 0", rep.FastBurn)
+	}
+	if rep.State == StateCritical {
+		t.Fatalf("state = %q after fast window recovered, want non-critical", rep.State)
+	}
+	for i := 0; i < 5; i++ {
+		h.add("login", 2000, 0)
+		h.clk.advance(time.Minute)
+		h.eng.Evaluate()
+	}
+	if rep := h.eng.Evaluate(); rep.State != StateOK {
+		t.Fatalf("state = %q long after the storm, want ok", rep.State)
+	}
+}
+
+// TestOriginAnchor: the first evaluation (no history yet) differences
+// against the zero origin, so burn is visible immediately.
+func TestOriginAnchor(t *testing.T) {
+	h := newHarness(Config{Objective: 0.9, FastWindow: time.Minute, SlowWindow: time.Hour})
+	h.add("profile", 0, 100)
+	h.clk.advance(time.Second)
+	rep := h.eng.Evaluate()
+	if rep.FastBurn < 9.99 || rep.FastBurn > 10.01 || rep.SlowBurn < 9.99 || rep.SlowBurn > 10.01 {
+		t.Fatalf("burns = %v/%v from origin, want 10/10 (100%% bad over 10%% budget)",
+			rep.FastBurn, rep.SlowBurn)
+	}
+	if rep.State != StateCritical {
+		t.Fatalf("state = %q, want critical", rep.State)
+	}
+}
+
+// TestWorstFirstOrdering: the per-type breakdown leads with the hottest
+// burner.
+func TestWorstFirstOrdering(t *testing.T) {
+	h := newHarness(Config{Objective: 0.99, FastWindow: time.Minute, SlowWindow: time.Hour})
+	h.add("login", 1000, 0)
+	h.add("profile", 500, 500)
+	h.add("account_summary", 900, 100)
+	h.clk.advance(time.Second)
+	rep := h.eng.Evaluate()
+	want := []string{"profile", "account_summary", "login"}
+	for i, w := range want {
+		if rep.Types[i].Type != w {
+			t.Fatalf("breakdown order %v, want %v", rep.Types, want)
+		}
+	}
+}
+
+// TestCounterResetClamps: a cumulative counter going backwards (server
+// restart) reads as zero delta, not underflow.
+func TestCounterResetClamps(t *testing.T) {
+	h := newHarness(Config{FastWindow: time.Minute, SlowWindow: time.Hour})
+	h.add("login", 1000, 50)
+	h.clk.advance(time.Second)
+	h.eng.Evaluate()
+	h.mu.Lock()
+	h.counts["login"] = Counts{Good: 10, Total: 10}
+	h.mu.Unlock()
+	h.clk.advance(time.Second)
+	rep := h.eng.Evaluate()
+	if rep.FastBurn != 0 || rep.State != StateOK {
+		t.Fatalf("reset produced burn %v state %q, want 0/ok", rep.FastBurn, rep.State)
+	}
+}
+
+// TestConcurrentEvaluate: scrapes from many goroutines while counts
+// move — the -race CI leg turns any history race into a failure.
+func TestConcurrentEvaluate(t *testing.T) {
+	h := newHarness(Config{FastWindow: time.Minute, SlowWindow: time.Hour, MaxPoints: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.add("login", 10, 1)
+				h.eng.Evaluate()
+			}
+		}()
+	}
+	wg.Wait()
+	rep := h.eng.Evaluate()
+	if len(rep.Types) != 1 || rep.Types[0].Type != "login" {
+		t.Fatalf("breakdown = %+v, want single login row", rep.Types)
+	}
+}

@@ -17,6 +17,11 @@ type Histogram struct {
 	inf    atomic.Uint64
 	total  atomic.Uint64
 	sum    atomic.Uint64 // sum of observations, truncated to integer units
+	// Per-bucket exemplars (DESIGN.md §15): the trace ID of the latest
+	// observation that landed in each bucket (index len(bounds) is the
+	// +Inf bucket), linking /metrics buckets to /v1/debug/flight
+	// records. Only ObserveEx writes them.
+	exemplars []atomic.Uint64
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -32,8 +37,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
 	}
 }
 
@@ -56,6 +62,44 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(uint64(v))
 }
 
+// ObserveEx records one value and stamps its trace ID as the bucket's
+// exemplar. The exemplar is a plain last-writer-wins atomic — a scrape
+// racing an observation may pair a fresh ID with a not-yet-bumped
+// count, which exemplar semantics permit (it only needs to name *a*
+// recent observation in the bucket).
+func (h *Histogram) ObserveEx(v float64, traceID uint64) {
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	if traceID != 0 {
+		h.exemplars[i].Store(traceID)
+	}
+	h.total.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// CountAtOrBelow reports how many observations were <= v, resolved at
+// bucket granularity: only whole buckets whose upper bound is <= v are
+// counted, so the answer never overstates (the SLO health engine wants
+// a conservative "good" count).
+func (h *Histogram) CountAtOrBelow(v float64) uint64 {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if i < len(h.bounds) && h.bounds[i] == v {
+		i++
+	}
+	var cum uint64
+	for j := 0; j < i; j++ {
+		cum += h.counts[j].Load()
+	}
+	return cum
+}
+
 // HistogramSnapshot is a consistent-enough copy of a histogram for
 // export: cumulative counts per bound plus the +Inf total, following the
 // Prometheus text format's `le` convention. (Counts are read without a
@@ -66,14 +110,18 @@ type HistogramSnapshot struct {
 	Counts []uint64  // cumulative count of observations <= Bounds[i]
 	Count  uint64    // total observations (the +Inf cumulative count)
 	Sum    float64   // sum of observed values (integer-truncated units)
+	// Exemplars holds the latest trace ID per bucket (index len(Bounds)
+	// is +Inf); zero means the bucket has no exemplar.
+	Exemplars []uint64
 }
 
 // Snapshot exports the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]uint64, len(h.bounds)),
-		Sum:    float64(h.sum.Load()),
+		Bounds:    h.bounds,
+		Counts:    make([]uint64, len(h.bounds)),
+		Sum:       float64(h.sum.Load()),
+		Exemplars: make([]uint64, len(h.bounds)+1),
 	}
 	var cum uint64
 	for i := range h.counts {
@@ -81,6 +129,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = cum
 	}
 	s.Count = cum + h.inf.Load()
+	for i := range h.exemplars {
+		s.Exemplars[i] = h.exemplars[i].Load()
+	}
 	return s
 }
 

@@ -88,3 +88,41 @@ func TestPowersOfTwoBuckets(t *testing.T) {
 		t.Fatalf("PowersOfTwoBuckets(0) = %v", got)
 	}
 }
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.ObserveEx(5, 41)
+	h.ObserveEx(7, 42)   // same bucket: last writer wins
+	h.ObserveEx(50, 43)  // second bucket
+	h.ObserveEx(500, 44) // +Inf bucket
+	h.Observe(3)         // plain Observe leaves exemplars alone
+	h.ObserveEx(60, 0)   // zero trace ID is "no exemplar", not an overwrite
+	s := h.Snapshot()
+	if want := []uint64{42, 43, 44}; !reflect.DeepEqual(s.Exemplars, want) {
+		t.Fatalf("Exemplars = %v, want %v", s.Exemplars, want)
+	}
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6 (ObserveEx counts like Observe)", s.Count)
+	}
+}
+
+func TestHistogramCountAtOrBelow(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 10, 50, 200, 5000} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		v    float64
+		want uint64
+	}{
+		{10, 3},   // exact bucket edge includes the bucket
+		{100, 4},  // 200 sits past the 100 bound
+		{99, 3},   // mid-bucket resolves conservatively to whole buckets
+		{1000, 5}, // 5000 is +Inf
+		{5, 0},    // below the first bound: no whole bucket qualifies
+	} {
+		if got := h.CountAtOrBelow(tc.v); got != tc.want {
+			t.Fatalf("CountAtOrBelow(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,13 +1,17 @@
 package rhythm
 
 import (
+	"bytes"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rhythm/internal/banking"
+	"rhythm/internal/flight"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
+	"rhythm/internal/obs/health"
 	"rhythm/internal/rcache"
 	"rhythm/internal/simt"
 	"rhythm/internal/stats"
@@ -16,8 +20,10 @@ import (
 // StatsSchemaVersion is the "schema_version" both stats documents carry.
 // Version 2 added the versioned /v1 control-plane paths, the adaptive
 // controller section ("adapt"), host-fallback counters, and per-type
-// early-launch counts (DESIGN.md §12).
-const StatsSchemaVersion = 2
+// early-launch counts (DESIGN.md §12). Version 3 added the flight
+// recorder counters and the /v1/debug/flight and /v1/health endpoints
+// (DESIGN.md §15).
+const StatsSchemaVersion = 3
 
 // The versioned control-plane paths. The unversioned legacy paths
 // (/rhythm-stats, /metrics, /rhythm-trace) remain as aliases.
@@ -25,6 +31,12 @@ const (
 	StatsPathV1   = "/v1/stats"
 	MetricsPathV1 = "/v1/metrics"
 	TracePathV1   = "/v1/trace"
+	// FlightPathV1 exports the flight recorder's anomaly ring
+	// (DESIGN.md §15): JSON by default, ?format=chrome for a
+	// Perfetto-loadable trace of the anomalies, ?n=K for the last K.
+	FlightPathV1 = "/v1/debug/flight"
+	// HealthPathV1 reports the SLO burn-rate health verdict.
+	HealthPathV1 = "/v1/health"
 )
 
 // MetricsPath is the Prometheus text-format endpoint both TCP servers
@@ -39,6 +51,119 @@ const TracePath = "/rhythm-trace"
 
 // maxTraceCaptureSecs bounds the blocking capture window.
 const maxTraceCaptureSecs = 60
+
+// defaultHealthSLO classifies "good" requests for /v1/health when the
+// server runs without an explicit SLO target.
+const defaultHealthSLO = 250 * time.Millisecond
+
+// tooManyCapturesResponse answers a ?secs=N capture that raced another
+// in-flight capture window: 429, keep-alive, so the client can retry
+// once the running capture drains (DESIGN.md §15).
+func tooManyCapturesResponse() []byte {
+	body := "429 a capture window is already running\n"
+	return []byte("HTTP/1.1 429 Too Many Requests\r\nContent-Type: text/plain\r\nRetry-After: 1\r\nConnection: keep-alive\r\nContent-Length: " +
+		strconv.Itoa(len(body)) + "\r\n\r\n" + body)
+}
+
+// spliceTraceHeader rebuilds resp with an "X-Rhythm-Trace: <id>" header
+// inserted after the status line, assembling into buf (reused across a
+// connection's requests, so the steady state allocates nothing). The
+// header is added at write time, never into rendered or cached bytes,
+// keeping the host and cohort response bodies byte-identical.
+func spliceTraceHeader(buf, resp []byte, id uint64) []byte {
+	i := bytes.IndexByte(resp, '\n')
+	if i < 0 {
+		return append(buf[:0], resp...)
+	}
+	buf = append(buf[:0], resp[:i+1]...)
+	buf = append(buf, "X-Rhythm-Trace: "...)
+	buf = strconv.AppendUint(buf, id, 10)
+	buf = append(buf, '\r', '\n')
+	return append(buf, resp[i+1:]...)
+}
+
+// flightResponse renders the /v1/debug/flight document for either
+// serving mode. The endpoint is snapshot-only — it never blocks or
+// resets the ring, so concurrent reads need no capture guard.
+func flightResponse(req *httpx.Request, rec *flight.Recorder) []byte {
+	n := 0
+	if v := req.Param("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			return errorResponse(400, "Bad Request")
+		}
+		n = parsed
+	}
+	snap := rec.Snapshot(n)
+	switch req.Param("format") {
+	case "", "json":
+		return bodyResponse("application/json", snap.JSON())
+	case "chrome":
+		return bodyResponse("application/json", snap.Chrome())
+	}
+	return errorResponse(400, "Bad Request")
+}
+
+// healthExemplar is one anomaly pointer in the /v1/health document —
+// enough to jump straight to the flight record.
+type healthExemplar struct {
+	TraceID   uint64  `json:"trace_id"`
+	Type      string  `json:"type"`
+	Reason    string  `json:"reason"`
+	LatencyUs float64 `json:"latency_us"`
+	Device    int     `json:"device"`
+}
+
+// healthDocument is the /v1/health payload: the burn-rate report plus
+// the most recent flight anomalies as jump-off exemplars.
+type healthDocument struct {
+	health.Report
+	SchemaVersion   int              `json:"schema_version"`
+	FlightAnomalies uint64           `json:"flight_anomalies"`
+	Exemplars       []healthExemplar `json:"exemplars"`
+}
+
+// healthResponse evaluates the burn-rate engine and joins in the top
+// flight exemplars (newest first).
+func healthResponse(eng *health.Engine, rec *flight.Recorder) []byte {
+	doc := healthDocument{
+		Report:        eng.Evaluate(),
+		SchemaVersion: StatsSchemaVersion,
+	}
+	snap := rec.Snapshot(5)
+	doc.FlightAnomalies = snap.Promoted
+	doc.Exemplars = make([]healthExemplar, 0, len(snap.Records))
+	for i := len(snap.Records) - 1; i >= 0; i-- {
+		r := snap.Records[i]
+		doc.Exemplars = append(doc.Exemplars, healthExemplar{
+			TraceID:   r.TraceID,
+			Type:      r.Type,
+			Reason:    r.Reason.String(),
+			LatencyUs: float64(r.Latency) / 1e3,
+			Device:    r.Device,
+		})
+	}
+	return jsonResponse(doc)
+}
+
+// sloCounts builds the health engine's cumulative per-type good/total
+// counts: good = latency observations at or under the SLO (whole-bucket
+// resolution, conservative), total = all observations plus the bad
+// events that never reach the latency histograms (sheds, deadline
+// misses, kernel errors). extraBad may be nil (host mode).
+func sloCounts(names []string, hists []*stats.Histogram, sloNs float64, extraBad []atomic.Uint64) map[string]health.Counts {
+	out := make(map[string]health.Counts, len(hists))
+	for i, h := range hists {
+		c := health.Counts{Good: h.CountAtOrBelow(sloNs), Total: h.Count()}
+		if extraBad != nil {
+			c.Total += extraBad[i].Load()
+		}
+		if c.Total > 0 {
+			out[names[i]] = c
+		}
+	}
+	return out
+}
 
 // bodyResponse wraps a prebuilt body in a 200 keep-alive response.
 func bodyResponse(contentType string, body []byte) []byte {
@@ -143,16 +268,63 @@ func newLatencyHistograms(n int) []*stats.Histogram {
 }
 
 // writeLatencyFamilies emits the per-type request latency histograms
-// (seconds) for every type that has observations.
+// (seconds) for every type that has observations, then the exemplar
+// family linking each populated bucket to its latest trace ID — the
+// metric→trace join /v1/debug/flight resolves (DESIGN.md §15). The
+// exemplars are a separate plain family (not OpenMetrics `# {...}`
+// suffixes) so every line stays `name{labels} value` parseable.
 func writeLatencyFamilies(w *obs.PromWriter, names []string, hists []*stats.Histogram) {
+	snaps := make([]stats.HistogramSnapshot, len(hists))
+	for i, h := range hists {
+		snaps[i] = h.Snapshot()
+	}
 	w.Family("rhythm_request_latency_seconds", "histogram",
 		"End-to-end request latency by request type.")
-	for i, h := range hists {
-		if h.Count() == 0 {
+	for i := range snaps {
+		if snaps[i].Count == 0 {
 			continue
 		}
-		w.Histogram("rhythm_request_latency_seconds", obs.Label("type", names[i]), h.Snapshot(), 1e-9)
+		w.Histogram("rhythm_request_latency_seconds", obs.Label("type", names[i]), snaps[i], 1e-9)
 	}
+	w.Family("rhythm_request_latency_exemplar_trace_id", "gauge",
+		"Trace ID of the latest observation per latency bucket (0 = none yet); join against /v1/debug/flight.")
+	for i := range snaps {
+		s := &snaps[i]
+		if s.Count == 0 {
+			continue
+		}
+		// Every bucket of an active type is emitted, zero or not, so the
+		// scrape's row count depends only on which types saw traffic (the
+		// alloc gate needs a deterministic document shape).
+		for j, id := range s.Exemplars {
+			le := "+Inf"
+			if j < len(s.Bounds) {
+				le = strconv.FormatFloat(s.Bounds[j]*1e-9, 'g', -1, 64)
+			}
+			w.Value("rhythm_request_latency_exemplar_trace_id",
+				obs.Label("type", names[i])+`,le="`+le+`"`, float64(id))
+		}
+	}
+}
+
+// writeFlightFamilies emits the flight recorder's promotion accounting.
+func writeFlightFamilies(w *obs.PromWriter, rec *flight.Recorder) {
+	snap := rec.Snapshot(0)
+	w.Family("rhythm_flight_requests_total", "counter", "Requests finished through the flight recorder.")
+	w.Value("rhythm_flight_requests_total", "", float64(snap.Total))
+	w.Family("rhythm_flight_anomalies_total", "counter", "Requests promoted into the flight anomaly ring.")
+	w.Value("rhythm_flight_anomalies_total", "", float64(snap.Promoted))
+	w.Family("rhythm_flight_anomalies_by_reason_total", "counter", "Promoted flight records by promotion reason.")
+	reasons := make([]string, 0, len(snap.ByReason))
+	for reason := range snap.ByReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		w.Value("rhythm_flight_anomalies_by_reason_total", obs.Label("reason", reason), float64(snap.ByReason[reason]))
+	}
+	w.Family("rhythm_flight_slow_threshold_seconds", "gauge", "Current slow-promotion threshold (adaptive p99 bucket edge unless pinned).")
+	w.Value("rhythm_flight_slow_threshold_seconds", "", float64(snap.ThreshNs)/1e9)
 }
 
 // writeClusterFamilies emits the device-pool view: per-device gauges

@@ -276,7 +276,7 @@ func TestObservabilityConcurrentScrape(t *testing.T) {
 				}
 			}(addr, uids[i], pws[i])
 		}
-		for _, path := range []string{StatsPath, MetricsPath, TracePath} {
+		for _, path := range []string{StatsPath, MetricsPath, TracePath, FlightPathV1, HealthPathV1} {
 			wg.Add(1)
 			go func(addr net.Addr, path string) {
 				defer wg.Done()

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"rhythm/internal/cluster"
+	"rhythm/internal/flight"
+	"rhythm/internal/obs/health"
 )
 
 // Server is a live Rhythm TCP server, independent of execution mode.
@@ -154,6 +156,32 @@ func WithRenderCache(entries int) Option {
 	return func(c *serverConfig) { c.cohort.RenderCache = entries }
 }
 
+// WithFlightRecorder tunes the always-on tail-latency flight recorder
+// (DESIGN.md §15; both modes): ring bounds the promoted-anomaly ring
+// (0 = 256), and slow sets an explicit slow-promotion latency threshold
+// (0 keeps the adaptive p99 estimate). The recorder itself cannot be
+// disabled — its fast path is allocation-free and its cost is gated in
+// CI at under 2%.
+func WithFlightRecorder(ring int, slow time.Duration) Option {
+	return func(c *serverConfig) {
+		c.cohort.FlightRing = ring
+		c.cohort.FlightSlow = slow
+	}
+}
+
+// WithHealthSLO tunes the /v1/health burn-rate engine (DESIGN.md §15;
+// both modes): objective is the target good fraction (0 = 0.99), and
+// fast/slow are the burn evaluation windows (0 = 5m and 1h). The
+// latency target requests are classified against is the WithSLO target
+// when set, else 250ms.
+func WithHealthSLO(objective float64, fast, slow time.Duration) Option {
+	return func(c *serverConfig) {
+		c.cohort.HealthObjective = objective
+		c.cohort.HealthFastWindow = fast
+		c.cohort.HealthSlowWindow = slow
+	}
+}
+
 // New builds a live banking server bound to addr (use ":0" for an
 // ephemeral port) and returns it behind the Server interface. By
 // default it serves through the cohort pipeline on modeled SIMT
@@ -173,6 +201,18 @@ func New(addr string, opts ...Option) (Server, error) {
 		srv := NewTCPServer(maxSessions)
 		if cfg.cohort.RenderCache > 0 {
 			srv.EnableRenderCache(cfg.cohort.RenderCache)
+		}
+		if cfg.cohort.FlightRing != 0 || cfg.cohort.FlightSlow != 0 {
+			srv.ConfigureFlight(flight.Config{Ring: cfg.cohort.FlightRing, Slow: cfg.cohort.FlightSlow})
+		}
+		if cfg.cohort.HealthObjective != 0 || cfg.cohort.HealthFastWindow != 0 ||
+			cfg.cohort.HealthSlowWindow != 0 || cfg.cohort.SLO != 0 {
+			srv.ConfigureHealth(health.Config{
+				Objective:  cfg.cohort.HealthObjective,
+				SLO:        cfg.cohort.SLO,
+				FastWindow: cfg.cohort.HealthFastWindow,
+				SlowWindow: cfg.cohort.HealthSlowWindow,
+			})
 		}
 		if err := srv.Listen(addr); err != nil {
 			return nil, err

@@ -12,8 +12,10 @@ import (
 
 	"rhythm/internal/backend"
 	"rhythm/internal/banking"
+	"rhythm/internal/flight"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
+	"rhythm/internal/obs/health"
 	"rhythm/internal/rcache"
 	"rhythm/internal/session"
 	"rhythm/internal/stats"
@@ -42,6 +44,14 @@ type TCPServer struct {
 	latHist    []*stats.Histogram
 	tracer     *obs.Recorder
 
+	// flight is the always-on tail-latency recorder behind
+	// /v1/debug/flight, and hEngine the SLO burn-rate engine behind
+	// /v1/health (DESIGN.md §15). captureBusy serializes blocking
+	// ?secs=N trace captures (concurrent captures answer 429).
+	flight      *flight.Recorder
+	hEngine     *health.Engine
+	captureBusy atomic.Bool
+
 	// cache, when non-nil, is the whole-page render cache; hits bypass
 	// the banking lock, execution, and tracing entirely.
 	cache *rcache.Cache
@@ -61,13 +71,38 @@ func NewTCPServer(maxSessions int) *TCPServer {
 	if maxSessions < 256 {
 		maxSessions = 256
 	}
-	return &TCPServer{
+	s := &TCPServer{
 		db:         backend.New(),
 		sessions:   session.NewArray(256, maxSessions/256*4+4),
 		typeCounts: make([]atomic.Uint64, banking.NumTypes),
 		latHist:    newLatencyHistograms(int(banking.NumTypes)),
 		tracer:     obs.NewRecorder(0),
+		flight:     flight.New(flight.Config{}),
 	}
+	s.hEngine = s.newHealthEngine(health.Config{})
+	return s
+}
+
+// ConfigureFlight replaces the flight recorder with one built from cfg.
+// Call before Serve.
+func (s *TCPServer) ConfigureFlight(cfg flight.Config) { s.flight = flight.New(cfg) }
+
+// ConfigureHealth rebuilds the SLO burn-rate engine from cfg. Call
+// before Serve.
+func (s *TCPServer) ConfigureHealth(cfg health.Config) { s.hEngine = s.newHealthEngine(cfg) }
+
+// newHealthEngine wires a burn-rate engine to this server's latency
+// histograms. Host mode has no shed or deadline paths, so the counts
+// are purely latency-classified.
+func (s *TCPServer) newHealthEngine(cfg health.Config) *health.Engine {
+	if cfg.SLO <= 0 {
+		cfg.SLO = defaultHealthSLO
+	}
+	names := typeNames()
+	sloNs := float64(cfg.SLO)
+	return health.New(cfg, func() map[string]health.Counts {
+		return sloCounts(names, s.latHist, sloNs, nil)
+	})
 }
 
 // Seed creates a user with a deterministic password and returns
@@ -158,6 +193,13 @@ type connArena struct {
 	req     httpx.Request
 	scratch *banking.Scratch
 	out     []byte
+	// frec is the connection's flight-record scratch: filled per banking
+	// request and either recycled (fast path) or copied into the anomaly
+	// ring by Finish (DESIGN.md §15). wbuf is the reusable write buffer
+	// the X-Rhythm-Trace header is spliced into, so cached/rendered
+	// response bytes are never mutated.
+	frec flight.Record
+	wbuf []byte
 }
 
 func newConnArena() *connArena {
@@ -187,13 +229,25 @@ func (s *TCPServer) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp, tr := s.respond(a, raw)
+		resp, tr, id := s.respond(a, raw)
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		wstart := time.Now()
-		_, werr := conn.Write(resp)
+		wout := resp
+		if id != 0 {
+			a.wbuf = spliceTraceHeader(a.wbuf, resp, id)
+			wout = a.wbuf
+		}
+		_, werr := conn.Write(wout)
 		if tr != nil {
 			tr.Spans = append(tr.Spans, obs.Span{Name: "write", Start: wstart, Dur: time.Since(wstart)})
 			s.tracer.Add(*tr)
+		}
+		if id != 0 {
+			if tr != nil {
+				a.frec.Spans = tr.Spans
+			}
+			a.frec.Latency = time.Since(a.frec.Start)
+			s.flight.Finish(&a.frec)
 		}
 		if werr != nil {
 			return
@@ -208,32 +262,45 @@ func (s *TCPServer) handle(conn net.Conn) {
 // the execution, and tracing entirely — its only allocation is the
 // parse's raw-to-string conversion. For executed banking requests it
 // also returns the request's lifecycle trace (minus the write span,
-// which the caller appends before committing).
-func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace) {
+// which the caller appends before committing) and the request's flight
+// trace ID (non-zero means a.frec is armed and the caller must Finish
+// it after the write).
+func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace, uint64) {
 	s.served.Add(1)
 	start := time.Now()
 	req := &a.req
 	if err := httpx.ParseInto(raw, req); err != nil {
 		s.errors.Add(1)
-		return errorResponse(400, "Bad Request"), nil
+		return errorResponse(400, "Bad Request"), nil, 0
 	}
 	switch req.Path {
 	case StatsPath, StatsPathV1:
-		return jsonResponse(s.statsDocument()), nil
+		return jsonResponse(s.statsDocument()), nil, 0
 	case MetricsPath, MetricsPathV1:
-		return s.metricsResponse(), nil
+		return s.metricsResponse(), nil, 0
 	case TracePath, TracePathV1:
-		return s.traceResponse(req), nil
+		return s.traceResponse(req), nil, 0
+	case FlightPathV1:
+		return flightResponse(req, s.flight), nil, 0
+	case HealthPathV1:
+		return healthResponse(s.hEngine, s.flight), nil, 0
 	}
 	t, ok := banking.ByPath(req.Path)
 	if !ok {
 		if resp, ok := banking.ImageResponse(req.Path); ok {
-			return resp, nil
+			return resp, nil, 0
 		}
 		s.errors.Add(1)
-		return errorResponse(404, "Not Found"), nil
+		return errorResponse(404, "Not Found"), nil, 0
 	}
 	s.typeCounts[t].Add(1)
+	id := s.flight.NextID()
+	a.frec.Reset()
+	a.frec.TraceID = id
+	a.frec.Type = t.String()
+	a.frec.Start = start
+	a.frec.HostExec = true
+	a.frec.Attempts = 1
 	classified := time.Now()
 
 	// Render-cache lookup. The state version is captured BEFORE the
@@ -251,8 +318,8 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 				cacheable, csid, cuid = true, sid, uid
 				cver = s.cache.Version(cuid)
 				if resp, hit := s.cache.Get(t, csid, cuid, cver, req); hit {
-					s.latHist[t].Observe(float64(time.Since(start)))
-					return resp, nil
+					s.latHist[t].ObserveEx(float64(time.Since(start)), id)
+					return resp, nil, id
 				}
 			}
 		}
@@ -264,13 +331,14 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 	executed := time.Now()
 	if ctx.Err != "" {
 		s.errors.Add(1)
+		a.frec.Status = flight.StatusError
 	}
 	resp := banking.Render(ctx, a.out[:ctx.Spec.BufferBytes()])
 	rendered := time.Now()
 	if cacheable && ctx.Err == "" {
 		s.cache.Put(t, csid, cuid, cver, req, resp)
 	}
-	s.latHist[t].Observe(float64(rendered.Sub(start)))
+	s.latHist[t].ObserveEx(float64(rendered.Sub(start)), id)
 	return resp, &obs.RequestTrace{
 		Type: t.String(),
 		Spans: []obs.Span{
@@ -278,16 +346,18 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 			{Name: "execute", Start: classified, Dur: executed.Sub(classified)},
 			{Name: "render", Start: executed, Dur: rendered.Sub(executed)},
 		},
-	}
+	}, id
 }
 
 // statsDocument builds the host-mode /v1/stats payload.
 func (s *TCPServer) statsDocument() HostStats {
 	st := HostStats{
-		SchemaVersion: StatsSchemaVersion,
-		Mode:          "host",
-		Served:        s.served.Load(),
-		Errors:        s.errors.Load(),
+		SchemaVersion:   StatsSchemaVersion,
+		Mode:            "host",
+		Served:          s.served.Load(),
+		Errors:          s.errors.Load(),
+		FlightRequests:  s.flight.Total(),
+		FlightAnomalies: s.flight.Promoted(),
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -323,6 +393,7 @@ func (s *TCPServer) metricsResponse() []byte {
 	}
 	w.Family("rhythm_traces_recorded_total", "counter", "Request traces captured by the lifecycle recorder.")
 	w.Value("rhythm_traces_recorded_total", "", float64(s.tracer.Total()))
+	writeFlightFamilies(w, s.flight)
 	return bodyResponse(promContentType, w.Bytes())
 }
 
@@ -337,6 +408,13 @@ func (s *TCPServer) traceResponse(req *httpx.Request) []byte {
 	var since time.Time
 	wait := secs > 0
 	if wait {
+		// One blocking capture at a time: each holds its connection's
+		// handler goroutine for secs seconds, so unbounded concurrent
+		// captures would pile up goroutines (DESIGN.md §15).
+		if !s.captureBusy.CompareAndSwap(false, true) {
+			return tooManyCapturesResponse()
+		}
+		defer s.captureBusy.Store(false)
 		since = time.Now()
 		time.Sleep(time.Duration(secs) * time.Second)
 	}
@@ -355,6 +433,9 @@ type HostStats struct {
 	CacheMisses        uint64 `json:"cache_misses"`
 	CacheInvalidations uint64 `json:"cache_invalidations"`
 	CacheEntries       uint64 `json:"cache_entries"`
+	// Flight-recorder counters (DESIGN.md §15).
+	FlightRequests  uint64 `json:"flight_requests"`
+	FlightAnomalies uint64 `json:"flight_anomalies"`
 }
 
 func errorResponse(code int, reason string) []byte {
