@@ -17,8 +17,9 @@ ADAPT_ADDR=127.0.0.1:18604
 CACHEH_ADDR=127.0.0.1:18605
 CACHEC_ADDR=127.0.0.1:18606
 FLIGHT_ADDR=127.0.0.1:18607
+MIX_ADDR=127.0.0.1:18608
 WORK=$(mktemp -d)
-trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID $FLIGHT_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID $FLIGHT_PID $MIX_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 
 if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/rhythmd
@@ -70,6 +71,14 @@ CACHEC_PID=$!
     -devices 4 -fault-plan "$WORK/faults.json" -flight-slow 1ms \
     >"$WORK/flight.log" 2>&1 &
 FLIGHT_PID=$!
+# Mixed-workload leg: all three registered workloads (banking, ecom,
+# streaming telemetry) on one 4-device cohort cluster. Each workload's
+# pages must be byte-identical to the scalar host path, the versioned
+# stats must namespace types by workload, and the telemetry fan-out
+# must deliver every published frame to every subscriber in order.
+"$BIN" -cohort -addr "$MIX_ADDR" -cohort-size 8 -formation-timeout 2ms \
+    -devices 4 -workloads banking,ecom,telemetry >"$WORK/mix.log" 2>&1 &
+MIX_PID=$!
 
 wait_ready() {
     for _ in $(seq 1 50); do
@@ -87,6 +96,7 @@ wait_ready "$ADAPT_ADDR"
 wait_ready "$CACHEH_ADDR"
 wait_ready "$CACHEC_ADDR"
 wait_ready "$FLIGHT_ADDR"
+wait_ready "$MIX_ADDR"
 
 # Demo credentials are deterministic; both modes print the same list.
 CRED=$(grep -m1 '^  userid=' "$WORK/host.log")
@@ -108,6 +118,38 @@ drive cohort "$COHORT_ADDR"
 drive cluster "$CLUSTER_ADDR"
 drive adapt "$ADAPT_ADDR"
 drive flight "$FLIGHT_ADDR"
+drive mix "$MIX_ADDR"
+
+# drive_ecom <name> <addr>: the e-commerce catalog pages plus a
+# cart -> checkout session (the cart POST mints the EC_ID cookie).
+drive_ecom() {
+    local name=$1 addr=$2 jar="$WORK/$1.ecom.jar"
+    curl -sf -o "$WORK/$name.ec_index" "http://$addr/index.php"
+    curl -sf -o "$WORK/$name.ec_browse" "http://$addr/browse.php?cat=books"
+    curl -sf -o "$WORK/$name.ec_search" "http://$addr/search.php?q=lamp"
+    curl -sf -o "$WORK/$name.ec_product" "http://$addr/product.php?id=4242"
+    curl -sf -c "$jar" -d "uid=9001&id=4242&qty=2" \
+        -o "$WORK/$name.ec_cart" "http://$addr/cart.php"
+    curl -sf -b "$jar" -d "" -o "$WORK/$name.ec_checkout" "http://$addr/checkout.php"
+}
+# drive_telemetry <name> <addr>: two subscribers on one device stream,
+# three published frames, then both cursors drained plus the status
+# page. Cookie-less: the device id is the affinity key.
+drive_telemetry() {
+    local name=$1 addr=$2 f
+    curl -sf -o "$WORK/$name.t_sub1" "http://$addr/t/subscribe?dev=42&sub=1"
+    curl -sf -o "$WORK/$name.t_sub2" "http://$addr/t/subscribe?dev=42&sub=2"
+    for f in 00aa 00ab 00ac; do
+        curl -sf -d "dev=42&f=$f" -o "$WORK/$name.t_ingest_$f" "http://$addr/t/ingest"
+    done
+    curl -sf -o "$WORK/$name.t_poll1" "http://$addr/t/poll?dev=42&sub=1"
+    curl -sf -o "$WORK/$name.t_poll2" "http://$addr/t/poll?dev=42&sub=2"
+    curl -sf -o "$WORK/$name.t_status" "http://$addr/t/status?dev=42"
+}
+drive_ecom host "$HOST_ADDR"
+drive_ecom mix "$MIX_ADDR"
+drive_telemetry host "$HOST_ADDR"
+drive_telemetry mix "$MIX_ADDR"
 
 # drive_twice <name> <addr>: like drive, but browse the authenticated
 # pages twice before logging out. Against a -render-cache server the
@@ -132,7 +174,7 @@ drive_twice cachec "$CACHEC_ADDR"
 # cluster leg loses its device mid-session, so identity there also
 # proves the failover/idempotency contract end to end.
 for page in login summary profile logout; do
-    for mode in cohort cluster adapt flight; do
+    for mode in cohort cluster adapt flight mix; do
         if ! diff -q "$WORK/host.$page" "$WORK/$mode.$page"; then
             echo "e2e-smoke: $page body differs between host and $mode mode" >&2
             diff "$WORK/host.$page" "$WORK/$mode.$page" | head -20 >&2 || true
@@ -144,6 +186,40 @@ grep -q "Account Summary" "$WORK/host.summary" || {
     echo "e2e-smoke: summary page missing expected content" >&2
     exit 1
 }
+
+# Per-workload byte identity on the mixed 4-device leg: every ecom and
+# telemetry page the SIMT cohort path rendered must match the scalar
+# host path exactly, same as the banking pages above.
+for page in ec_index ec_browse ec_search ec_product ec_cart ec_checkout \
+    t_sub1 t_sub2 t_ingest_00aa t_ingest_00ab t_ingest_00ac \
+    t_poll1 t_poll2 t_status; do
+    if ! diff -q "$WORK/host.$page" "$WORK/mix.$page"; then
+        echo "e2e-smoke: $page body differs between host and mixed-workload mode" >&2
+        diff "$WORK/host.$page" "$WORK/mix.$page" | head -20 >&2 || true
+        exit 1
+    fi
+done
+grep -q "Thank you for your order" "$WORK/host.ec_checkout" || {
+    echo "e2e-smoke: checkout page missing order confirmation" >&2
+    head -5 "$WORK/host.ec_checkout" >&2
+    exit 1
+}
+# Telemetry fan-out: both subscribers must have drained all three
+# published frames, in sequence order, with nothing lost to the ring.
+for poll in t_poll1 t_poll2; do
+    grep -q 'lost=0' "$WORK/mix.$poll" || {
+        echo "e2e-smoke: telemetry $poll reports lost frames" >&2
+        head -5 "$WORK/mix.$poll" >&2
+        exit 1
+    }
+    for frame in '0:00aa' '1:00ab' '2:00ac'; do
+        grep -Eq "^ *$frame" "$WORK/mix.$poll" || {
+            echo "e2e-smoke: telemetry $poll missing frame $frame" >&2
+            head -10 "$WORK/mix.$poll" >&2
+            exit 1
+        }
+    done
+done
 
 # Render-cache legs: every page of both passes must be byte-identical
 # to the uncached host path (a cache hit may not be distinguishable
@@ -196,6 +272,20 @@ echo "$CSTATS" | grep -Eq '"failovers": [1-9]' || {
     exit 1
 }
 
+# Mixed-workload stats: the v4 schema namespaces per-type sections by
+# workload — the document lists the registered workloads and qualifies
+# every non-banking type label ("ecom/browse"), with banking's bare
+# labels kept as legacy aliases.
+MIXSTATS=$(curl -sf "http://$MIX_ADDR/v1/stats")
+for needle in '"schema_version": 4' '"workloads"' '"banking"' '"ecom"' '"telemetry"' \
+    '"ecom/cart_add"' '"telemetry/poll"' '"login"'; do
+    echo "$MIXSTATS" | grep -q "$needle" || {
+        echo "e2e-smoke: mixed-workload /v1/stats missing $needle" >&2
+        echo "$MIXSTATS" | head -40 >&2
+        exit 1
+    }
+done
+
 # check_metrics <name> <addr> <family...>: scrape /metrics, assert it is
 # parseable Prometheus text format and every listed family is declared.
 check_metrics() {
@@ -243,7 +333,21 @@ check_metrics cachec "$CACHEC_ADDR" \
     rhythm_build_info rhythm_requests_served_total rhythm_cohorts_total \
     rhythm_render_cache_hits_total rhythm_render_cache_misses_total \
     rhythm_render_cache_entries
-grep -q 'rhythm_request_latency_seconds_bucket{type="login",le="' "$WORK/cohort.metrics" || {
+check_metrics mix "$MIX_ADDR" \
+    rhythm_build_info rhythm_requests_served_total rhythm_requests_total \
+    rhythm_cohorts_total rhythm_cluster_device_up
+# Every per-type family must carry the workload label, qualified
+# display names for the non-banking workloads included.
+for needle in 'rhythm_requests_total{workload="banking",type="login"}' \
+    'rhythm_requests_total{workload="ecom",type="ecom/' \
+    'rhythm_requests_total{workload="telemetry",type="telemetry/'; do
+    grep -q "$needle" "$WORK/mix.metrics" || {
+        echo "e2e-smoke: mixed-workload /metrics missing $needle" >&2
+        grep '^rhythm_requests_total' "$WORK/mix.metrics" >&2 || true
+        exit 1
+    }
+done
+grep -q 'rhythm_request_latency_seconds_bucket{workload="banking",type="login",le="' "$WORK/cohort.metrics" || {
     echo "e2e-smoke: cohort /metrics missing per-type latency buckets" >&2
     exit 1
 }
@@ -276,8 +380,8 @@ fetch() {
     return 1
 }
 ASTATS=$(fetch "http://$ADAPT_ADDR/v1/stats")
-echo "$ASTATS" | grep -q '"schema_version": 3' || {
-    echo "e2e-smoke: /v1/stats missing schema_version 3: $ASTATS" >&2
+echo "$ASTATS" | grep -q '"schema_version": 4' || {
+    echo "e2e-smoke: /v1/stats missing schema_version 4: $ASTATS" >&2
     exit 1
 }
 echo "$ASTATS" | grep -q '"adapt"' || {
@@ -296,7 +400,7 @@ echo "$ASTATS" | grep -Eq '"host_fallbacks": [1-9]' || {
 # a variable: piping curl straight into grep -q trips pipefail when
 # grep exits at the first match).
 LSTATS=$(fetch "http://$ADAPT_ADDR/rhythm-stats")
-echo "$LSTATS" | grep -q '"schema_version": 3' || {
+echo "$LSTATS" | grep -q '"schema_version": 4' || {
     echo "e2e-smoke: legacy /rhythm-stats alias lost the versioned schema" >&2
     exit 1
 }
@@ -326,7 +430,7 @@ done
 # the launch context the ISSUE promises for tail debugging — including
 # at least one record whose attempt trail shows the injected failover.
 FHEALTH=$(fetch "http://$FLIGHT_ADDR/v1/health")
-for needle in '"schema_version": 3' '"state"' '"fast_burn"' '"slow_burn"' \
+for needle in '"schema_version": 4' '"state"' '"fast_burn"' '"slow_burn"' \
     '"flight_anomalies"' '"exemplars"'; do
     echo "$FHEALTH" | grep -q "$needle" || {
         echo "e2e-smoke: /v1/health missing $needle: $FHEALTH" >&2
@@ -396,4 +500,4 @@ grep -q '"traceEvents"' "$WORK/flight-chrome.json" || {
     exit 1
 }
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, adaptive, and flight-recorder modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, a double-pass replay against -render-cache host+cohort servers with cache hits, and a fault-injected flight leg with promoted anomalies, /v1/health burn rates, and the rhythm-flight CLI; /metrics + /rhythm-trace healthy)"
+echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, adaptive, flight-recorder, and mixed-workload modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, a double-pass replay against -render-cache host+cohort servers with cache hits, a fault-injected flight leg with promoted anomalies, /v1/health burn rates, and the rhythm-flight CLI, and a banking+ecom+telemetry leg on 4 shared devices with per-workload byte identity, workload-labeled metrics, and an exactly-once in-order telemetry fan-out; /metrics + /rhythm-trace healthy)"

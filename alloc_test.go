@@ -85,7 +85,7 @@ func measureAllocs(t *testing.T) map[string]float64 {
 	s := NewTCPServer(4096)
 	s.EnableRenderCache(1 << 12)
 	uid, pw := s.Seed(7001)
-	a := newConnArena()
+	a := newConnArena(s.reg.MaxBufferBytes())
 
 	body := fmt.Sprintf("userid=%d&passwd=%s", uid, pw)
 	login := []byte(fmt.Sprintf("POST /login.php HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body))

@@ -7,7 +7,7 @@
 //
 // Experiments: table1 table2 table3 fig2 fig8 fig9 fig10 scaling
 // resources cohort-sweep parser hyperq cluster-scaling ablations
-// timeout frontend flight all
+// timeout workloads frontend flight all
 //
 // Flags scale the runs; -paper uses the paper's cohort geometry
 // (4096-request cohorts, 8 contexts), which takes several minutes.
@@ -111,6 +111,7 @@ Experiments:
   ablations     padding / transpose / intra-request ablations
   timeout       cohort formation timeout policy sweep
   adaptive      SLO-aware adaptive formation vs fixed timeout (DESIGN.md Sec 12)
+  workloads     mixed banking + ecom + telemetry stream on shared devices (DESIGN.md Sec 16)
   frontend      zero-copy frontend hot path + render cache (DESIGN.md Sec 14)
   flight        flight recorder always-on overhead (DESIGN.md Sec 15)
   all           everything above
@@ -142,6 +143,15 @@ type record struct {
 // BENCH_frontend.json scale regardless of -paper / override flags.
 func frontendCfg(cfg harness.Config) harness.Config {
 	cfg.CPURequestsPerType = 800
+	return cfg
+}
+
+// workloadsCfg pins the mixed-workload study to the committed
+// BENCH_workloads.json geometry (one full telemetry ring per stream)
+// regardless of -paper / override flags.
+func workloadsCfg(cfg harness.Config) harness.Config {
+	cfg.CohortSize = 128
+	cfg.MaxCohorts = 4
 	return cfg
 }
 
@@ -320,6 +330,22 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 				{"recorder/promoted", float64(r.Promoted)},
 			}
 		},
+		"workloads": func() []metric {
+			r := harness.WorkloadMixStudy(workloadsCfg(cfg), 4)
+			r.Render().Print(out)
+			ms := []metric{
+				{"mixed/throughput_req_s", r.ThroughputK * 1e3},
+				{"telemetry/frames_delivered", float64(r.FramesDelivered)},
+				{"telemetry/frames_lost", float64(r.FramesLost)},
+			}
+			for _, row := range r.Rows {
+				ms = append(ms,
+					metric{row.Workload + "/requests", float64(row.Requests)},
+					metric{row.Workload + "/share_pct", row.SharePct},
+					metric{row.Workload + "/kernel_errs", float64(row.KernelErrs)})
+			}
+			return ms
+		},
 		"adaptive": func() []metric {
 			r := harness.AdaptiveStudy(adaptiveCfg(cfg))
 			harness.RenderAdaptive(r).Print(out)
@@ -357,8 +383,8 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 		"table1", "table2", "fig2", "table3", "fig8", "fig9", "fig10",
 		"scaling", "resources", "cohort-sweep", "parser", "hyperq",
 		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out",
-		"cluster-scaling", "ablations", "timeout", "adaptive", "frontend",
-		"flight",
+		"cluster-scaling", "ablations", "timeout", "adaptive", "workloads",
+		"frontend", "flight",
 	}
 	if what == "all" {
 		fmt.Fprintf(out, "Rhythm reproduction: full evaluation (cohort=%d contexts=%d)\n\n", cfg.CohortSize, cfg.MaxCohorts)

@@ -33,6 +33,17 @@
 // server's promotion threshold have a full causal flight record —
 // formation wait, cohort size, launch seqs, device, failover hops —
 // retrievable by that id at /v1/debug/flight (or with cmd/rhythm-flight).
+//
+// -workload selects one registered workload's canned flow (banking,
+// ecom, telemetry) instead of the banking -paths cycle, and -mix drives
+// a weighted blend on the same connections: "banking=70,ecom=25,telemetry=5"
+// interleaves the three flows deterministically at those per-request
+// shares. The ecom flow cycles the catalog reads (index, browse,
+// search, product); the telemetry flow subscribes each connection to
+// its device stream, then alternates frame ingests with subscriber
+// polls and status reads. With either flag the summary gains a
+// per-workload breakdown, and -hist prints one latency histogram per
+// workload on top of the merged one.
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 
 	"rhythm"
 	"rhythm/internal/backend"
+	"rhythm/internal/ecom"
 	"rhythm/internal/stats"
 )
 
@@ -67,6 +79,8 @@ func main() {
 		slowest  = flag.Int("slowest", 0, "print the N slowest requests with their server-assigned X-Rhythm-Trace ids (join against /v1/debug/flight)")
 		rate     = flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s across all conns (0 = closed loop)")
 		schedule = flag.String("rate-schedule", "", `open-loop rate schedule, e.g. "40x2s,1200x3s" (steps) or "100-2000x10s" (ramp); overrides -rate and -duration`)
+		workload = flag.String("workload", "", "drive one registered workload's canned flow (banking, ecom, telemetry) instead of the -paths cycle")
+		mixSpec  = flag.String("mix", "", `weighted workload mix per request, e.g. "banking=70,ecom=25,telemetry=5"; overrides -workload`)
 	)
 	flag.Parse()
 
@@ -74,6 +88,14 @@ func main() {
 	for i := range targets {
 		targets[i] = strings.TrimSpace(targets[i])
 	}
+
+	mix, err := resolveMix(*workload, *mixSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhythm-load: %v\n", err)
+		os.Exit(2)
+	}
+	sched := mixSchedule(mix)
+	showBreakdown := *workload != "" || *mixSpec != ""
 
 	var segs []rateSegment
 	if *schedule != "" {
@@ -92,12 +114,6 @@ func main() {
 
 	before, beforeOK := fetchStats(*addr)
 
-	type result struct {
-		lat      *stats.LatencyRecorder
-		ok, errs uint64
-		slow     []slowReq
-		fail     error
-	}
 	results := make([]result, *conns)
 	deadline := time.Now().Add(*duration)
 	var arrivals chan time.Time
@@ -112,8 +128,10 @@ func main() {
 			defer wg.Done()
 			r := &results[i]
 			r.lat = stats.NewLatencyRecorder()
+			r.latBy = map[string]*stats.LatencyRecorder{}
+			r.okBy = map[string]uint64{}
 			uid := *first + uint64(i)%uint64(*users)
-			if err := drive(*addr, uid, targets, deadline, arrivals, r.lat, &r.ok, &r.errs, &r.slow, *slowest); err != nil {
+			if err := drive(*addr, uid, i, targets, sched, deadline, arrivals, r, *slowest); err != nil {
 				r.fail = err
 			}
 		}(i)
@@ -121,6 +139,8 @@ func main() {
 	wg.Wait()
 
 	lat := stats.NewLatencyRecorder()
+	latBy := map[string]*stats.LatencyRecorder{}
+	okBy := map[string]uint64{}
 	var ok, errs uint64
 	var slow []slowReq
 	failures := 0
@@ -131,6 +151,15 @@ func main() {
 			continue
 		}
 		lat.Merge(results[i].lat)
+		for name, l := range results[i].latBy {
+			if latBy[name] == nil {
+				latBy[name] = stats.NewLatencyRecorder()
+			}
+			latBy[name].Merge(l)
+		}
+		for name, n := range results[i].okBy {
+			okBy[name] += n
+		}
 		ok += results[i].ok
 		errs += results[i].errs
 		for _, s := range results[i].slow {
@@ -153,8 +182,28 @@ func main() {
 	fmt.Printf("  latency:    p50 %v  p99 %v  p99.9 %v  max %v\n",
 		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)),
 		time.Duration(lat.Percentile(99.9)), time.Duration(lat.Max()))
+	if showBreakdown {
+		fmt.Println("  per-workload:")
+		for _, m := range mix {
+			l := latBy[m.name]
+			if l == nil {
+				continue
+			}
+			fmt.Printf("    %-10s %8d ok (%5.1f%%)  p50 %v  p99 %v  max %v\n",
+				m.name, okBy[m.name], 100*float64(okBy[m.name])/float64(ok),
+				time.Duration(l.Percentile(50)), time.Duration(l.Percentile(99)),
+				time.Duration(l.Max()))
+		}
+	}
 	if *hist {
-		printHistogram(lat)
+		printHistogram(lat, "histogram")
+		if showBreakdown {
+			for _, m := range mix {
+				if latBy[m.name] != nil {
+					printHistogram(latBy[m.name], m.name+" histogram")
+				}
+			}
+		}
 	}
 	if *slowest > 0 {
 		printSlowest(slow)
@@ -210,15 +259,15 @@ func printAdapt(st rhythm.CohortServerStats) {
 // printHistogram renders the merged latency samples over the same
 // fixed buckets the server's /metrics histograms use (0.25ms doubling),
 // cumulative counts plus a per-bucket bar.
-func printHistogram(lat *stats.LatencyRecorder) {
+func printHistogram(lat *stats.LatencyRecorder, label string) {
 	bounds := stats.LatencyBucketsNs()
 	cum := lat.Buckets(bounds)
 	total := cum[len(cum)-1]
 	if total == 0 {
-		fmt.Println("  histogram:  no samples")
+		fmt.Printf("  %s:  no samples\n", label)
 		return
 	}
-	fmt.Println("  histogram (cumulative):")
+	fmt.Printf("  %s (cumulative):\n", label)
 	prev := uint64(0)
 	for i, c := range cum {
 		label := "+Inf"
@@ -288,6 +337,118 @@ func printSlowest(slow []slowReq) {
 		}
 		fmt.Printf("    %-12v %-6d %-12s %s\n", s.lat, s.status, trace, s.path)
 	}
+}
+
+// result is one connection's tally: overall latency plus the
+// per-workload recorders behind the -workload/-mix breakdown.
+type result struct {
+	lat      *stats.LatencyRecorder
+	latBy    map[string]*stats.LatencyRecorder
+	okBy     map[string]uint64
+	ok, errs uint64
+	slow     []slowReq
+	fail     error
+}
+
+// mixEntry is one workload's weight in the -mix blend.
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+// knownWorkloads are the flows this generator can drive; they mirror
+// the server's default registry.
+var knownWorkloads = map[string]bool{"banking": true, "ecom": true, "telemetry": true}
+
+// resolveMix turns the -workload/-mix flags into a weighted blend.
+// Neither flag set is the legacy banking -paths cycle (a banking-only
+// mix drives exactly that).
+func resolveMix(workload, mixSpec string) ([]mixEntry, error) {
+	if mixSpec == "" {
+		if workload == "" {
+			workload = "banking"
+		}
+		if !knownWorkloads[workload] {
+			return nil, fmt.Errorf("-workload %q: want banking, ecom, or telemetry", workload)
+		}
+		return []mixEntry{{name: workload, weight: 1}}, nil
+	}
+	var mix []mixEntry
+	seen := map[string]bool{}
+	for _, part := range strings.Split(mixSpec, ",") {
+		part = strings.TrimSpace(part)
+		name, wStr, okCut := strings.Cut(part, "=")
+		if !okCut {
+			return nil, fmt.Errorf("-mix segment %q: want workload=weight", part)
+		}
+		name = strings.TrimSpace(name)
+		if !knownWorkloads[name] {
+			return nil, fmt.Errorf("-mix workload %q: want banking, ecom, or telemetry", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-mix workload %q repeated", name)
+		}
+		seen[name] = true
+		w, err := strconv.Atoi(strings.TrimSpace(wStr))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-mix segment %q: weight must be a positive integer", part)
+		}
+		mix = append(mix, mixEntry{name: name, weight: w})
+	}
+	return mix, nil
+}
+
+// mixSchedule expands the weighted blend into a deterministic
+// interleaved slot sequence all connections cycle through: one slot per
+// weight unit, shuffled with a fixed seed so the workloads blend on the
+// wire instead of arriving in runs.
+func mixSchedule(mix []mixEntry) []string {
+	var slots []string
+	for _, m := range mix {
+		for k := 0; k < m.weight; k++ {
+			slots = append(slots, m.name)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	return slots
+}
+
+// buildReq renders the j'th request of one workload's canned flow on
+// one connection. Banking cycles the -paths targets (the session cookie
+// is attached by the caller); ecom cycles the catalog reads; telemetry
+// subscribes once, then alternates frame ingests with subscriber polls
+// and status reads. The connection's uid doubles as the telemetry
+// device id, so distinct connections drive distinct streams.
+func buildReq(wl string, j, conn int, uid uint64, targets []string) (method, path, body string) {
+	switch wl {
+	case "banking":
+		return "GET", targets[j%len(targets)], ""
+	case "ecom":
+		switch j % 4 {
+		case 0:
+			return "GET", "/index.php", ""
+		case 1:
+			return "GET", "/browse.php?cat=" + ecom.Categories[(j/4)%len(ecom.Categories)], ""
+		case 2:
+			return "GET", fmt.Sprintf("/search.php?q=kw%d", (conn*131+j)%977), ""
+		default:
+			return "GET", fmt.Sprintf("/product.php?id=%d", (conn*1009+j*37)%100000), ""
+		}
+	case "telemetry":
+		if j == 0 {
+			return "GET", fmt.Sprintf("/t/subscribe?dev=%d&sub=%d", uid, conn), ""
+		}
+		switch j % 4 {
+		case 1, 2:
+			return "POST", "/t/ingest", fmt.Sprintf("dev=%d&f=%04x", uid, j&0xffff)
+		case 3:
+			return "GET", fmt.Sprintf("/t/poll?dev=%d&sub=%d", uid, conn), ""
+		default:
+			return "GET", fmt.Sprintf("/t/status?dev=%d", uid), ""
+		}
+	}
+	panic("unknown workload " + wl)
 }
 
 // rateSegment is one piece of the offered-load schedule: the rate moves
@@ -366,11 +527,12 @@ func pace(arrivals chan<- time.Time, segs []rateSegment) {
 	close(arrivals)
 }
 
-// drive runs one connection: login, then issue requests until the
+// drive runs one connection: a banking login when the mix needs one,
+// then requests from the interleaved workload schedule until the
 // deadline — back-to-back when arrivals is nil (closed loop), else one
 // request per arrival token, with latency measured from the scheduled
 // arrival time so queueing delay is charged to the request.
-func drive(addr string, uid uint64, targets []string, deadline time.Time, arrivals <-chan time.Time, lat *stats.LatencyRecorder, ok, errs *uint64, slow *[]slowReq, slowN int) error {
+func drive(addr string, uid uint64, connIdx int, targets, sched []string, deadline time.Time, arrivals <-chan time.Time, res *result, slowN int) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -378,57 +540,80 @@ func drive(addr string, uid uint64, targets []string, deadline time.Time, arriva
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 
-	body := fmt.Sprintf("userid=%d&passwd=%s", uid, backend.PasswordFor(uid))
-	fmt.Fprintf(conn, "POST /login.php HTTP/1.1\r\nHost: load\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
-	status, hdrs, _, err := readResponse(r)
-	if err != nil {
-		return fmt.Errorf("login read: %w", err)
-	}
-	if status != 200 {
-		return fmt.Errorf("login status %d", status)
-	}
-	cookie := hdrs["set-cookie"]
-	if !strings.HasPrefix(cookie, "MY_ID=") {
-		return fmt.Errorf("no session cookie (got %q)", cookie)
+	var cookie string
+	for _, wl := range sched {
+		if wl != "banking" {
+			continue
+		}
+		body := fmt.Sprintf("userid=%d&passwd=%s", uid, backend.PasswordFor(uid))
+		fmt.Fprintf(conn, "POST /login.php HTTP/1.1\r\nHost: load\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+		status, hdrs, _, err := readResponse(r)
+		if err != nil {
+			return fmt.Errorf("login read: %w", err)
+		}
+		if status != 200 {
+			return fmt.Errorf("login status %d", status)
+		}
+		cookie = hdrs["set-cookie"]
+		if !strings.HasPrefix(cookie, "MY_ID=") {
+			return fmt.Errorf("no session cookie (got %q)", cookie)
+		}
+		break
 	}
 
+	counts := map[string]int{}
 	for i := 0; ; i++ {
 		var start time.Time
 		if arrivals != nil {
-			sched, more := <-arrivals
+			arr, more := <-arrivals
 			if !more {
 				return nil
 			}
-			if d := time.Until(sched); d > 0 {
+			if d := time.Until(arr); d > 0 {
 				time.Sleep(d)
 			}
-			start = sched
+			start = arr
 		} else {
 			if !time.Now().Before(deadline) {
 				return nil
 			}
 		}
-		path := targets[i%len(targets)]
+		wl := sched[i%len(sched)]
+		j := counts[wl]
+		counts[wl]++
+		method, path, body := buildReq(wl, j, connIdx, uid, targets)
 		if arrivals == nil {
 			// Closed loop: charge latency from immediately before the
 			// request hits the wire, not from the loop iteration start,
 			// so client-side bookkeeping never inflates the percentiles.
 			start = time.Now()
 		}
-		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\nCookie: %s\r\n\r\n", path, cookie)
+		switch {
+		case method == "POST":
+			fmt.Fprintf(conn, "POST %s HTTP/1.1\r\nHost: load\r\nContent-Length: %d\r\n\r\n%s", path, len(body), body)
+		case wl == "banking":
+			fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\nCookie: %s\r\n\r\n", path, cookie)
+		default:
+			fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", path)
+		}
 		status, rhdrs, _, err := readResponse(r)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		elapsed := time.Since(start)
-		lat.Record(float64(elapsed))
+		res.lat.Record(float64(elapsed))
+		if res.latBy[wl] == nil {
+			res.latBy[wl] = stats.NewLatencyRecorder()
+		}
+		res.latBy[wl].Record(float64(elapsed))
 		if status == 200 {
-			*ok++
+			res.ok++
+			res.okBy[wl]++
 		} else {
-			*errs++
+			res.errs++
 		}
 		if slowN > 0 {
-			*slow = addSlow(*slow, slowN, slowReq{
+			res.slow = addSlow(res.slow, slowN, slowReq{
 				lat: elapsed, path: path, status: status, trace: rhdrs["x-rhythm-trace"],
 			})
 		}

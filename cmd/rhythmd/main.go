@@ -1,4 +1,6 @@
-// Command rhythmd serves the SPECWeb2009 Banking workload over real TCP.
+// Command rhythmd serves the registered Rhythm workloads — SPECWeb2009
+// Banking, SPECWeb E-commerce, and streaming telemetry — over real TCP.
+// -workloads restricts the set (e.g. -workloads banking).
 //
 // The default mode uses the reproduction's host execution path — the
 // same services the SIMT kernels run, so the pages are byte-identical
@@ -11,7 +13,7 @@
 //
 // Usage:
 //
-//	rhythmd [-addr :8080] [-seed-users 8] [-cohort]
+//	rhythmd [-addr :8080] [-workloads banking,ecom,telemetry] [-seed-users 8] [-cohort]
 //	        [-cohort-size 128] [-contexts 4] [-formation-timeout 2ms]
 //	        [-deadline 5s] [-profile-off] [-sim-parallelism 0]
 //	        [-pprof 127.0.0.1:6060]
@@ -74,6 +76,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -84,6 +87,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workloadsF  = flag.String("workloads", "", "comma-separated workloads to serve (banking,ecom,telemetry; empty = all)")
 		seedUsers   = flag.Int("seed-users", 8, "demo user accounts to print credentials for")
 		cohortOn    = flag.Bool("cohort", false, "serve through the live cohort pipeline (SIMT kernels)")
 		size        = flag.Int("cohort-size", 128, "requests per cohort (cohort mode)")
@@ -126,6 +130,13 @@ func main() {
 	}
 
 	var opts []rhythm.Option
+	if *workloadsF != "" {
+		opt, err := rhythm.WithWorkloads(strings.Split(*workloadsF, ",")...)
+		if err != nil {
+			log.Fatalf("rhythmd: -workloads: %v", err)
+		}
+		opts = append(opts, opt)
+	}
 	mode := "host"
 	if *cohortOn {
 		mode = "cohort"
@@ -163,11 +174,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	served := *workloadsF
+	if served == "" {
+		served = "banking,ecom,telemetry"
+	}
 	if mode == "host" {
-		fmt.Printf("rhythmd: SPECWeb Banking on http://%s (host mode)\n", srv.Addr())
+		fmt.Printf("rhythmd: serving %s on http://%s (host mode)\n", served, srv.Addr())
 	} else {
-		fmt.Printf("rhythmd: SPECWeb Banking on http://%s (cohort mode: devices=%d size=%d contexts=%d timeout=%v slo=%v)\n",
-			srv.Addr(), *devices, *size, *contexts**devices, *formation, *sloP99)
+		fmt.Printf("rhythmd: serving %s on http://%s (cohort mode: devices=%d size=%d contexts=%d timeout=%v slo=%v)\n",
+			served, srv.Addr(), *devices, *size, *contexts**devices, *formation, *sloP99)
 	}
 	printCreds(srv.Addr().String(), *seedUsers, srv.Seed)
 

@@ -13,7 +13,6 @@ import (
 
 	"rhythm/internal/adapt"
 	"rhythm/internal/backend"
-	"rhythm/internal/banking"
 	"rhythm/internal/cluster"
 	"rhythm/internal/cohort"
 	"rhythm/internal/flight"
@@ -21,6 +20,7 @@ import (
 	"rhythm/internal/obs"
 	"rhythm/internal/obs/health"
 	"rhythm/internal/rcache"
+	"rhythm/internal/service"
 	"rhythm/internal/session"
 	"rhythm/internal/sim"
 	"rhythm/internal/simt"
@@ -32,6 +32,12 @@ const StatsPath = "/rhythm-stats"
 
 // CohortOptions tunes the live cohort-batched server.
 type CohortOptions struct {
+	// Registry is the workload registry the server serves (nil =
+	// DefaultRegistry(): banking, ecom, telemetry). Classification,
+	// shard-group affinity, device cohort geometry, render-cache
+	// eligibility, and the metrics/stats label universe all derive from
+	// it (DESIGN.md §16).
+	Registry *service.Registry
 	// CohortSize is the number of requests batched per cohort (default
 	// 128 — live traffic forms far smaller cohorts than the offline
 	// saturation harness).
@@ -128,6 +134,9 @@ type CohortOptions struct {
 }
 
 func (o *CohortOptions) fill() {
+	if o.Registry == nil {
+		o.Registry = DefaultRegistry()
+	}
 	if o.CohortSize == 0 {
 		o.CohortSize = 128
 	}
@@ -172,7 +181,7 @@ func (o *CohortOptions) fill() {
 // untraced.
 type liveReq struct {
 	req      httpx.Request
-	t        banking.ReqType
+	t        service.TypeID
 	group    int // shard group (cluster.GroupFor; -1 = stateless)
 	enq      time.Time
 	admitted time.Time // loop pickup (set by admit)
@@ -225,6 +234,7 @@ type typeCounters struct {
 
 // CohortTypeStats is the per-request-type section of CohortServerStats.
 type CohortTypeStats struct {
+	Workload      string     `json:"workload"`
 	Cohorts       uint64     `json:"cohorts"`
 	Filled        uint64     `json:"filled"`
 	TimedOut      uint64     `json:"timed_out"`
@@ -239,32 +249,36 @@ type CohortTypeStats struct {
 // CohortServerStats is the /rhythm-stats document of a cohort-mode
 // server (cmd/rhythm-load decodes it to report server-side batching).
 type CohortServerStats struct {
-	SchemaVersion   int     `json:"schema_version"`
-	Mode            string  `json:"mode"`
-	Served          uint64  `json:"served"`
-	KernelErrors    uint64  `json:"kernel_errors"`
-	ParseErrors     uint64  `json:"parse_errors"`
-	NotFound        uint64  `json:"not_found"`
-	Images          uint64  `json:"images"`
-	RejectedQueue   uint64  `json:"rejected_queue"`
-	RejectedPool    uint64  `json:"rejected_pool"`
-	DeadlineMisses  uint64  `json:"deadline_misses"`
-	CohortsFormed   uint64  `json:"cohorts_formed"`
-	CohortsFilled   uint64  `json:"cohorts_filled"`
-	CohortsTimedOut uint64  `json:"cohorts_timed_out"`
-	CohortsEarly    uint64  `json:"cohorts_early"`
-	HostFallbacks   uint64  `json:"host_fallbacks"`
-	RequestsBatched uint64  `json:"requests_batched"`
-	AdmissionStalls uint64  `json:"admission_stalls"`
-	SumOccupancy    uint64  `json:"sum_occupancy"`
-	MeanOccupancy   float64 `json:"mean_occupancy"`
-	MaxOccupancy    int     `json:"max_occupancy"`
-	MaxContexts     int     `json:"max_contexts_in_use"`
-	FormWaitMsMean  float64 `json:"formation_wait_ms_mean"`
-	FormWaitMsP99   float64 `json:"formation_wait_ms_p99"`
-	LaunchDevUsMean float64 `json:"launch_device_us_mean"`
-	LatencyMsP50    float64 `json:"latency_ms_p50"`
-	LatencyMsP99    float64 `json:"latency_ms_p99"`
+	SchemaVersion int    `json:"schema_version"`
+	Mode          string `json:"mode"`
+	// Workloads lists the registered workload names in registration
+	// order; Types keys are workload-qualified display labels (banking's
+	// stay bare, the version-3 legacy aliases).
+	Workloads       []string `json:"workloads"`
+	Served          uint64   `json:"served"`
+	KernelErrors    uint64   `json:"kernel_errors"`
+	ParseErrors     uint64   `json:"parse_errors"`
+	NotFound        uint64   `json:"not_found"`
+	Images          uint64   `json:"images"`
+	RejectedQueue   uint64   `json:"rejected_queue"`
+	RejectedPool    uint64   `json:"rejected_pool"`
+	DeadlineMisses  uint64   `json:"deadline_misses"`
+	CohortsFormed   uint64   `json:"cohorts_formed"`
+	CohortsFilled   uint64   `json:"cohorts_filled"`
+	CohortsTimedOut uint64   `json:"cohorts_timed_out"`
+	CohortsEarly    uint64   `json:"cohorts_early"`
+	HostFallbacks   uint64   `json:"host_fallbacks"`
+	RequestsBatched uint64   `json:"requests_batched"`
+	AdmissionStalls uint64   `json:"admission_stalls"`
+	SumOccupancy    uint64   `json:"sum_occupancy"`
+	MeanOccupancy   float64  `json:"mean_occupancy"`
+	MaxOccupancy    int      `json:"max_occupancy"`
+	MaxContexts     int      `json:"max_contexts_in_use"`
+	FormWaitMsMean  float64  `json:"formation_wait_ms_mean"`
+	FormWaitMsP99   float64  `json:"formation_wait_ms_p99"`
+	LaunchDevUsMean float64  `json:"launch_device_us_mean"`
+	LatencyMsP50    float64  `json:"latency_ms_p50"`
+	LatencyMsP99    float64  `json:"latency_ms_p99"`
 
 	// Device is the pool's aggregate device counter set; Devices breaks
 	// it down per device. Both come from a single atomic pass over the
@@ -311,9 +325,9 @@ type liveConn struct {
 	busy atomic.Bool
 }
 
-// CohortServer serves the Banking workload over TCP through the paper's
-// cohort pipeline: connection handlers parse and classify requests on
-// the host, a single device-loop goroutine batches them into
+// CohortServer serves every registered workload over TCP through the
+// paper's cohort pipeline: connection handlers parse and classify
+// requests on the host, a single device-loop goroutine batches them into
 // cohort.Pool contexts under the §3.1 formation timeout, and each full
 // (or timed-out) cohort runs its stage kernels on the modeled SIMT
 // device, one asynchronous stream per context. Responses are extracted
@@ -326,8 +340,14 @@ type liveConn struct {
 // launches are in flight.
 type CohortServer struct {
 	opts CohortOptions
-	cl   *cluster.Cluster
-	pool *cohort.Pool[*liveReq]
+	// reg is the workload registry; names its display-label universe
+	// indexed by TypeID, labels the precomputed per-type Prometheus
+	// label sets (workload + type).
+	reg    *service.Registry
+	names  []string
+	labels []string
+	cl     *cluster.Cluster
+	pool   *cohort.Pool[*liveReq]
 	// ctrl is the adaptive formation controller (nil without an SLO). Its
 	// methods are internally locked; the hot handler path touches it only
 	// in Arrival and RetryAfter.
@@ -363,7 +383,7 @@ type CohortServer struct {
 	// Observability surfaces, safe from any goroutine: the request-trace
 	// ring behind /rhythm-trace and the atomic histograms behind /metrics.
 	tracer    *obs.Recorder
-	latHist   []*stats.Histogram // per banking.ReqType, nanoseconds
+	latHist   []*stats.Histogram // per service.TypeID, nanoseconds
 	formHist  *stats.Histogram   // formation wait, nanoseconds
 	occupHist *stats.Histogram   // cohort occupancy at launch
 
@@ -375,7 +395,7 @@ type CohortServer struct {
 	// (DESIGN.md §15).
 	flight      *flight.Recorder
 	hEngine     *health.Engine
-	badByType   []atomic.Uint64 // per banking.ReqType
+	badByType   []atomic.Uint64 // per service.TypeID
 	captureBusy atomic.Bool
 
 	// Loop-owned state (no locking: single goroutine until doneCh).
@@ -399,12 +419,14 @@ type CohortServer struct {
 // loop. Callers then Listen + Serve, and Shutdown to drain.
 func NewCohortServer(opts CohortOptions) *CohortServer {
 	opts.fill()
+	reg := opts.Registry
 	cfg := simt.GTXTitan()
 	cfg.HostParallelism = opts.HostParallelism
 	cfg.SimParallelism = opts.SimParallelism
 	cfg.ProfileOff = opts.ProfileOff
 	cfg.ProfileRing = opts.ProfileRing
 	cl := cluster.New(cluster.Config{
+		Registry:              reg,
 		Devices:               opts.Devices,
 		CohortSize:            opts.CohortSize,
 		SlotsPerDevice:        (opts.MaxCohorts + opts.Devices - 1) / opts.Devices,
@@ -416,6 +438,9 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	})
 	s := &CohortServer{
 		opts:      opts,
+		reg:       reg,
+		names:     reg.DisplayNames(),
+		labels:    typeLabelSets(reg),
 		cl:        cl,
 		admitCh:   make(chan *liveReq, opts.AdmitQueue),
 		flushCh:   make(chan flushMsg, 256),
@@ -429,17 +454,17 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		launchLat: stats.NewLatencyRecorder(),
 		reqLat:    stats.NewLatencyRecorder(),
 		tracer:    obs.NewRecorder(opts.TraceCapacity),
-		latHist:   newLatencyHistograms(int(banking.NumTypes)),
+		latHist:   newLatencyHistograms(reg.NumTypes()),
 		formHist:  stats.NewHistogram(stats.LatencyBucketsNs()),
 		occupHist: stats.NewHistogram(stats.PowersOfTwoBuckets(opts.CohortSize)),
 		flight:    flight.New(flight.Config{Ring: opts.FlightRing, Slow: opts.FlightSlow}),
-		badByType: make([]atomic.Uint64, banking.NumTypes),
+		badByType: make([]atomic.Uint64, reg.NumTypes()),
 	}
 	healthSLO := opts.SLO
 	if healthSLO <= 0 {
 		healthSLO = defaultHealthSLO
 	}
-	names := typeNames()
+	names := s.names
 	sloNs := float64(healthSLO)
 	s.hEngine = health.New(health.Config{
 		Objective:  opts.HealthObjective,
@@ -462,8 +487,8 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	s.pool = cohort.NewPool[*liveReq](sim.NewEngine(), opts.MaxCohorts, opts.CohortSize, 0, s.onReady)
 	if opts.SLO > 0 {
 		s.ctrl = adapt.New(adapt.Config{
-			Types:         int(banking.NumTypes),
-			Names:         typeNames(),
+			Types:         reg.NumTypes(),
+			Names:         s.names,
 			Capacity:      opts.CohortSize,
 			SLO:           opts.SLO,
 			Tick:          opts.AdaptTick,
@@ -656,7 +681,7 @@ func (s *CohortServer) handle(conn net.Conn) {
 			// span slice and flight record (channel happens-before); finish
 			// and commit both.
 			lr.spans = append(lr.spans, obs.Span{Name: "write", Start: wstart, Dur: time.Since(wstart)})
-			s.tracer.Add(obs.RequestTrace{Type: lr.t.String(), Spans: lr.spans})
+			s.tracer.Add(obs.RequestTrace{Type: s.names[lr.t], Spans: lr.spans})
 			lr.frec.Spans = lr.spans
 			lr.frec.Latency = time.Since(lr.frec.Start)
 			s.flight.Finish(&lr.frec)
@@ -673,8 +698,8 @@ func (s *CohortServer) handle(conn net.Conn) {
 // returned liveReq is non-nil only when the response was delivered over
 // lr.resp — the caller may then read lr.spans and lr.frec to finish the
 // trace and flight record. The returned trace ID is non-zero for every
-// banking request (the caller splices it into the response headers); on
-// the nil-liveReq banking paths the flight record has already been
+// classified request (the caller splices it into the response headers);
+// on the nil-liveReq classified paths the flight record has already been
 // finished here with a local Record.
 func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint64) {
 	s.served.Add(1)
@@ -696,9 +721,9 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 	case HealthPathV1:
 		return healthResponse(s.hEngine, s.flight), nil, 0
 	}
-	t, ok := banking.ByPath(req.Path)
+	t, ok := s.reg.Classify(req)
 	if !ok {
-		if resp, ok := banking.ImageResponse(req.Path); ok {
+		if resp, ok := s.reg.Static(req.Path); ok {
 			s.images.Add(1)
 			return resp, nil, 0
 		}
@@ -724,8 +749,8 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 		csid       session.ID
 		cuid, cver uint64
 	)
-	if s.cache != nil && group >= 0 && rcache.Cacheable(t) {
-		if sid, ok := session.ParseID(req.Cookie("MY_ID")); ok {
+	if s.cache != nil && group >= 0 && s.reg.Spec(t).Cacheable {
+		if sid, ok := session.ParseID(req.Cookie(s.reg.WorkloadOf(t).SessionCookie())); ok {
 			if uid, ok := s.cl.GroupSessions(group).Lookup(sid); ok {
 				cacheable, csid, cuid = true, sid, uid
 				cver = s.cache.Version(cuid)
@@ -745,7 +770,7 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 	req.CopyTo(&lr.req)
 	lr.frec.Reset()
 	lr.frec.TraceID = id
-	lr.frec.Type = t.String()
+	lr.frec.Type = s.names[t]
 	lr.frec.Start = start
 	lr.spans = append(lr.spans, obs.Span{Name: "classify", Start: start, Dur: lr.enq.Sub(start)})
 	select {
@@ -782,15 +807,15 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 	}
 }
 
-// finishLocal finishes a flight record for a banking request answered
+// finishLocal finishes a flight record for a classified request answered
 // without a loop response (cache hit, shed, deadline miss). The
 // liveReq's embedded record may still be owned by the loop on those
 // paths, so a stack-local Record carries the outcome instead.
-func (s *CohortServer) finishLocal(id uint64, t banking.ReqType, start time.Time, status flight.Status) {
+func (s *CohortServer) finishLocal(id uint64, t service.TypeID, start time.Time, status flight.Status) {
 	var rec flight.Record
 	rec.Reset()
 	rec.TraceID = id
-	rec.Type = t.String()
+	rec.Type = s.names[t]
 	rec.Start = start
 	rec.Latency = time.Since(start)
 	rec.Status = status
@@ -936,7 +961,7 @@ func (s *CohortServer) completeHost(lr *liveReq, res *cluster.Result) {
 // one group's state on one device, so requests of the same type but
 // different groups form separately.
 func (s *CohortServer) place(lr *liveReq) bool {
-	key := fmt.Sprintf("%s/%d", lr.t, lr.group)
+	key := fmt.Sprintf("%s/%d", s.names[lr.t], lr.group)
 	if !s.pool.Add(key, lr) {
 		return false
 	}
@@ -1006,11 +1031,11 @@ func (s *CohortServer) onReady(c *cohort.Context[*liveReq], why cohort.Reason) {
 
 // typeStats returns (creating on demand) the counters for a request
 // type, with one stage slot per stage kernel.
-func (s *CohortServer) typeStats(t banking.ReqType) *typeCounters {
-	key := t.String()
+func (s *CohortServer) typeStats(t service.TypeID) *typeCounters {
+	key := s.names[t]
 	tc := s.perType[key]
 	if tc == nil {
-		tc = &typeCounters{stages: make([]perStage, banking.ServiceFor(t).Spec.Backends+1)}
+		tc = &typeCounters{stages: make([]perStage, s.reg.Spec(t).Backends+1)}
 		s.perType[key] = tc
 	}
 	return tc
@@ -1200,6 +1225,7 @@ func (s *CohortServer) snapshot() CohortServerStats {
 	st := CohortServerStats{
 		SchemaVersion:    StatsSchemaVersion,
 		Mode:             "cohort",
+		Workloads:        workloadNames(s.reg),
 		Served:           s.served.Load(),
 		KernelErrors:     s.kernelErrors,
 		ParseErrors:      s.parseErrors.Load(),
@@ -1247,6 +1273,7 @@ func (s *CohortServer) snapshot() CohortServerStats {
 	}
 	for key, tc := range s.perType {
 		ts := CohortTypeStats{
+			Workload:     s.workloadOfDisplay(key),
 			Cohorts:      tc.cohorts,
 			Filled:       tc.filled,
 			TimedOut:     tc.timedOut,
@@ -1268,6 +1295,24 @@ func (s *CohortServer) statsResponse() []byte {
 	return jsonResponse(s.Stats())
 }
 
+// workloadOfDisplay resolves a per-type stats key back to its owning
+// workload's name.
+func (s *CohortServer) workloadOfDisplay(key string) string {
+	if t, ok := s.reg.ByDisplay(key); ok {
+		return s.reg.Spec(t).Workload
+	}
+	return ""
+}
+
+// typeLabel is the Prometheus label set for a per-type stats key
+// (workload + type).
+func (s *CohortServer) typeLabel(key string) string {
+	if t, ok := s.reg.ByDisplay(key); ok {
+		return s.labels[t]
+	}
+	return obs.Label("type", key)
+}
+
 // metricsResponse renders the Prometheus /metrics document. Loop-owned
 // counters come through the Stats() snapshot (taken on the loop
 // goroutine); histograms and the launch profile are atomic/locked and
@@ -1280,15 +1325,15 @@ func (s *CohortServer) metricsResponse() []byte {
 	w.Family("rhythm_requests_served_total", "counter", "Responses produced, including errors and sheds.")
 	w.Value("rhythm_requests_served_total", "", float64(st.Served))
 	names := sortedTypeKeys(st.Types)
-	w.Family("rhythm_requests_total", "counter", "Requests executed through the cohort pipeline, by type.")
+	w.Family("rhythm_requests_total", "counter", "Requests executed through the cohort pipeline, by workload and type.")
 	for _, name := range names {
-		w.Value("rhythm_requests_total", obs.Label("type", name), float64(st.Types[name].Requests))
+		w.Value("rhythm_requests_total", s.typeLabel(name), float64(st.Types[name].Requests))
 	}
-	w.Family("rhythm_cohorts_total", "counter", "Cohorts launched, by type and formation result.")
+	w.Family("rhythm_cohorts_total", "counter", "Cohorts launched, by workload, type, and formation result.")
 	for _, name := range names {
-		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="filled"`, float64(st.Types[name].Filled))
-		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="timeout"`, float64(st.Types[name].TimedOut))
-		w.Value("rhythm_cohorts_total", obs.Label("type", name)+`,result="early"`, float64(st.Types[name].Early))
+		w.Value("rhythm_cohorts_total", s.typeLabel(name)+`,result="filled"`, float64(st.Types[name].Filled))
+		w.Value("rhythm_cohorts_total", s.typeLabel(name)+`,result="timeout"`, float64(st.Types[name].TimedOut))
+		w.Value("rhythm_cohorts_total", s.typeLabel(name)+`,result="early"`, float64(st.Types[name].Early))
 	}
 	w.Family("rhythm_requests_batched_total", "counter", "Requests that rode a cohort launch.")
 	w.Value("rhythm_requests_batched_total", "", float64(st.RequestsBatched))
@@ -1301,7 +1346,7 @@ func (s *CohortServer) metricsResponse() []byte {
 	w.Value("rhythm_images_total", "", float64(st.Images))
 	w.Family("rhythm_kernel_errors_total", "counter", "Requests whose kernel execution reported an error.")
 	w.Value("rhythm_kernel_errors_total", "", float64(st.KernelErrors))
-	writeLatencyFamilies(w, typeNames(), s.latHist)
+	writeLatencyFamilies(w, s.labels, s.latHist)
 	w.Family("rhythm_formation_wait_seconds", "histogram", "Admission-to-launch wait (the Fig. 4 formation delay).")
 	w.Histogram("rhythm_formation_wait_seconds", "", s.formHist.Snapshot(), 1e-9)
 	w.Family("rhythm_cohort_occupancy", "histogram", "Requests per launched cohort.")

@@ -1,107 +1,197 @@
-// Custom service: program the SIMT device directly. This example skips
-// the banking workload and writes a fresh cohort kernel against the
-// simulator's public surface via the internal packages' documented
-// pattern: a basic-block Program, coalesced column-major stores, and a
-// divergence experiment you can read off the launch statistics.
+// Custom service: bring YOUR workload to Rhythm through the service
+// registry. This example writes a from-scratch workload — a tiny JSON
+// "shout" service backed by a stateful per-shard store — registers it
+// as the only workload of a fresh registry, and serves it over real TCP
+// in both execution modes: the scalar host path and the cohort pipeline
+// on the modeled SIMT device. The same stage function runs in both, so
+// the responses are byte-identical — the registry's core contract
+// (DESIGN.md §16).
 //
-// It is the "how do I put MY workload on Rhythm" demo: a tiny JSON echo
-// service where every thread formats one request's response.
+// A workload declares three things:
+//
+//  1. a type table (service.SvcDef): path, response-buffer class,
+//     backend round trips, mix share, session semantics;
+//  2. stage functions (service.StageFunc): stage i returns the backend
+//     request to issue, the final stage builds the page;
+//  3. a backend store (service.Backend): one instance per shard group,
+//     answering fixed-size textual request slots.
+//
+// Everything else — host execution, cohort buffers, stage kernels,
+// fixed-geometry rendering, stats and metrics labels — comes from the
+// registry machinery.
 //
 // Run with: go run ./examples/custom-service
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
 
-	"rhythm/internal/mem"
-	"rhythm/internal/sim"
-	"rhythm/internal/simt"
+	"rhythm"
+	"rhythm/internal/service"
 )
 
-// echoService is a cohort kernel: each thread formats a JSON response
-// for one request. Block 0 parses, block 1 formats the common case,
-// block 2 is a rare error path (divergent), block 3 stores the response
-// column-major.
-type echoService struct {
-	in      mem.Addr // cohort input: one 64-byte slot per request
-	out     mem.Addr // cohort output: 256-byte column-major slots
-	cohort  int
-	payload func(id int) string
+// shoutStore is the workload's backend: one instance per shard group,
+// driven single-writer by the serving stack, answering the Besim-shape
+// textual protocol. "SHOUT <msg>" -> "OK\n<MSG>\n<count>"; the count
+// makes the store visibly stateful, so byte identity between the two
+// servers also proves both executed the same request sequence.
+type shoutStore struct {
+	served uint64
 }
 
-func (echoService) Name() string        { return "json_echo" }
-func (echoService) Entry() simt.BlockID { return 0 }
-
-func (s echoService) Exec(b simt.BlockID, t *simt.Thread) simt.BlockID {
-	switch b {
-	case 0: // read this thread's request slot (coalesced strided load)
-		t.LoadStrided(s.in+mem.Addr(4*t.ID), 16, 4, 4*s.cohort)
-		t.Compute(64) // parse
-		if t.ID%97 == 0 {
-			return 2 // malformed: the divergent path
-		}
-		return 1
-	case 1: // format the common response
-		t.Compute(400)
-		return 3
-	case 2: // error path: cheaper body, but the warp serializes over it
-		t.Compute(80)
-		return 3
-	case 3: // store 256 bytes column-major: lanes' words coalesce
-		body := fmt.Sprintf(`{"id":%d,"ok":%t,"echo":%q}`, t.ID, t.ID%97 != 0, s.payload(t.ID))
-		buf := make([]byte, 256)
-		copy(buf, body)
-		t.StoreStrided(s.out+mem.Addr(4*t.ID), buf, 4, 4*s.cohort)
-		return simt.Halt
+func (s *shoutStore) Handle(req []byte) []byte {
+	line := strings.TrimRight(string(req), "\x00")
+	msg, ok := strings.CutPrefix(line, "SHOUT ")
+	if !ok {
+		return []byte("FAIL bad verb")
 	}
-	panic("bad block")
+	s.served++
+	return []byte(fmt.Sprintf("OK\n%s\n%d", strings.ToUpper(msg), s.served))
+}
+
+// SetWriteHook implements service.Backend. The hook feeds render-cache
+// invalidation; this workload declares no cacheable types, so there is
+// nothing to invalidate.
+func (s *shoutStore) SetWriteHook(func(uid uint64)) {}
+
+// shoutStage is the type's process logic, shared verbatim by the host
+// path and the device kernels. Stage 0 validates the request and
+// returns the backend request; stage 1 renders the JSON page from the
+// backend's response.
+func shoutStage(ctx *service.Ctx, stage int, bresp []byte) []byte {
+	if stage == 0 {
+		msg := ctx.Req.Param("msg")
+		if msg == "" || len(msg) > 64 {
+			ctx.Fail("shout: need msg=<1..64 chars>")
+			return nil
+		}
+		return []byte("SHOUT " + msg)
+	}
+	lines := strings.Split(strings.TrimRight(string(bresp), "\x00"), "\n")
+	if len(lines) != 3 || lines[0] != "OK" {
+		ctx.Fail("shout backend error")
+		return nil
+	}
+	p := ctx.Page
+	p.Static(`{"service":"shout","msg":`)
+	p.Dynamic(strconv.Quote(ctx.Req.Param("msg")))
+	p.Static(`,"shout":`)
+	p.Dynamic(strconv.Quote(lines[1]))
+	p.Static(`,"served":`)
+	p.Dynamic(lines[2])
+	p.Static("}\n")
+	// Realign cohort lanes after the variable-length dynamics: trailing
+	// spaces are insignificant in JSON, and the fixed geometry is what
+	// lets every lane of a cohort store its page coalesced (§4.3.2).
+	p.PadTo(256)
+	return nil
+}
+
+// newShoutWorkload builds the registrable workload: one GET type, one
+// backend round trip, a 4 KB response-buffer class, no sessions.
+func newShoutWorkload() *service.PageWorkload {
+	return service.NewPageWorkload(service.PageWorkloadConfig{
+		Name: "shout",
+		Defs: []service.SvcDef{
+			{Name: "shout", Path: "/shout.php", MixPercent: 100, Backends: 1,
+				BufferBytes: 4 << 10, ContentType: "application/json", Stage: shoutStage},
+		},
+		NewBackend: func() service.Backend { return &shoutStore{} },
+	})
 }
 
 func main() {
-	const cohort = 1024
-	eng := sim.NewEngine()
-	dev := simt.NewDevice(eng, simt.GTXTitan(), 32<<20, nil)
+	// A registry containing only our workload: the serving stack has no
+	// banking knowledge to fall back on — everything it needs (paths,
+	// buffer classes, kernels, labels) comes from the registration.
+	reg := service.NewRegistry(newShoutWorkload())
 
-	svc := echoService{
-		in:      dev.Mem.Alloc(cohort*64, 256),
-		out:     dev.Mem.Alloc(cohort*256, 256),
-		cohort:  cohort,
-		payload: func(id int) string { return fmt.Sprintf("req-%04d", id) },
+	host, err := rhythm.New("127.0.0.1:0", rhythm.WithRegistry(reg), rhythm.WithHostExecution())
+	if err != nil {
+		log.Fatal(err)
 	}
-	// Fill the input slots (the reader/H2D step of a real pipeline).
-	for i := 0; i < cohort; i++ {
-		dev.Mem.Write(svc.in+mem.Addr(i*64), []byte(fmt.Sprintf("payload %d", i)))
+	dev, err := rhythm.New("127.0.0.1:0", rhythm.WithRegistry(reg),
+		rhythm.WithFormation(32, 4, 2*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	go host.Serve()
+	go dev.Serve()
+
+	fmt.Println("custom workload on the Rhythm registry: host vs cohort over TCP")
+	msgs := []string{"hello", "cohorts-not-threads", "same-bytes-everywhere", ""}
+	for _, msg := range msgs {
+		uri := "/shout.php?msg=" + msg
+		hs, hb := get(host.Addr().String(), uri)
+		ds, db := get(dev.Addr().String(), uri)
+		if hs != ds || !bytes.Equal(hb, db) {
+			log.Fatalf("host and cohort responses diverge for %s: %d vs %d\n%q\n%q", uri, hs, ds, hb, db)
+		}
+		fmt.Printf("  %-40s %d %s\n", uri, hs, firstLine(hb))
 	}
 
-	var st simt.LaunchStats
-	stream := dev.NewStream()
-	stream.Launch(svc, cohort, nil, func(ls simt.LaunchStats) { st = ls })
-	eng.Run()
+	st := dev.Snapshot().Cohort
+	ts := st.Types["shout/shout"]
+	fmt.Printf("  cohort server: %d responses byte-identical to the host path\n", st.Served)
+	fmt.Printf("  device path:   %d cohorts launched for %q (workload %q), mean occupancy %.1f\n",
+		ts.Cohorts, "shout/shout", ts.Workload, ts.MeanOccupancy)
+	fmt.Println()
+	fmt.Println("The empty-msg request took the divergent error path — also")
+	fmt.Println("byte-identical, because the error page is part of the contract.")
 
-	fmt.Println("custom cohort service on the simulated GTX Titan")
-	fmt.Printf("  cohort:              %d requests in %d warps\n", st.Threads, st.Warps)
-	fmt.Printf("  kernel time:         %v  (%.2fM reqs/s)\n", st.Duration,
-		float64(cohort)/st.Duration.Seconds()/1e6)
-	fmt.Printf("  issue cycles:        %d  (%.1f per request — fetch amortized %d-wide)\n",
-		st.IssueCycles, float64(st.IssueCycles)/cohort, dev.Cfg.WarpSize)
-	fmt.Printf("  memory transactions: %d (%.1f useful bytes per 128B segment)\n",
-		st.Transactions, float64(cohort*(64+256))/float64(st.Transactions))
-	fmt.Printf("  divergent blocks:    %d (the id%%97 error path)\n", st.DivergentExec)
-
-	// Read a response back like the response stage would.
-	resp := dev.Mem.Bytes(svc.out, cohort*256)
-	var sample []byte
-	for w := 0; w < 64; w++ { // un-interleave request 5's column
-		sample = append(sample, resp[w*4*cohort+5*4:w*4*cohort+5*4+4]...)
-	}
-	fmt.Printf("  request 5 response:  %s\n", trimNul(sample))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	host.Drain(ctx)
+	dev.Drain(ctx)
 }
 
-func trimNul(b []byte) string {
-	for i, c := range b {
-		if c == 0 {
-			return string(b[:i])
+// get issues one GET over a fresh connection and returns the status
+// code and response body.
+func get(addr, uri string) (int, []byte) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: demo\r\n\r\n", uri)
+	r := bufio.NewReader(conn)
+	statusLine, err := r.ReadString('\n')
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, _ := strconv.Atoi(strings.SplitN(statusLine, " ", 3)[1])
+	cl := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(line), "content-length:"); ok {
+			cl, _ = strconv.Atoi(strings.TrimSpace(v))
 		}
 	}
-	return string(b)
+	body := make([]byte, cl)
+	if _, err := io.ReadFull(r, body); err != nil {
+		log.Fatal(err)
+	}
+	return status, body
+}
+
+// firstLine trims a fixed-geometry body down to its readable head.
+func firstLine(b []byte) string {
+	line, _, _ := strings.Cut(string(b), "\n")
+	return strings.TrimRight(line, " ")
 }

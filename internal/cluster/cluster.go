@@ -8,15 +8,25 @@
 // fails affected work over to healthy devices under an idempotency
 // contract documented in DESIGN.md §11.
 //
+// The pool is workload-agnostic: units carry workload-qualified type ids
+// from the service registry (Config.Registry), and every execution
+// surface — host scalar path, device slots, stage kernels, backend
+// stores — is reached through the registry's Workload contract
+// (DESIGN.md §16). All registered workloads share the devices: one
+// execution slot serves cohorts of any registered type.
+//
 // Sharding rule: user/session state is partitioned into Groups shard
-// groups, each a host-authoritative {Besim DB, session array} pair.
-// A session's group is derived from its array bucket, which the session
-// ID encodes — so affinity is recovered from a cookie alone
-// (session.ID.Bucket), and a login is pinned by hashing its userid the
-// way Create will (session.BucketFor). Because every group's array has
-// the full host-path geometry and buckets map to exactly one group, the
-// (bucket, node) slot — and therefore the cookie bytes and page bytes —
-// are identical to a single shared array's.
+// groups, each a host-authoritative pair of {per-workload backend
+// stores, session array}. A request's group is derived from its
+// workload's Affinity bucket — for cookie workloads the session-array
+// bucket the session ID encodes (so affinity is recovered from a cookie
+// alone), for session-creating types the bucket the created session
+// will land in (session.BucketFor of the posted user id), and for
+// telemetry-style workloads the entity (device id) bucket. Because
+// every group's array has the full host-path geometry and buckets map
+// to exactly one group, the (bucket, node) slot — and therefore the
+// cookie bytes and page bytes — are identical to a single shared
+// array's.
 //
 // Concurrency contract: each device worker goroutine is the only code
 // that touches its engine, device memory, and (while executing a unit)
@@ -30,13 +40,11 @@ package cluster
 import (
 	"errors"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
-	"rhythm/internal/backend"
-	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
+	"rhythm/internal/service"
 	"rhythm/internal/session"
 	"rhythm/internal/sim"
 	"rhythm/internal/simt"
@@ -48,6 +56,10 @@ var ErrNoHealthyDevice = errors.New("cluster: no healthy device")
 
 // Config sizes a device pool.
 type Config struct {
+	// Registry is the fused workload registry the pool serves
+	// (required). It fixes the type space, cohort buffer classes, group
+	// backend sets, and routing affinity.
+	Registry *service.Registry
 	// Devices is the pool width (default 1).
 	Devices int
 	// Groups is the number of shard groups state is partitioned into
@@ -95,6 +107,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Registry == nil {
+		panic("cluster: Config.Registry is required")
+	}
 	if c.Devices <= 0 {
 		c.Devices = 1
 	}
@@ -131,16 +146,16 @@ func (c *Config) fill() {
 // requests plus the shard group whose state it touches (-1 for units
 // that touch no group state — error paths any device can render).
 type Unit struct {
-	Type  banking.ReqType
+	Type  service.TypeID
 	Group int
 	Reqs  []httpx.Request
 	// Host routes the unit to the scalar host execution path instead of
 	// the device kernels (the adaptive controller's CPU/GPU crossover,
 	// DESIGN.md §12). It still executes on the owning device's worker
 	// goroutine — that is what keeps the group's state single-writer —
-	// but runs banking.Execute directly, needs no execution slot, and
-	// bypasses the fault schedule (host execution doesn't touch the
-	// modeled device).
+	// but runs the workload's ExecuteHost directly, needs no execution
+	// slot, and bypasses the fault schedule (host execution doesn't
+	// touch the modeled device).
 	Host bool
 	// Done receives the unit's outcome exactly once, on the executing
 	// device's worker goroutine (or the dispatcher's when the unit is
@@ -180,12 +195,20 @@ type Result struct {
 	Err         error
 }
 
-// groupState is one shard group's host-authoritative state. It is only
-// ever touched by the worker goroutine of the device that currently
-// owns the group.
+// groupState is one shard group's host-authoritative state: one backend
+// store per registered workload plus the group's session array. It is
+// only ever touched by the worker goroutine of the device that
+// currently owns the group.
 type groupState struct {
-	db       *backend.DB
+	bes      []service.Backend // by workload index
 	sessions *session.Array
+}
+
+func newGroupState(cfg *Config) *groupState {
+	return &groupState{
+		bes:      cfg.Registry.NewBackends(),
+		sessions: session.NewArray(cfg.SessionBuckets, cfg.SessionNodesPerBucket),
+	}
 }
 
 // Cluster is the device pool.
@@ -222,10 +245,7 @@ func New(cfg Config) *Cluster {
 		stopCh:  make(chan struct{}),
 	}
 	for g := 0; g < cfg.Groups; g++ {
-		c.groups = append(c.groups, &groupState{
-			db:       backend.New(),
-			sessions: session.NewArray(cfg.SessionBuckets, cfg.SessionNodesPerBucket),
-		})
+		c.groups = append(c.groups, newGroupState(&cfg))
 		c.owner[g] = g % cfg.Devices
 	}
 	for i := 0; i < cfg.Devices; i++ {
@@ -262,49 +282,45 @@ func (c *Cluster) Devices() int { return c.cfg.Devices }
 // GroupCount reports the shard group count.
 func (c *Cluster) GroupCount() int { return c.cfg.Groups }
 
+// Registry exposes the registry the pool serves.
+func (c *Cluster) Registry() *service.Registry { return c.cfg.Registry }
+
 // GroupSessions exposes group g's session array. Only safe to touch
 // while no unit of group g is dispatched or executing (e.g. a harness
 // pre-populating sessions before dispatching).
 func (c *Cluster) GroupSessions(g int) *session.Array { return c.groups[g].sessions }
 
-// SetWriteHook registers fn on every shard group's database (and the
-// per-device stray databases, which stateless units touch). A device
-// kernel's Besim deferred writes replay into the owning group's DB
+// GroupBackend exposes group g's backend store for workload widx, under
+// the same no-units-in-flight caveat as GroupSessions.
+func (c *Cluster) GroupBackend(g, widx int) service.Backend { return c.groups[g].bes[widx] }
+
+// SetWriteHook registers fn on every shard group's backend stores (and
+// the per-device stray stores, which stateless units touch). A device
+// kernel's deferred backend writes replay into the owning group's store
 // through the same mutators the host path uses, so fn observes every
 // committed write cluster-wide. Call before any unit is dispatched.
 func (c *Cluster) SetWriteHook(fn func(uid uint64)) {
 	for _, g := range c.groups {
-		g.db.SetWriteHook(fn)
+		for _, be := range g.bes {
+			be.SetWriteHook(fn)
+		}
 	}
 	for _, d := range c.devs {
-		d.stray.db.SetWriteHook(fn)
+		for _, be := range d.stray.bes {
+			be.SetWriteHook(fn)
+		}
 	}
 }
 
-// GroupFor reports the shard group a request routes to: logins pin to
-// the group that will own the created session (hashing the userid form
-// field the way session.Create will); cookie-bearing requests recover
-// affinity from the session ID; everything else (-1) carries no state
-// and may run anywhere.
-func (c *Cluster) GroupFor(req *httpx.Request, t banking.ReqType) int {
-	if t == banking.Login {
-		// A login ignores any cookie: it creates a session for the
-		// userid it posts. An unparsable userid fails in the kernel
-		// before touching any state, so it routes as stateless.
-		uid, err := strconv.ParseUint(req.Param("userid"), 10, 64)
-		if err != nil {
-			return -1
-		}
-		return session.BucketFor(uid, c.cfg.SessionBuckets) % c.cfg.Groups
+// GroupFor reports the shard group a classified request routes to: its
+// workload's affinity bucket mapped onto the group space, or -1 for
+// requests that carry no state and may run anywhere.
+func (c *Cluster) GroupFor(req *httpx.Request, t service.TypeID) int {
+	b := c.cfg.Registry.Affinity(req, t, c.cfg.SessionBuckets)
+	if b < 0 {
+		return -1
 	}
-	if cookie := req.Cookie("MY_ID"); cookie != "" {
-		if id, ok := session.ParseID(cookie); ok {
-			return id.Bucket(c.cfg.SessionBuckets) % c.cfg.Groups
-		}
-	}
-	// No or malformed cookie: the kernel fails the request before any
-	// session or DB access, so any device renders the same error page.
-	return -1
+	return b % c.cfg.Groups
 }
 
 // Dispatch routes a unit to a device, reporting false when it must be

@@ -8,9 +8,9 @@ import (
 	"time"
 
 	"rhythm/internal/backend"
-	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
 	"rhythm/internal/session"
+	"rhythm/internal/workloads"
 )
 
 // loginRaw builds a login request for uid with its correct deterministic
@@ -32,7 +32,7 @@ func unitFor(t *testing.T, cl *Cluster, raw []byte) *Unit {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	rt, ok := banking.ByPath(req.Path)
+	rt, ok := cl.Registry().Classify(&req)
 	if !ok {
 		t.Fatalf("no request type for %s", req.Path)
 	}
@@ -166,7 +166,7 @@ func TestClusterShardIdentity(t *testing.T) {
 	uids := []uint64{7001, 7002, 7003, 7004, 7005, 7006}
 	var pages []map[string][]byte
 	for _, devices := range []int{1, 4} {
-		cfg := Config{Devices: devices, CohortSize: 8}
+		cfg := Config{Registry: workloads.Banking(), Devices: devices, CohortSize: 8}
 		cl := New(cfg)
 		got, _ := driveUsers(t, cl, cfg, uids)
 		cl.Close()
@@ -178,7 +178,7 @@ func TestClusterShardIdentity(t *testing.T) {
 // TestClusterAffinityRouting: units of a group execute only on the
 // device that owns it.
 func TestClusterAffinityRouting(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8}
 	cl := New(cfg)
 	defer cl.Close()
 	uid0, uid1 := uidInGroup(cfg, 0), uidInGroup(cfg, 1)
@@ -201,7 +201,7 @@ func TestClusterAffinityRouting(t *testing.T) {
 // TestClusterStatelessSpread: no-affinity units spread over every
 // device by least-outstanding routing.
 func TestClusterStatelessSpread(t *testing.T) {
-	cfg := Config{Devices: 4, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 4, CohortSize: 8}
 	cl := New(cfg)
 	defer cl.Close()
 	// No cookie: the kernel renders the same session-error page on any
@@ -231,7 +231,7 @@ func TestClusterStatelessSpread(t *testing.T) {
 // bounded per-device queue fills and Dispatch reports false — the 503
 // path.
 func TestClusterBackpressure(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8, QueueDepth: 2, Manual: true}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8, QueueDepth: 2, Manual: true}
 	cl := New(cfg)
 	uid := uidInGroup(cfg, 0)
 	accepted := 0
@@ -267,7 +267,7 @@ func TestClusterBackpressure(t *testing.T) {
 // every dispatched unit still completes and pages are byte-identical to
 // an unfaulted pool's.
 func TestClusterFailoverLoss(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8}
 	uids := []uint64{uidInGroup(cfg, 0), uidInGroup(cfg, 1)}
 
 	clean := New(cfg)
@@ -301,7 +301,7 @@ func TestClusterFailoverLoss(t *testing.T) {
 // TestClusterLaunchErrorRetries: a transient launch error retries
 // locally — no failover, the device stays healthy, bytes identical.
 func TestClusterLaunchErrorRetries(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8}
 	uids := []uint64{uidInGroup(cfg, 0), uidInGroup(cfg, 1)}
 
 	clean := New(cfg)
@@ -337,7 +337,7 @@ func TestClusterLaunchErrorRetries(t *testing.T) {
 // device after MaxAttempts; the unit fails over and completes with
 // byte-identical pages.
 func TestClusterLaunchErrorEscalates(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8}
 	uids := []uint64{uidInGroup(cfg, 0), uidInGroup(cfg, 1)}
 
 	clean := New(cfg)
@@ -370,7 +370,7 @@ func TestClusterLaunchErrorEscalates(t *testing.T) {
 
 // TestClusterStall: a stalled device delays but loses nothing.
 func TestClusterStall(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8}
 	uids := []uint64{uidInGroup(cfg, 0), uidInGroup(cfg, 1)}
 
 	clean := New(cfg)
@@ -400,6 +400,7 @@ func TestClusterStall(t *testing.T) {
 // shed with ErrNoHealthyDevice and later dispatches report false.
 func TestClusterAllDevicesLost(t *testing.T) {
 	cfg := Config{
+		Registry:   workloads.Banking(),
 		Devices:    1,
 		CohortSize: 8,
 		Faults:     &FaultPlan{Faults: []Fault{{Device: 0, Kind: KindLoss, AfterUnits: 0}}},
@@ -422,7 +423,7 @@ func TestClusterAllDevicesLost(t *testing.T) {
 	}
 	// The pool is now fully dead: dispatch must refuse synchronously.
 	deadline := time.Now().Add(5 * time.Second)
-	for cl.Dispatch(&Unit{Type: banking.Login, Group: -1, Reqs: []httpx.Request{u.Reqs[0]}, Done: func(r *Result) {
+	for cl.Dispatch(&Unit{Type: u.Type, Group: -1, Reqs: []httpx.Request{u.Reqs[0]}, Done: func(r *Result) {
 		if r.Err == nil {
 			t.Error("dead pool executed a unit")
 		}
@@ -441,7 +442,7 @@ func TestClusterAllDevicesLost(t *testing.T) {
 // TestClusterDrainInFlight: Close with units queued on multiple devices
 // delivers every accepted unit's result before returning.
 func TestClusterDrainInFlight(t *testing.T) {
-	cfg := Config{Devices: 4, CohortSize: 8, QueueDepth: 16, Manual: true}
+	cfg := Config{Registry: workloads.Banking(), Devices: 4, CohortSize: 8, QueueDepth: 16, Manual: true}
 	cl := New(cfg)
 	var units []*Unit
 	for g := 0; g < 4; g++ {
@@ -476,7 +477,7 @@ func TestClusterDrainInFlight(t *testing.T) {
 // aggregate stats — the property the CI bench gate relies on.
 func TestClusterManualDeterminism(t *testing.T) {
 	run := func() Snapshot {
-		cfg := Config{Devices: 2, CohortSize: 8, QueueDepth: 64, Manual: true}
+		cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8, QueueDepth: 64, Manual: true}
 		cl := New(cfg)
 		var units []*Unit
 		var wg sync.WaitGroup
@@ -516,7 +517,7 @@ func TestClusterManualDeterminism(t *testing.T) {
 // produces byte-identical pages, and the two routes share group state —
 // a host-path login's session works for a device-path browse.
 func TestClusterHostUnits(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8}
 	uids := []uint64{6101, 6102, 6103}
 
 	ref := New(cfg)

@@ -3,9 +3,7 @@ package cluster
 import (
 	"time"
 
-	"rhythm/internal/backend"
-	"rhythm/internal/banking"
-	"rhythm/internal/session"
+	"rhythm/internal/service"
 	"rhythm/internal/sim"
 	"rhythm/internal/simt"
 )
@@ -48,9 +46,11 @@ type device struct {
 	eng *sim.Engine
 	dev *simt.Device
 
-	// Worker-owned execution state.
+	// Worker-owned execution state. slots[s] holds execution slot s's
+	// per-workload cohort state (service.Slot, by workload index) —
+	// every registered workload can bind cohorts on every slot.
 	streams   []*simt.Stream
-	dcs       []map[int]*banking.DeviceCohort // per slot, by buffer class
+	slots     [][]service.Slot
 	freeSlots []int
 	backlog   []*Unit
 	stray     *groupState // state for Group -1 units (never read by them)
@@ -78,22 +78,20 @@ type device struct {
 
 func newDevice(c *Cluster, id int) *device {
 	eng := sim.NewEngine()
-	memBytes := int(int64(c.cfg.SlotsPerDevice)*banking.AllClassesDeviceBytes(c.cfg.CohortSize)) + 64<<20
+	reg := c.cfg.Registry
+	memBytes := int(int64(c.cfg.SlotsPerDevice)*reg.DeviceBytes(c.cfg.CohortSize)) + 64<<20
 	d := &device{
-		cl:  c,
-		id:  id,
-		eng: eng,
-		dev: simt.NewDevice(eng, c.cfg.Simt, memBytes, nil),
-		stray: &groupState{
-			db:       backend.New(),
-			sessions: session.NewArray(c.cfg.SessionBuckets, c.cfg.SessionNodesPerBucket),
-		},
+		cl:     c,
+		id:     id,
+		eng:    eng,
+		dev:    simt.NewDevice(eng, c.cfg.Simt, memBytes, nil),
+		stray:  newGroupState(&c.cfg),
 		faults: faultCursor{faults: c.cfg.Faults.forDevice(id)},
 		ch:     make(chan *Unit, c.cfg.QueueDepth),
 	}
 	for i := 0; i < c.cfg.SlotsPerDevice; i++ {
 		d.streams = append(d.streams, d.dev.NewStream())
-		d.dcs = append(d.dcs, make(map[int]*banking.DeviceCohort))
+		d.slots = append(d.slots, reg.NewSlots(d.dev, c.cfg.CohortSize))
 		d.freeSlots = append(d.freeSlots, i)
 	}
 	return d
@@ -215,7 +213,7 @@ func (d *device) tryLaunch(u *Unit) {
 }
 
 // die finalizes a lost device. Ordering is the failover/idempotency
-// contract (DESIGN.md §11): Besim writes commit at unit launch, so
+// contract (DESIGN.md §11): backend writes commit at unit launch, so
 // every launched unit has committed and must complete and deliver —
 // step the engine until the in-flight slots drain. Only then is Dead
 // published (under statsMu, after which no new unit can route here and
@@ -260,26 +258,25 @@ func (d *device) die(stop chan struct{}) {
 }
 
 // executeHost runs a host-fallback unit (Unit.Host) synchronously on
-// this worker goroutine through the scalar path — banking.Execute plus
-// RenderAlloc, exactly the TCPServer recipe, so the response bytes are
-// identical to host mode's. Running it here (not on the dispatcher)
-// preserves the single-writer contract: the worker that owns the group
-// is still the only code touching its Besim DB and session array. Host
-// units consume no execution slot, never advance the fault schedule
-// (host execution doesn't touch the modeled device), and leave the
-// virtual clock alone.
+// this worker goroutine through the workload's scalar path, so the
+// response bytes are identical to host mode's. Running it here (not on
+// the dispatcher) preserves the single-writer contract: the worker that
+// owns the group is still the only code touching its backend stores and
+// session array. Host units consume no execution slot, never advance
+// the fault schedule (host execution doesn't touch the modeled device),
+// and leave the virtual clock alone.
 func (d *device) executeHost(u *Unit) {
 	st := d.stateFor(u.Group)
-	svc := banking.ServiceFor(u.Type)
+	reg := d.cl.cfg.Registry
 	res := &Result{Device: d.id, Host: true, Attempts: 1, Hops: u.hops}
 	res.RenderStart = time.Now()
 	res.Resps = make([][]byte, len(u.Reqs))
 	for i := range u.Reqs {
-		ctx := banking.Execute(svc, &u.Reqs[i], st.sessions, st.db, true)
-		if ctx.Err != "" {
+		resp, failed := reg.ExecuteHost(u.Type, &u.Reqs[i], st.sessions, st.bes)
+		if failed {
 			res.KernelErrs++
 		}
-		res.Resps[i] = banking.RenderAlloc(ctx)
+		res.Resps[i] = resp
 	}
 	res.RenderDur = time.Since(res.RenderStart)
 	d.cl.statsMu.Lock()
@@ -292,9 +289,9 @@ func (d *device) executeHost(u *Unit) {
 }
 
 // stateFor resolves the group state a unit executes against. Group -1
-// units carry no usable session cookie, so their kernels fail before
-// touching state; the per-device stray pair exists only so StageArgs
-// has non-nil pointers to hand them.
+// units carry no usable affinity, so their kernels fail before touching
+// state; the per-device stray set exists only so the bind has non-nil
+// stores and sessions to hand them.
 func (d *device) stateFor(g int) *groupState {
 	if g >= 0 {
 		return d.cl.groups[g]
@@ -302,54 +299,33 @@ func (d *device) stateFor(g int) *groupState {
 	return d.stray
 }
 
-// deviceCohort returns (allocating on first use) slot's cohort buffers
-// for type t, keyed by buffer class and rebound across types — the same
-// lazy scheme as the single-device server.
-func (d *device) deviceCohort(slot int, t banking.ReqType) *banking.DeviceCohort {
-	class := banking.SpecFor(t).BufferBytes()
-	dc, ok := d.dcs[slot][class]
-	if !ok {
-		dc = banking.NewDeviceCohortClass(d.dev, class, d.cl.cfg.CohortSize)
-		d.dcs[slot][class] = dc
-	}
-	dc.Bind(t)
-	return dc
-}
-
-// execute runs a unit's stage-kernel chain on slot's stream: n backend
-// + n+1 process stages with Besim chained in-kernel (Titan B
-// semantics), then the response transpose and writeback. Identical to
-// the single-device server's chain except that Sessions/Besim come
-// from the unit's shard group.
+// execute runs a unit's stage-kernel chain on slot's stream: the
+// workload binds the cohort onto the slot, then its n backend + n+1
+// process stage kernels launch back-to-back, then the response
+// transpose and writeback. Identical to the single-device server's
+// chain except that sessions and backends come from the unit's shard
+// group.
 func (d *device) execute(u *Unit, slot int) {
 	st := d.stateFor(u.Group)
-	svc := banking.ServiceFor(u.Type)
-	dc := d.deviceCohort(slot, u.Type)
+	reg := d.cl.cfg.Registry
+	sp := reg.Spec(u.Type)
+	widx := reg.WorkloadIndex(u.Type)
+	unit := d.slots[slot][widx].Bind(sp.Local, u.Reqs, st.sessions, st.bes[widx])
 	count := len(u.Reqs)
-	dc.Reset(count)
-	copy(dc.Reqs, u.Reqs)
 	stream := d.streams[slot]
 	launchStart := d.eng.Now()
 	res := &Result{Device: d.id, Attempts: u.attempts + 1, Hops: u.hops}
+	stages := unit.Stages()
 	var nextStage func(k int)
 	nextStage = func(k int) {
-		args := banking.StageArgs{
-			Cohort:   dc,
-			Service:  svc,
-			Stage:    k,
-			Sessions: st.sessions,
-			Padding:  true,
-			ColMajor: true,
-			Besim:    st.db,
-		}
 		wallStart := time.Now()
-		stream.Launch(banking.NewStageProgram(args), count, nil, func(ls simt.LaunchStats) {
+		stream.Launch(unit.Stage(k), count, nil, func(ls simt.LaunchStats) {
 			res.Stages = append(res.Stages, StageExec{Stats: ls, Start: wallStart, Dur: time.Since(wallStart)})
-			if k < svc.Spec.Backends {
+			if k < stages-1 {
 				nextStage(k + 1)
 				return
 			}
-			d.writeback(u, dc, stream, slot, count, launchStart, res)
+			d.writeback(u, unit, stream, slot, count, launchStart, res)
 		})
 	}
 	nextStage(0)
@@ -357,17 +333,16 @@ func (d *device) execute(u *Unit, slot int) {
 
 // writeback transposes the responses to row-major, copies each out of
 // device memory, and completes the unit.
-func (d *device) writeback(u *Unit, dc *banking.DeviceCohort, stream *simt.Stream, slot, count int, launchStart sim.Time, res *Result) {
-	buf := dc.Spec.BufferBytes()
-	stream.TransposeLive(dc.RespRow, dc.RespCol, buf/4, dc.Size, 4, buf/4, count, nil)
+func (d *device) writeback(u *Unit, unit service.Unit, stream *simt.Stream, slot, count int, launchStart sim.Time, res *Result) {
+	unit.Writeback(stream)
 	stream.Barrier(func() {
 		res.RenderStart = time.Now()
 		res.Resps = make([][]byte, count)
 		for i := 0; i < count; i++ {
-			if ctx := dc.Ctxs[i]; ctx != nil && ctx.Err != "" {
+			if unit.Failed(i) {
 				res.KernelErrs++
 			}
-			res.Resps[i] = dc.ResponseRow(d.dev.Mem, i)
+			res.Resps[i] = unit.Response(i)
 		}
 		res.RenderDur = time.Since(res.RenderStart)
 		res.DeviceTime = d.eng.Now() - launchStart

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rhythm/internal/sim"
+	"rhythm/internal/workloads"
 )
 
 // TestEpochAlignerGate exercises the aligner's blocking contract
@@ -99,7 +100,8 @@ func TestClusterSimParallelismDeterminism(t *testing.T) {
 	uids := []uint64{8200, 8201, 8202, 8203, 8204, 8205, 8206, 8207}
 	run := func(simPar int) (Snapshot, map[string][]byte) {
 		return clusterRun(t, Config{
-			Devices: 2, CohortSize: 8, QueueDepth: 64,
+			Registry: workloads.Banking(),
+			Devices:  2, CohortSize: 8, QueueDepth: 64,
 			Manual: true, SimParallelism: simPar,
 		}, uids)
 	}
@@ -126,7 +128,7 @@ func TestClusterSimParallelismDeterminism(t *testing.T) {
 // or in parallel — with virtual-clock alignment active to force the
 // failover through the aligner's leave path.
 func TestClusterFailoverMidEpochDeterminism(t *testing.T) {
-	cfg := Config{Devices: 2, CohortSize: 8, AlignEpoch: sim.Time(50_000)}
+	cfg := Config{Registry: workloads.Banking(), Devices: 2, CohortSize: 8, AlignEpoch: sim.Time(50_000)}
 	uids := []uint64{uidInGroup(cfg, 0), uidInGroup(cfg, 1)}
 
 	clean := New(cfg)
@@ -167,7 +169,8 @@ func TestClusterAlignEpochIdentity(t *testing.T) {
 	uids := []uint64{8300, 8301, 8302, 8303, 8304, 8305}
 	run := func(epoch sim.Time) (Snapshot, map[string][]byte) {
 		return clusterRun(t, Config{
-			Devices: 3, CohortSize: 8, QueueDepth: 64,
+			Registry: workloads.Banking(),
+			Devices:  3, CohortSize: 8, QueueDepth: 64,
 			Manual: true, AlignEpoch: epoch,
 		}, uids)
 	}

@@ -1,0 +1,207 @@
+// Package ecom implements a SPECWeb E-commerce/Support-style page
+// workload on the service registry: catalog browsing, search, product
+// detail, cart, and checkout, with Table-2-style power-of-two response
+// buffers and its own Besim-shard store. Catalog data is synthesized
+// deterministically from hashes (read paths are pure), while carts and
+// orders are per-shard-group mutable state committed through deferred
+// backend writes exactly like banking's Besim.
+package ecom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Store is the e-commerce backend: a deterministic synthesized catalog
+// plus mutable carts and orders. Like backend.DB it is single-writer:
+// the cluster drives one Store per shard group from the owning device
+// worker.
+type Store struct {
+	carts     map[uint64][]cartLine
+	orders    map[uint64][]string
+	requests  uint64
+	writeHook func(uid uint64)
+}
+
+type cartLine struct {
+	pid uint64
+	qty int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		carts:  make(map[uint64][]cartLine),
+		orders: make(map[uint64][]string),
+	}
+}
+
+// Requests reports handled backend requests.
+func (s *Store) Requests() uint64 { return s.requests }
+
+// SetWriteHook implements service.Backend.
+func (s *Store) SetWriteHook(fn func(uid uint64)) { s.writeHook = fn }
+
+func (s *Store) noteWrite(uid uint64) {
+	if s.writeHook != nil {
+		s.writeHook(uid)
+	}
+}
+
+// mix is the splitmix64 finalizer seeding the synthesized catalog.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashString(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Categories is the fixed catalog taxonomy.
+var Categories = []string{"audio", "books", "garden", "kitchen", "office", "outdoors", "toys", "video"}
+
+var adjectives = []string{"Compact", "Deluxe", "Basic", "Premium", "Portable", "Classic", "Modern", "Rugged"}
+var nouns = []string{"Widget", "Speaker", "Lamp", "Kettle", "Binder", "Tent", "Puzzle", "Camera", "Stand", "Cable", "Mug", "Chair", "Planter", "Router", "Easel", "Scale"}
+
+// product synthesizes the catalog entry for pid deterministically —
+// every shard group's store answers catalog reads identically, which is
+// what lets stateless browse/search requests run on any device.
+func product(pid uint64) (name, cat string, cents int64, stock int) {
+	h := mix(pid ^ 0xec0)
+	name = fmt.Sprintf("%s %s #%d", adjectives[h%8], nouns[(h>>8)%16], pid)
+	cat = Categories[(h>>16)%8]
+	cents = int64(h%20000_00) + 99
+	stock = int(h>>24) % 500
+	return
+}
+
+// writeProduct appends one catalog row: "pid|name|category|cents|stock".
+func writeProduct(b *strings.Builder, pid uint64) {
+	name, cat, cents, stock := product(pid)
+	fmt.Fprintf(b, "%d|%s|%s|%d|%d\n", pid, name, cat, cents, stock)
+}
+
+// catalogRows is how many rows list responses carry (bounded by the
+// 4 KB backend response slot).
+const catalogRows = 12
+
+// Handle implements service.Backend: line-oriented "VERB arg..."
+// requests in 1 KB slots, responses within 4 KB.
+func (s *Store) Handle(req []byte) []byte {
+	s.requests++
+	f := strings.Fields(strings.TrimRight(string(req), "\x00 \r\n"))
+	if len(f) == 0 {
+		return []byte("ERR empty")
+	}
+	var b strings.Builder
+	switch f[0] {
+	case "INDEX":
+		b.WriteString("OK\n")
+		for i := 0; i < catalogRows; i++ {
+			writeProduct(&b, mix(0xfea7+uint64(i))%100000)
+		}
+	case "SEARCH":
+		if len(f) < 2 {
+			return []byte("ERR args")
+		}
+		h := hashString(f[1])
+		b.WriteString("OK\n")
+		for i := 0; i < catalogRows; i++ {
+			writeProduct(&b, mix(h+uint64(i))%100000)
+		}
+	case "CATEGORY":
+		if len(f) < 2 {
+			return []byte("ERR args")
+		}
+		// Deterministic membership: walk hashes of the category until
+		// enough synthesized products actually belong to it.
+		b.WriteString("OK\n")
+		h := hashString(f[1])
+		found := 0
+		for i := uint64(0); found < catalogRows && i < 4096; i++ {
+			pid := mix(h+i) % 100000
+			if _, cat, _, _ := product(pid); cat == f[1] {
+				writeProduct(&b, pid)
+				found++
+			}
+		}
+		if found == 0 {
+			return []byte("ERR no such category")
+		}
+	case "PRODUCT":
+		pid, err := strconv.ParseUint(f[1], 10, 64)
+		if len(f) < 2 || err != nil {
+			return []byte("ERR args")
+		}
+		b.WriteString("OK\n")
+		writeProduct(&b, pid)
+	case "ADDCART":
+		if len(f) < 4 {
+			return []byte("ERR args")
+		}
+		uid, err1 := strconv.ParseUint(f[1], 10, 64)
+		pid, err2 := strconv.ParseUint(f[2], 10, 64)
+		qty, err3 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil || err3 != nil || qty <= 0 || qty > 99 {
+			return []byte("ERR args")
+		}
+		cart := append(s.carts[uid], cartLine{pid: pid, qty: qty})
+		if len(cart) > 20 {
+			return []byte("FAIL cart full")
+		}
+		s.carts[uid] = cart
+		s.noteWrite(uid)
+		s.writeCart(&b, uid)
+	case "CART":
+		uid, err := strconv.ParseUint(f[1], 10, 64)
+		if len(f) < 2 || err != nil {
+			return []byte("ERR args")
+		}
+		s.writeCart(&b, uid)
+	case "ORDER":
+		uid, err := strconv.ParseUint(f[1], 10, 64)
+		if len(f) < 2 || err != nil {
+			return []byte("ERR args")
+		}
+		cart := s.carts[uid]
+		if len(cart) == 0 {
+			return []byte("FAIL empty cart")
+		}
+		var total int64
+		items := 0
+		for _, l := range cart {
+			_, _, cents, _ := product(l.pid)
+			total += cents * int64(l.qty)
+			items += l.qty
+		}
+		conf := fmt.Sprintf("EC-%08x", uint32(mix(uid^uint64(len(s.orders[uid]))^0x0bde)))
+		s.orders[uid] = append(s.orders[uid], conf)
+		delete(s.carts, uid)
+		s.noteWrite(uid)
+		fmt.Fprintf(&b, "OK\n%s\n%d\n%d\n", conf, items, total)
+	default:
+		return []byte("ERR unknown verb " + f[0])
+	}
+	return []byte(b.String())
+}
+
+// writeCart emits "OK\n<lines>\n" then "pid|name|qty|cents" rows.
+func (s *Store) writeCart(b *strings.Builder, uid uint64) {
+	cart := s.carts[uid]
+	fmt.Fprintf(b, "OK\n%d\n", len(cart))
+	for _, l := range cart {
+		name, _, cents, _ := product(l.pid)
+		fmt.Fprintf(b, "%d|%s|%d|%d\n", l.pid, name, l.qty, cents)
+	}
+}

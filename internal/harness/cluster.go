@@ -7,7 +7,9 @@ import (
 	"rhythm/internal/banking"
 	"rhythm/internal/cluster"
 	"rhythm/internal/httpx"
+	"rhythm/internal/service"
 	"rhythm/internal/simt"
+	"rhythm/internal/workloads"
 )
 
 // Where ScaleOutStudy projects scale-out analytically from one measured
@@ -65,6 +67,7 @@ func runClusterPoint(cfg Config, devices int) ClusterScalingRow {
 	devCfg.SimParallelism = cfg.SimParallelism
 	unitsPerGroup := cfg.GPUCohortsPerType
 	cl := cluster.New(cluster.Config{
+		Registry:       workloads.Banking(),
 		Devices:        devices,
 		CohortSize:     cfg.CohortSize,
 		SlotsPerDevice: cfg.MaxCohorts,
@@ -89,7 +92,7 @@ func runClusterPoint(cfg Config, devices int) ClusterScalingRow {
 				}
 				reqs[i] = req
 			}
-			unit := &cluster.Unit{Type: rt, Group: g, Reqs: reqs}
+			unit := &cluster.Unit{Type: service.TypeID(rt), Group: g, Reqs: reqs}
 			wg.Add(1)
 			unit.Done = func(r *cluster.Result) {
 				if r.Err != nil {

@@ -8,6 +8,7 @@ import (
 	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
 	"rhythm/internal/rcache"
+	"rhythm/internal/service"
 	"rhythm/internal/session"
 )
 
@@ -162,12 +163,12 @@ func FrontendStudy(cfg Config) FrontendResult {
 					csid       session.ID
 					cuid, cver uint64
 				)
-				if rcache.Cacheable(t) {
+				if banking.Cacheable(t) {
 					if sid, ok := session.ParseID(req.Cookie("MY_ID")); ok {
 						if uid, ok := sessions.Lookup(sid); ok {
 							cacheable, csid, cuid = true, sid, uid
 							cver = cache.Version(cuid)
-							if _, hit := cache.Get(t, csid, cuid, cver, &req); hit {
+							if _, hit := cache.Get(service.TypeID(t), csid, cuid, cver, &req); hit {
 								return true
 							}
 						}
@@ -176,7 +177,7 @@ func FrontendStudy(cfg Config) FrontendResult {
 				ctx := scratch.Execute(banking.ServiceFor(t), &req, sessions, db, true)
 				resp := banking.Render(ctx, out[:ctx.Spec.BufferBytes()])
 				if cacheable && ctx.Err == "" {
-					cache.Put(t, csid, cuid, cver, &req, resp)
+					cache.Put(service.TypeID(t), csid, cuid, cver, &req, resp)
 				}
 				return ctx.Err == ""
 			}

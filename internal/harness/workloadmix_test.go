@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// workloadMixTestCfg is the quick test geometry: one full telemetry
+// ring per stream (CohortSize == telemetry.RingFrames) so polls report
+// zero lost frames.
+func workloadMixTestCfg() Config {
+	cfg := DefaultConfig()
+	cfg.CohortSize = 128
+	cfg.MaxCohorts = 4
+	return cfg
+}
+
+// TestWorkloadMixStudy checks the mixed-stream invariants: all three
+// workloads execute on the shared pool, no request takes the kernel
+// error path, and the telemetry fan-out drains with zero lost frames.
+func TestWorkloadMixStudy(t *testing.T) {
+	r := WorkloadMixStudy(workloadMixTestCfg(), 2)
+	if len(r.Rows) != 3 {
+		t.Fatalf("study reports %d workloads, want 3", len(r.Rows))
+	}
+	var share float64
+	for _, row := range r.Rows {
+		if row.Requests == 0 {
+			t.Errorf("workload %s executed no requests", row.Workload)
+		}
+		if row.KernelErrs != 0 {
+			t.Errorf("workload %s took the kernel error path %d times", row.Workload, row.KernelErrs)
+		}
+		share += row.SharePct
+	}
+	if share < 99.9 || share > 100.1 {
+		t.Errorf("workload shares sum to %.2f%%", share)
+	}
+	// Every subscriber drains PollMax frames from its full ring.
+	if want := 2 * 128 * 24; r.FramesDelivered != want {
+		t.Errorf("frames delivered = %d, want %d", r.FramesDelivered, want)
+	}
+	if r.FramesLost != 0 {
+		t.Errorf("frames lost = %d, want 0", r.FramesLost)
+	}
+	if r.ThroughputK <= 0 || r.VirtualMs <= 0 {
+		t.Errorf("degenerate totals: %+v", r)
+	}
+}
+
+// TestWorkloadMixDeterminism: the mixed heterogeneous stream must be
+// bit-identical between serial and 8-wide launch-level simulator
+// parallelism — the same §13 contract the homogeneous studies hold,
+// now across three workloads sharing devices. (The CI determinism
+// matrix additionally runs this whole package under
+// RHYTHM_SIM_PARALLELISM and the race detector.)
+func TestWorkloadMixDeterminism(t *testing.T) {
+	serial := workloadMixTestCfg()
+	serial.SimParallelism = 1
+	wide := workloadMixTestCfg()
+	wide.SimParallelism = 8
+	a := WorkloadMixStudy(serial, 2)
+	b := WorkloadMixStudy(wide, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("mixed-workload study diverges across sim parallelism:\nserial: %+v\n8-wide: %+v", a, b)
+	}
+}

@@ -1,9 +1,10 @@
 // Package rcache is the whole-page render cache of ROADMAP item 4: it
-// stores finished response buffers keyed by (request type, session,
-// user, request bytes) and a per-user session-state version, so a
-// repeated read-only request is answered from memory — bypassing cohort
-// formation and kernel launch entirely — while staying byte-identical
-// to a fresh render.
+// stores finished response buffers keyed by (workload-qualified request
+// type, session, user, request bytes) and a per-user session-state
+// version, so a repeated read-only request is answered from memory —
+// bypassing cohort formation and kernel launch entirely — while staying
+// byte-identical to a fresh render. Which types are eligible is
+// declared by the workload registry (service.Spec.Cacheable), not here.
 //
 // # Consistency protocol
 //
@@ -35,8 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
+	"rhythm/internal/service"
 	"rhythm/internal/session"
 )
 
@@ -46,7 +47,7 @@ const shards = 64
 // comparable; the variable-length request content is folded into H and
 // verified against the stored entry on lookup.
 type Key struct {
-	T   banking.ReqType
+	T   service.TypeID
 	SID session.ID
 	UID uint64
 	H   uint64 // FNV-1a over method, path, params
@@ -107,21 +108,6 @@ func New(maxEntries int) *Cache {
 		c.vers[i].m = make(map[uint64]uint64)
 	}
 	return c
-}
-
-// Cacheable reports whether request type t may be served from cache:
-// the read-only session'd page types. Login and logout mutate the
-// session array; the POST types mutate backend state; all six are
-// always executed.
-func Cacheable(t banking.ReqType) bool {
-	switch t {
-	case banking.AccountSummary, banking.AddPayee, banking.BillPay,
-		banking.BillPayStatusOutput, banking.ChangeProfile,
-		banking.CheckDetailHTML, banking.OrderCheck, banking.Profile,
-		banking.Transfer:
-		return true
-	}
-	return false
 }
 
 // Version returns uid's current state version. Capture it BEFORE
@@ -185,7 +171,7 @@ func sameReq(e *entry, req *httpx.Request) bool {
 // Get returns the cached page for (t, sid, uid, req) rendered at state
 // version ver, or nil. The returned slice is shared and must be
 // treated as read-only. Get never allocates on a hit.
-func (c *Cache) Get(t banking.ReqType, sid session.ID, uid, ver uint64, req *httpx.Request) ([]byte, bool) {
+func (c *Cache) Get(t service.TypeID, sid session.ID, uid, ver uint64, req *httpx.Request) ([]byte, bool) {
 	k := Key{T: t, SID: sid, UID: uid, H: hashReq(req)}
 	sh := &c.shards[(k.H^uid)%shards]
 	sh.mu.RLock()
@@ -216,7 +202,7 @@ func (c *Cache) Get(t banking.ReqType, sid session.ID, uid, ver uint64, req *htt
 // ver, copying both the request parameters and the response bytes so
 // the entry is immune to arena reuse. ver must be the version captured
 // before the request executed.
-func (c *Cache) Put(t banking.ReqType, sid session.ID, uid, ver uint64, req *httpx.Request, resp []byte) {
+func (c *Cache) Put(t service.TypeID, sid session.ID, uid, ver uint64, req *httpx.Request, resp []byte) {
 	k := Key{T: t, SID: sid, UID: uid, H: hashReq(req)}
 	e := &entry{
 		ver:    ver,

@@ -5,9 +5,20 @@ import (
 	"sync"
 	"testing"
 
-	"rhythm/internal/banking"
 	"rhythm/internal/httpx"
+	"rhythm/internal/service"
 	"rhythm/internal/session"
+)
+
+// The cache is type-agnostic: these stand in for registry-assigned
+// workload-qualified type ids.
+const (
+	tSummary service.TypeID = iota
+	tDetail
+	tProfile
+	tBillPay
+	tOrderCheck
+	tTransfer
 )
 
 func testReq(path string, params ...httpx.Param) *httpx.Request {
@@ -20,12 +31,12 @@ func TestGetPutRoundTrip(t *testing.T) {
 	sid := session.ID(0x1234)
 	resp := []byte("page-one")
 
-	if _, hit := c.Get(banking.AccountSummary, sid, 7, c.Version(7), req); hit {
+	if _, hit := c.Get(tSummary, sid, 7, c.Version(7), req); hit {
 		t.Fatal("hit on empty cache")
 	}
 	ver := c.Version(7)
-	c.Put(banking.AccountSummary, sid, 7, ver, req, resp)
-	got, hit := c.Get(banking.AccountSummary, sid, 7, ver, req)
+	c.Put(tSummary, sid, 7, ver, req, resp)
+	got, hit := c.Get(tSummary, sid, 7, ver, req)
 	if !hit || string(got) != "page-one" {
 		t.Fatalf("Get = %q, %v; want page-one, true", got, hit)
 	}
@@ -33,7 +44,7 @@ func TestGetPutRoundTrip(t *testing.T) {
 	// The stored response is a copy: mutating the inserted slice must not
 	// reach the cache.
 	resp[0] = 'X'
-	got, _ = c.Get(banking.AccountSummary, sid, 7, ver, req)
+	got, _ = c.Get(tSummary, sid, 7, ver, req)
 	if string(got) != "page-one" {
 		t.Fatalf("cache shares the caller's response buffer: %q", got)
 	}
@@ -44,17 +55,17 @@ func TestParamsCopiedFromArena(t *testing.T) {
 	params := []httpx.Param{{Key: "acct", Value: "1"}}
 	req := &httpx.Request{Method: httpx.GET, Path: "/check_detail_html.php", Params: params}
 	ver := c.Version(3)
-	c.Put(banking.CheckDetailHTML, 1, 3, ver, req, []byte("detail"))
+	c.Put(tDetail, 1, 3, ver, req, []byte("detail"))
 
 	// Recycle the arena request: same backing array, different values —
 	// what ParseInto does between requests on one connection.
 	params[0] = httpx.Param{Key: "acct", Value: "2"}
 	fresh := testReq("/check_detail_html.php", httpx.Param{Key: "acct", Value: "1"})
-	if _, hit := c.Get(banking.CheckDetailHTML, 1, 3, ver, fresh); !hit {
+	if _, hit := c.Get(tDetail, 1, 3, ver, fresh); !hit {
 		t.Fatal("entry should have copied its params out of the arena")
 	}
 	changed := testReq("/check_detail_html.php", httpx.Param{Key: "acct", Value: "2"})
-	if _, hit := c.Get(banking.CheckDetailHTML, 1, 3, ver, changed); hit {
+	if _, hit := c.Get(tDetail, 1, 3, ver, changed); hit {
 		t.Fatal("different params must miss")
 	}
 }
@@ -63,14 +74,14 @@ func TestInvalidateBumpsOnlyThatUser(t *testing.T) {
 	c := New(1024)
 	req := testReq("/profile.php")
 	verA, verB := c.Version(1), c.Version(2)
-	c.Put(banking.Profile, 10, 1, verA, req, []byte("user-a"))
-	c.Put(banking.Profile, 20, 2, verB, req, []byte("user-b"))
+	c.Put(tProfile, 10, 1, verA, req, []byte("user-a"))
+	c.Put(tProfile, 20, 2, verB, req, []byte("user-b"))
 
 	c.Invalidate(1)
-	if _, hit := c.Get(banking.Profile, 10, 1, c.Version(1), req); hit {
+	if _, hit := c.Get(tProfile, 10, 1, c.Version(1), req); hit {
 		t.Fatal("user 1's page survived its invalidation")
 	}
-	if got, hit := c.Get(banking.Profile, 20, 2, c.Version(2), req); !hit || string(got) != "user-b" {
+	if got, hit := c.Get(tProfile, 20, 2, c.Version(2), req); !hit || string(got) != "user-b" {
 		t.Fatal("user 2's page was collaterally invalidated")
 	}
 }
@@ -82,9 +93,9 @@ func TestSessionIDReuseAcrossUsers(t *testing.T) {
 	c := New(1024)
 	req := testReq("/account_summary.php")
 	sid := session.ID(0xbeef)
-	c.Put(banking.AccountSummary, sid, 111, c.Version(111), req, []byte("old-owner"))
+	c.Put(tSummary, sid, 111, c.Version(111), req, []byte("old-owner"))
 
-	if _, hit := c.Get(banking.AccountSummary, sid, 222, c.Version(222), req); hit {
+	if _, hit := c.Get(tSummary, sid, 222, c.Version(222), req); hit {
 		t.Fatal("aliased session ID served the previous owner's page")
 	}
 }
@@ -93,38 +104,19 @@ func TestStaleVersionNeverHits(t *testing.T) {
 	c := New(1024)
 	req := testReq("/bill_pay.php")
 	ver := c.Version(5)
-	c.Put(banking.BillPay, 1, 5, ver, req, []byte("v0"))
+	c.Put(tBillPay, 1, 5, ver, req, []byte("v0"))
 	c.Invalidate(5)
 	// An insert tagged with the captured-before-write version lands
 	// unreachable (the out-of-order Put case).
-	c.Put(banking.BillPay, 1, 5, ver, req, []byte("still-v0"))
-	if _, hit := c.Get(banking.BillPay, 1, 5, c.Version(5), req); hit {
+	c.Put(tBillPay, 1, 5, ver, req, []byte("still-v0"))
+	if _, hit := c.Get(tBillPay, 1, 5, c.Version(5), req); hit {
 		t.Fatal("stale-version entry served")
 	}
 	// A fresh render at the current version is served again.
 	cur := c.Version(5)
-	c.Put(banking.BillPay, 1, 5, cur, req, []byte("v1"))
-	if got, hit := c.Get(banking.BillPay, 1, 5, cur, req); !hit || string(got) != "v1" {
+	c.Put(tBillPay, 1, 5, cur, req, []byte("v1"))
+	if got, hit := c.Get(tBillPay, 1, 5, cur, req); !hit || string(got) != "v1" {
 		t.Fatalf("current-version entry missed: %q %v", got, hit)
-	}
-}
-
-func TestCacheableSet(t *testing.T) {
-	want := map[banking.ReqType]bool{
-		banking.AccountSummary:      true,
-		banking.AddPayee:            true,
-		banking.BillPay:             true,
-		banking.BillPayStatusOutput: true,
-		banking.ChangeProfile:       true,
-		banking.CheckDetailHTML:     true,
-		banking.OrderCheck:          true,
-		banking.Profile:             true,
-		banking.Transfer:            true,
-	}
-	for t2 := banking.ReqType(0); t2 < banking.NumTypes; t2++ {
-		if Cacheable(t2) != want[t2] {
-			t.Errorf("Cacheable(%s) = %v, want %v", t2, Cacheable(t2), want[t2])
-		}
 	}
 }
 
@@ -132,7 +124,7 @@ func TestEvictionBoundsEntries(t *testing.T) {
 	c := New(64) // minimum: one entry per shard
 	for i := 0; i < 10_000; i++ {
 		req := testReq(fmt.Sprintf("/p%d.php", i))
-		c.Put(banking.Profile, session.ID(i), uint64(i), 0, req, []byte("x"))
+		c.Put(tProfile, session.ID(i), uint64(i), 0, req, []byte("x"))
 	}
 	st := c.Stats()
 	if st.Entries > 64 {
@@ -147,12 +139,12 @@ func TestHashCollisionDegradesToMiss(t *testing.T) {
 	c := New(1024)
 	req := testReq("/order_check.php", httpx.Param{Key: "style", Value: "a"})
 	ver := c.Version(9)
-	c.Put(banking.OrderCheck, 4, 9, ver, req, []byte("styled"))
+	c.Put(tOrderCheck, 4, 9, ver, req, []byte("styled"))
 
 	// Forge a request with the stored entry's key hash but different
 	// content: sameReq must reject it.
 	forged := testReq("/order_check.php", httpx.Param{Key: "style", Value: "b"})
-	k := Key{T: banking.OrderCheck, SID: 4, UID: 9, H: hashReq(req)}
+	k := Key{T: tOrderCheck, SID: 4, UID: 9, H: hashReq(req)}
 	sh := &c.shards[(k.H^9)%shards]
 	sh.mu.RLock()
 	e := sh.m[k]
@@ -176,8 +168,8 @@ func TestConcurrentAccess(t *testing.T) {
 			uid := uint64(w % 4)
 			for i := 0; i < 2000; i++ {
 				ver := c.Version(uid)
-				if _, hit := c.Get(banking.AccountSummary, session.ID(uid), uid, ver, req); !hit {
-					c.Put(banking.AccountSummary, session.ID(uid), uid, ver, req, []byte("page"))
+				if _, hit := c.Get(tSummary, session.ID(uid), uid, ver, req); !hit {
+					c.Put(tSummary, session.ID(uid), uid, ver, req, []byte("page"))
 				}
 				if i%97 == 0 {
 					c.Invalidate(uid)
@@ -196,9 +188,9 @@ func TestGetHitAllocs(t *testing.T) {
 	c := New(1024)
 	req := testReq("/transfer.php")
 	ver := c.Version(2)
-	c.Put(banking.Transfer, 8, 2, ver, req, []byte("page"))
+	c.Put(tTransfer, 8, 2, ver, req, []byte("page"))
 	allocs := testing.AllocsPerRun(500, func() {
-		if _, hit := c.Get(banking.Transfer, 8, 2, ver, req); !hit {
+		if _, hit := c.Get(tTransfer, 8, 2, ver, req); !hit {
 			panic("miss")
 		}
 	})

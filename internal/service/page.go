@@ -1,0 +1,171 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Piece is one fragment of a generated response body: the host renderer
+// concatenates pieces, the device kernel stores the rendered buffer
+// with strided column stores. Static pieces are template content (cheap
+// per byte in the cost model); dynamic pieces are backend-derived.
+type Piece struct {
+	Data   string
+	Static bool
+}
+
+// Costs is a workload's structural instruction cost model, the same
+// shape banking calibrates against Table 2 (DESIGN.md): a fixed
+// per-request charge, per-byte emission charges, and a per-backend
+// round-trip charge.
+type Costs struct {
+	Fixed      int64
+	StaticByte int64
+	DynByte    int64
+	Backend    int64
+}
+
+// DefaultCosts is banking's calibrated model, a reasonable prior for
+// any page-shaped workload.
+func DefaultCosts() Costs {
+	return Costs{Fixed: 20000, StaticByte: 15, DynByte: 70, Backend: 20000}
+}
+
+func (c *Costs) fill() {
+	d := DefaultCosts()
+	if c.Fixed <= 0 {
+		c.Fixed = d.Fixed
+	}
+	if c.StaticByte <= 0 {
+		c.StaticByte = d.StaticByte
+	}
+	if c.DynByte <= 0 {
+		c.DynByte = d.DynByte
+	}
+	if c.Backend <= 0 {
+		c.Backend = d.Backend
+	}
+}
+
+// PageBuilder accumulates a response body as pieces, charging the
+// workload's cost model. It is the registry-generic sibling of
+// banking's builder; alignment padding keeps every lane of a cohort at
+// the same body offset after variable-length dynamic content (§4.3.2).
+type PageBuilder struct {
+	pieces  []Piece
+	bodyLen int
+	instr   int64
+	padding bool
+	costs   Costs
+}
+
+// NewPageBuilder returns a builder with padding enabled and the given
+// cost model (zero fields take defaults).
+func NewPageBuilder(costs Costs) *PageBuilder {
+	costs.fill()
+	return &PageBuilder{padding: true, costs: costs}
+}
+
+// Reset clears the builder for reuse, keeping capacity and settings.
+func (b *PageBuilder) Reset() {
+	b.pieces = b.pieces[:0]
+	b.bodyLen = 0
+	b.instr = 0
+}
+
+// SetPadding toggles whitespace alignment (the §4.3.2 ablation knob).
+func (b *PageBuilder) SetPadding(on bool) { b.padding = on }
+
+// Static appends template content.
+func (b *PageBuilder) Static(s string) {
+	b.pieces = append(b.pieces, Piece{Data: s, Static: true})
+	b.bodyLen += len(s)
+	b.instr += int64(len(s)) * b.costs.StaticByte
+}
+
+// Dynamic appends backend-derived content.
+func (b *PageBuilder) Dynamic(s string) {
+	b.pieces = append(b.pieces, Piece{Data: s})
+	b.bodyLen += len(s)
+	b.instr += int64(len(s)) * b.costs.DynByte
+}
+
+// Dynamicf appends formatted backend-derived content.
+func (b *PageBuilder) Dynamicf(format string, args ...any) {
+	b.Dynamic(fmt.Sprintf(format, args...))
+}
+
+// PadTo pads the body with spaces to offset n (rounded up to a word
+// boundary), realigning cohort lanes after a dynamic section. Being
+// already past n is tolerated: correctness never depends on alignment,
+// only coalescing does.
+func (b *PageBuilder) PadTo(n int) {
+	if !b.padding {
+		return
+	}
+	n = (n + 3) &^ 3
+	if b.bodyLen >= n {
+		return
+	}
+	pad := n - b.bodyLen
+	b.pieces = append(b.pieces, Piece{Data: spaces(pad), Static: true})
+	b.bodyLen += pad
+	b.instr += int64(pad) * b.costs.StaticByte
+}
+
+// FillTo emits deterministic filler template prose until the body
+// reaches offset n.
+func (b *PageBuilder) FillTo(n int) {
+	if b.bodyLen >= n {
+		return
+	}
+	b.Static(fillerText(n - b.bodyLen))
+}
+
+// Len reports accumulated body bytes.
+func (b *PageBuilder) Len() int { return b.bodyLen }
+
+// Instr reports instructions charged for body generation.
+func (b *PageBuilder) Instr() int64 { return b.instr }
+
+// Pieces returns the accumulated fragments.
+func (b *PageBuilder) Pieces() []Piece { return b.pieces }
+
+var spacesBank = strings.Repeat(" ", 1<<16)
+
+func spaces(n int) string {
+	if n <= len(spacesBank) {
+		return spacesBank[:n]
+	}
+	return strings.Repeat(" ", n)
+}
+
+// fillerText produces n bytes of deterministic HTML-ish filler prose
+// (truncated inside a comment so the markup stays well-formed).
+func fillerText(n int) string {
+	const para = "<p class=\"fine\">Offers subject to change. Availability and delivery " +
+		"estimates are computed at order time and may vary by region. Streamed device " +
+		"telemetry is retained per the published data policy; see your account " +
+		"settings for export options. Catalog descriptions are provided by the " +
+		"merchant of record. Do not share your access credentials; support staff " +
+		"will never request your password. All prices are shown before tax.</p>\n"
+	var sb strings.Builder
+	sb.Grow(n)
+	for sb.Len() < n {
+		remain := n - sb.Len()
+		if remain >= len(para) {
+			sb.WriteString(para)
+		} else if remain >= 9 {
+			sb.WriteString("<!--")
+			for sb.Len() < n-3 {
+				sb.WriteByte('.')
+			}
+			sb.WriteString("-->")
+		} else {
+			for sb.Len() < n {
+				sb.WriteByte(' ')
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"fmt"
+
+	"rhythm/internal/httpx"
+	"rhythm/internal/session"
+	"rhythm/internal/simt"
+)
+
+// PageWorkload implements Workload for request/response ("one request =
+// one page") workloads declared as a table of SvcDefs. It supplies the
+// full execution machinery — host scalar path, device stage kernels,
+// column-major cohort buffers, fixed-geometry rendering — so a workload
+// author writes only stage functions plus a backend store (see
+// examples/ and DESIGN.md §16).
+type PageWorkload struct {
+	name       string
+	cookieName string
+	costs      Costs
+	defs       []SvcDef
+	byPath     map[string]int
+
+	newBackend func() Backend
+	classify   func(req *httpx.Request) (int, bool)
+	affinity   func(req *httpx.Request, local int, buckets int) int
+	static     func(path string) ([]byte, bool)
+}
+
+// PageWorkloadConfig declares a page workload.
+type PageWorkloadConfig struct {
+	// Name is the registry name.
+	Name string
+	// CookieName is the session cookie ("" = no cookie sessions).
+	CookieName string
+	// Costs is the instruction cost model (zero fields take defaults).
+	Costs Costs
+	// Defs are the request types, in local-type order.
+	Defs []SvcDef
+	// NewBackend creates one shard group's backend store.
+	NewBackend func() Backend
+	// Classify overrides the default path-table classifier.
+	Classify func(req *httpx.Request) (local int, ok bool)
+	// Affinity overrides the default cookie-bucket affinity. Workloads
+	// with SessionCreates types must override it: the creating request
+	// has no cookie yet and must pin to the bucket its session will
+	// land in (session.BucketFor of the user id).
+	Affinity func(req *httpx.Request, local int, buckets int) int
+	// Static optionally serves workload static assets.
+	Static func(path string) ([]byte, bool)
+}
+
+// NewPageWorkload validates cfg and builds the workload.
+func NewPageWorkload(cfg PageWorkloadConfig) *PageWorkload {
+	if cfg.Name == "" {
+		panic("service: page workload needs a name")
+	}
+	if len(cfg.Defs) == 0 {
+		panic(fmt.Sprintf("service: workload %s declares no types", cfg.Name))
+	}
+	if cfg.NewBackend == nil {
+		panic(fmt.Sprintf("service: workload %s declares no backend", cfg.Name))
+	}
+	cfg.Costs.fill()
+	w := &PageWorkload{
+		name:       cfg.Name,
+		cookieName: cfg.CookieName,
+		costs:      cfg.Costs,
+		defs:       cfg.Defs,
+		byPath:     make(map[string]int),
+		newBackend: cfg.NewBackend,
+		classify:   cfg.Classify,
+		affinity:   cfg.Affinity,
+		static:     cfg.Static,
+	}
+	for i := range w.defs {
+		def := &w.defs[i]
+		if def.Stage == nil {
+			panic(fmt.Sprintf("service: %s/%s has no stage function", cfg.Name, def.Name))
+		}
+		if def.Session != SessionNone && w.cookieName == "" {
+			panic(fmt.Sprintf("service: %s/%s uses sessions but the workload has no cookie", cfg.Name, def.Name))
+		}
+		if def.Cacheable && def.Session == SessionNone {
+			panic(fmt.Sprintf("service: %s/%s cacheable without session identity", cfg.Name, def.Name))
+		}
+		def.headerLen = w.headerLen(def)
+		if def.Path != "" {
+			if _, dup := w.byPath[def.Path]; dup {
+				panic(fmt.Sprintf("service: %s duplicate path %q", cfg.Name, def.Path))
+			}
+			w.byPath[def.Path] = i
+		}
+	}
+	return w
+}
+
+// Name implements Workload.
+func (w *PageWorkload) Name() string { return w.name }
+
+// SessionCookie implements Workload.
+func (w *PageWorkload) SessionCookie() string { return w.cookieName }
+
+// Costs returns the workload's cost model.
+func (w *PageWorkload) Costs() Costs { return w.costs }
+
+// Def returns local type i's definition.
+func (w *PageWorkload) Def(local int) *SvcDef { return &w.defs[local] }
+
+// Types implements Workload.
+func (w *PageWorkload) Types() []Spec {
+	out := make([]Spec, len(w.defs))
+	for i := range w.defs {
+		d := &w.defs[i]
+		out[i] = Spec{
+			Name:           d.Name,
+			Path:           d.Path,
+			Post:           d.Post,
+			MixPercent:     d.MixPercent,
+			Backends:       d.Backends,
+			BufferBytes:    d.BufferBytes,
+			Cacheable:      d.Cacheable,
+			VariableStages: d.VariableStages,
+		}
+	}
+	return out
+}
+
+// Classify implements Workload (path table unless overridden).
+func (w *PageWorkload) Classify(req *httpx.Request) (int, bool) {
+	if w.classify != nil {
+		return w.classify(req)
+	}
+	local, ok := w.byPath[req.Path]
+	return local, ok
+}
+
+// Static implements Workload.
+func (w *PageWorkload) Static(path string) ([]byte, bool) {
+	if w.static != nil {
+		return w.static(path)
+	}
+	return nil, false
+}
+
+// Affinity implements Workload: by default a valid session cookie
+// recovers its array bucket; everything else is stateless.
+func (w *PageWorkload) Affinity(req *httpx.Request, local int, buckets int) int {
+	if w.affinity != nil {
+		return w.affinity(req, local, buckets)
+	}
+	if w.cookieName != "" {
+		if id, ok := session.ParseID(req.Cookie(w.cookieName)); ok {
+			return id.Bucket(buckets)
+		}
+	}
+	return -1
+}
+
+// NewBackend implements Workload.
+func (w *PageWorkload) NewBackend() Backend { return w.newBackend() }
+
+// ExecuteHost implements Workload: the scalar reference path, running
+// the same stage functions the kernels run.
+func (w *PageWorkload) ExecuteHost(local int, req *httpx.Request, sessions *session.Array, be Backend) ([]byte, bool) {
+	ctx := w.Execute(local, req, sessions, be, true)
+	return w.RenderAlloc(ctx), ctx.Err != ""
+}
+
+// Execute runs one request through every stage against a local backend
+// and returns the finished ctx (the host/validator entry point).
+func (w *PageWorkload) Execute(local int, req *httpx.Request, sessions *session.Array, be Backend, padding bool) *Ctx {
+	def := &w.defs[local]
+	ctx := &Ctx{Page: NewPageBuilder(w.costs)}
+	w.initCtx(ctx, def, req, sessions, padding)
+	runStages(def, ctx, func(breq []byte) []byte { return be.Handle(breq) })
+	return ctx
+}
+
+// classes lists the distinct response-buffer classes, ascending-free
+// (declaration order).
+func (w *PageWorkload) classes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for i := range w.defs {
+		c := w.defs[i].BufferBytes
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DeviceBytes implements Workload: one cohort buffer set per distinct
+// buffer class (each set: column+row response buffers plus one backend
+// request and one backend response column).
+func (w *PageWorkload) DeviceBytes(cohortSize int) int64 {
+	var total int64
+	for _, c := range w.classes() {
+		total += int64(cohortSize) * int64(2*c+BackendRequestSlot+BackendResponseSlot)
+	}
+	return total
+}
+
+// NewSlot implements Workload.
+func (w *PageWorkload) NewSlot(dev *simt.Device, cohortSize int) Slot {
+	return &pageSlot{w: w, dev: dev, size: cohortSize, byClass: make(map[int]*pageCohort)}
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"fmt"
+
+	"rhythm/internal/httpx"
+)
+
+// Responses of a page workload are always exactly the type's declared
+// buffer size: fixed-width header, content, trailing whitespace fill —
+// the fixed geometry that lets Rhythm transpose whole cohorts without
+// per-request bookkeeping (§5.1). Every header field is fixed-width
+// (session cookies are 16 hex digits, Content-Length a 10-char padded
+// field), so all responses of a type have identical layout.
+
+// headerLen computes a type's fixed header size for workload w.
+func (w *PageWorkload) headerLen(def *SvcDef) int {
+	n := 17 // "HTTP/1.1 200 OK\r\n"
+	n += 14 + len(def.contentType()) + 2
+	n += 24 // "Connection: keep-alive\r\n"
+	if w.sendsCookie(def) {
+		n += 12 + len(w.cookieName) + 1 + 16 + 2
+	}
+	n += 16 + httpx.ContentLengthPad + 4
+	return n
+}
+
+// sendsCookie reports whether responses of def carry a Set-Cookie
+// header (fixed per type, so cohort geometry is uniform).
+func (w *PageWorkload) sendsCookie(def *SvcDef) bool {
+	return w.cookieName != "" && def.Session != SessionNone
+}
+
+func (def *SvcDef) contentType() string {
+	if def.ContentType == "" {
+		return "text/html"
+	}
+	return def.ContentType
+}
+
+// HeaderLen reports the fixed header size of local type `local`.
+func (w *PageWorkload) HeaderLen(local int) int { return w.defs[local].headerLen }
+
+// Render assembles a finished ctx into buf, which must be exactly the
+// type's buffer size; it returns the full response (== buf).
+func (w *PageWorkload) Render(ctx *Ctx, buf []byte) []byte {
+	def := ctx.Def
+	if len(buf) != def.BufferBytes {
+		panic(fmt.Sprintf("service: render buffer %d bytes, want %d", len(buf), def.BufferBytes))
+	}
+	rw := httpx.NewResponseWriter(buf)
+	cookie := ""
+	if w.sendsCookie(def) {
+		cookie = ctx.NewCookie
+		if cookie == "" {
+			cookie = w.cookieName + "=0000000000000000"
+		}
+	}
+	rw.StartOK(def.contentType(), cookie)
+	if rw.Len() != def.headerLen {
+		panic(fmt.Sprintf("service: %s/%s header length %d, want %d (cookie %q)",
+			w.name, def.Name, rw.Len(), def.headerLen, cookie))
+	}
+	for _, piece := range ctx.Page.Pieces() {
+		rw.WriteString(piece.Data)
+	}
+	rw.PadTo(len(buf))
+	return rw.Finish()
+}
+
+// RenderAlloc renders into a freshly allocated right-sized buffer.
+func (w *PageWorkload) RenderAlloc(ctx *Ctx) []byte {
+	return w.Render(ctx, make([]byte, ctx.Def.BufferBytes))
+}

@@ -1,0 +1,363 @@
+// Package service is Rhythm's pluggable workload registry: the contract
+// a workload implements to be served by the cohort pipeline, and the
+// registry that fuses the registered workloads into one dense
+// workload-qualified type space the serving stack (classifier, cluster
+// dispatch, adaptive controller, render cache, metrics) is threaded
+// through. The stack itself knows nothing about any concrete workload —
+// banking, e-commerce, and telemetry all arrive here the same way
+// (DESIGN.md §16).
+//
+// A workload declares, per request type: a classifier entry, the fixed
+// response-buffer class (which sizes device cohort buffers and the
+// render cache's value geometry), the backend round-trip count (which
+// sizes the stage-kernel chain), mix weights (which drive generators and
+// the adaptive controller's fitting), render-cache eligibility, and
+// session semantics (which drive shard-group affinity and kernel
+// footprint declarations). It provides three execution surfaces: a
+// scalar host path (the byte-identity reference), a backend-store
+// factory (one instance per shard group), and a device slot factory
+// whose bound units launch the type's stage kernels.
+package service
+
+import (
+	"fmt"
+
+	"rhythm/internal/httpx"
+	"rhythm/internal/session"
+	"rhythm/internal/simt"
+)
+
+// TypeID is a workload-qualified request type: a dense index into the
+// registry's fused type space. The first registered workload's local
+// type 0 is TypeID 0, so a registry whose first workload is banking
+// keeps banking's historical type numbering.
+type TypeID int
+
+// Backend-request slot geometry shared by all registered workloads: the
+// paper's 1 KB request / 4 KB response Besim slots (§5.1). Fixing the
+// slots registry-wide keeps device cohort geometry uniform across
+// workloads sharing an execution slot.
+const (
+	BackendRequestSlot  = 1024
+	BackendResponseSlot = 4096
+)
+
+// Spec describes one registered request type. Workloads fill the local
+// fields; the registry assigns GID and Display at registration.
+type Spec struct {
+	// Workload is the owning workload's name.
+	Workload string
+	// GID is the registry-assigned workload-qualified type id.
+	GID TypeID
+	// Local is the type's index within its workload.
+	Local int
+	// Name is the workload-local type name (e.g. "login", "browse").
+	Name string
+	// Display is the registry-wide label used for stats keys, metric
+	// label values, flight records, and trace types: "workload/name",
+	// except for a workload registered with bare display names (banking,
+	// for backward compatibility with pre-registry label sets).
+	Display string
+	// Path is the classified request path ("" when the workload
+	// classifies by other means).
+	Path string
+	// Post marks form-submission (POST) types.
+	Post bool
+	// MixPercent is the type's share within its workload's mix.
+	MixPercent float64
+	// Backends is the number of backend round trips (the stage-kernel
+	// chain has Backends+1 process stages).
+	Backends int
+	// BufferBytes is the fixed response-buffer class.
+	BufferBytes int
+	// Cacheable marks types the whole-page render cache may serve.
+	Cacheable bool
+	// VariableStages marks types that may complete before their maximum
+	// backend count (divergent cohort retirement).
+	VariableStages bool
+}
+
+// Backend is one shard group's authoritative store for a workload:
+// process stages talk to it through fixed-size textual request slots
+// (the Besim protocol shape), and every committed mutation reports the
+// affected entity id to the write hook (the render cache's
+// invalidation feed). *backend.DB satisfies it.
+type Backend interface {
+	// Handle executes one wire-format backend request and returns the
+	// wire-format response (at most BackendResponseSlot bytes).
+	Handle(req []byte) []byte
+	// SetWriteHook registers fn to run after every committed mutation
+	// with the id whose cached pages it invalidates.
+	SetWriteHook(fn func(uid uint64))
+}
+
+// Workload is the registration contract. Implementations must be safe
+// for concurrent Classify/Affinity/Static calls; execution entry points
+// (ExecuteHost, Slot) are driven single-threaded per shard group by the
+// cluster's single-writer discipline.
+type Workload interface {
+	// Name is the workload's registry name ("banking", "ecom", ...).
+	Name() string
+	// Types lists the workload's request types with the local fields
+	// filled (Workload/GID/Display are assigned by the registry).
+	Types() []Spec
+	// Classify resolves a parsed request to a local type, reporting
+	// false for requests this workload does not serve.
+	Classify(req *httpx.Request) (local int, ok bool)
+	// Static serves workload static assets (images); ok=false when the
+	// path is not an asset of this workload.
+	Static(path string) ([]byte, bool)
+	// Affinity reports the session bucket (0..buckets-1) the request's
+	// state lives in, or -1 for stateless requests any device may serve.
+	Affinity(req *httpx.Request, local int, buckets int) int
+	// SessionCookie is the workload's session cookie name ("" when the
+	// workload has no cookie sessions; such workloads are never
+	// render-cached).
+	SessionCookie() string
+	// NewBackend creates one shard group's backend store.
+	NewBackend() Backend
+	// ExecuteHost runs one request on the scalar host path and returns
+	// the rendered fixed-geometry response (a fresh allocation the
+	// caller owns) plus whether the request took the error path. It must
+	// be byte-identical to the device path's output.
+	ExecuteHost(local int, req *httpx.Request, sessions *session.Array, be Backend) (resp []byte, failed bool)
+	// DeviceBytes reports the device memory one execution slot needs to
+	// serve every type of this workload (one cohort buffer set per
+	// distinct buffer class).
+	DeviceBytes(cohortSize int) int64
+	// NewSlot creates one execution slot's device cohort state.
+	NewSlot(dev *simt.Device, cohortSize int) Slot
+}
+
+// Slot is one execution slot's device-resident cohort state for one
+// workload. It is owned by a single device worker goroutine.
+type Slot interface {
+	// Bind prepares the slot for a cohort of requests of one local type
+	// and returns the launchable unit. The returned Unit is valid until
+	// the next Bind on this slot.
+	Bind(local int, reqs []httpx.Request, sessions *session.Array, be Backend) Unit
+}
+
+// Unit is a bound cohort ready to launch: Stages() sequential stage
+// kernels, then Writeback (the response transpose), then — after a
+// stream barrier — per-request response extraction.
+type Unit interface {
+	// Stages reports the number of stage kernels to launch (the page
+	// model's Backends+1).
+	Stages() int
+	// Stage returns stage k's kernel. The program must implement
+	// simt.Footprinter (declared footprints are what let independent
+	// launches overlap, DESIGN.md §13).
+	Stage(k int) simt.Program
+	// Writeback enqueues the response transpose on stream.
+	Writeback(stream *simt.Stream)
+	// Response copies request i's rendered response out of device
+	// memory. Valid only after a barrier following Writeback.
+	Response(i int) []byte
+	// Failed reports whether request i took the kernel error path.
+	Failed(i int) bool
+}
+
+// bareNamer is an optional Workload extension: a workload whose Display
+// labels are its bare local names (no "workload/" prefix). Banking
+// implements it so every pre-registry label, stats key, and flight type
+// stays valid (the schema_version 3→4 legacy aliases).
+type bareNamer interface {
+	BareDisplayNames() bool
+}
+
+// Registry fuses registered workloads into one dense TypeID space.
+// Registration order is significant: it fixes GID assignment (and
+// therefore stats/metrics ordering), and the first workload occupies
+// the lowest ids.
+type Registry struct {
+	ws    []Workload
+	specs []Spec
+	base  []int // workload index -> first GID
+	widx  []int // GID -> workload index
+
+	byDisplay map[string]TypeID
+	byName    map[string]int // workload name -> index
+}
+
+// NewRegistry builds a registry from workloads in registration order.
+// Duplicate workload names or display labels panic: the label universe
+// is the registry's core guarantee.
+func NewRegistry(ws ...Workload) *Registry {
+	if len(ws) == 0 {
+		panic("service: empty registry")
+	}
+	r := &Registry{
+		ws:        ws,
+		byDisplay: make(map[string]TypeID),
+		byName:    make(map[string]int),
+	}
+	for i, w := range ws {
+		name := w.Name()
+		if _, dup := r.byName[name]; dup {
+			panic(fmt.Sprintf("service: duplicate workload %q", name))
+		}
+		r.byName[name] = i
+		r.base = append(r.base, len(r.specs))
+		bare := false
+		if bn, ok := w.(bareNamer); ok {
+			bare = bn.BareDisplayNames()
+		}
+		for local, sp := range w.Types() {
+			if sp.Name == "" {
+				panic(fmt.Sprintf("service: %s type %d has no name", name, local))
+			}
+			if sp.BufferBytes <= 0 || sp.BufferBytes%4 != 0 {
+				panic(fmt.Sprintf("service: %s/%s buffer %d not a positive word multiple", name, sp.Name, sp.BufferBytes))
+			}
+			sp.Workload = name
+			sp.Local = local
+			sp.GID = TypeID(len(r.specs))
+			if bare {
+				sp.Display = sp.Name
+			} else {
+				sp.Display = name + "/" + sp.Name
+			}
+			if _, dup := r.byDisplay[sp.Display]; dup {
+				panic(fmt.Sprintf("service: duplicate display label %q", sp.Display))
+			}
+			r.byDisplay[sp.Display] = sp.GID
+			r.specs = append(r.specs, sp)
+			r.widx = append(r.widx, i)
+		}
+	}
+	return r
+}
+
+// NumTypes reports the fused type-space size.
+func (r *Registry) NumTypes() int { return len(r.specs) }
+
+// Spec returns the spec of t.
+func (r *Registry) Spec(t TypeID) Spec { return r.specs[t] }
+
+// Specs returns the full fused spec table (do not mutate).
+func (r *Registry) Specs() []Spec { return r.specs }
+
+// Workloads returns the registered workloads in registration order.
+func (r *Registry) Workloads() []Workload { return r.ws }
+
+// Workload resolves a workload by name.
+func (r *Registry) Workload(name string) (Workload, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return r.ws[i], true
+}
+
+// WorkloadIndex reports which registered workload owns t.
+func (r *Registry) WorkloadIndex(t TypeID) int { return r.widx[t] }
+
+// WorkloadOf returns the workload owning t.
+func (r *Registry) WorkloadOf(t TypeID) Workload { return r.ws[r.widx[t]] }
+
+// GID maps (workload index, local type) to the fused id.
+func (r *Registry) GID(widx, local int) TypeID { return TypeID(r.base[widx] + local) }
+
+// ByDisplay resolves a display label to its type id.
+func (r *Registry) ByDisplay(label string) (TypeID, bool) {
+	t, ok := r.byDisplay[label]
+	return t, ok
+}
+
+// DisplayNames returns the label universe indexed by TypeID — the
+// metrics `type` label values and /v1/stats per-type keys.
+func (r *Registry) DisplayNames() []string {
+	out := make([]string, len(r.specs))
+	for i := range r.specs {
+		out[i] = r.specs[i].Display
+	}
+	return out
+}
+
+// Classify resolves a request to its workload-qualified type,
+// consulting workloads in registration order.
+func (r *Registry) Classify(req *httpx.Request) (TypeID, bool) {
+	for i, w := range r.ws {
+		if local, ok := w.Classify(req); ok {
+			return r.GID(i, local), true
+		}
+	}
+	return 0, false
+}
+
+// Static serves the first registered workload that claims the asset.
+func (r *Registry) Static(path string) ([]byte, bool) {
+	for _, w := range r.ws {
+		if resp, ok := w.Static(path); ok {
+			return resp, true
+		}
+	}
+	return nil, false
+}
+
+// Affinity reports the session bucket a classified request pins to
+// (-1 = stateless).
+func (r *Registry) Affinity(req *httpx.Request, t TypeID, buckets int) int {
+	return r.WorkloadOf(t).Affinity(req, r.specs[t].Local, buckets)
+}
+
+// MixWeights returns the registered mix as a weight slice indexed by
+// TypeID (each workload's weights as declared; combining workloads into
+// one stream is the generator's job).
+func (r *Registry) MixWeights() []float64 {
+	out := make([]float64, len(r.specs))
+	for i := range r.specs {
+		out[i] = r.specs[i].MixPercent
+	}
+	return out
+}
+
+// MaxBufferBytes reports the largest response buffer any registered
+// type uses.
+func (r *Registry) MaxBufferBytes() int {
+	m := 0
+	for i := range r.specs {
+		if b := r.specs[i].BufferBytes; b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// NewBackends creates one backend store per workload (one shard
+// group's set), indexed by workload index.
+func (r *Registry) NewBackends() []Backend {
+	out := make([]Backend, len(r.ws))
+	for i, w := range r.ws {
+		out[i] = w.NewBackend()
+	}
+	return out
+}
+
+// NewSlots creates one execution slot's cohort state across all
+// workloads, indexed by workload index.
+func (r *Registry) NewSlots(dev *simt.Device, cohortSize int) []Slot {
+	out := make([]Slot, len(r.ws))
+	for i, w := range r.ws {
+		out[i] = w.NewSlot(dev, cohortSize)
+	}
+	return out
+}
+
+// DeviceBytes reports the device memory one execution slot needs to
+// serve every registered type.
+func (r *Registry) DeviceBytes(cohortSize int) int64 {
+	var total int64
+	for _, w := range r.ws {
+		total += w.DeviceBytes(cohortSize)
+	}
+	return total
+}
+
+// ExecuteHost runs one classified request on its workload's scalar host
+// path against the group's backend set.
+func (r *Registry) ExecuteHost(t TypeID, req *httpx.Request, sessions *session.Array, bes []Backend) ([]byte, bool) {
+	i := r.widx[t]
+	return r.ws[i].ExecuteHost(r.specs[t].Local, req, sessions, bes[i])
+}

@@ -1,0 +1,171 @@
+// Package telemetry implements a streaming-telemetry workload on the
+// service registry: devices publish compact fixed-size frames over
+// long-lived connections, and subscribers drain them through cursor
+// polls with pub/sub fan-out. All state lives in a per-shard-group
+// broker store mutated only through deferred backend writes, so frame
+// sequencing — and therefore exactly-once, in-order delivery across a
+// device failover — follows from the cluster's launch-commit
+// idempotency contract.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RingFrames is how many published frames each device retains; pollers
+// further behind have lost frames reported to them explicitly.
+const RingFrames = 128
+
+// MaxPayloadHex bounds the hex-encoded frame payload.
+const MaxPayloadHex = 64
+
+type frame struct {
+	seq     uint64
+	payload string
+}
+
+type cursorKey struct {
+	dev uint64
+	sub uint64
+}
+
+// Broker is the telemetry backend: per-device frame rings plus
+// per-subscriber cursors. Single-writer, like every Besim shard.
+type Broker struct {
+	rings     map[uint64][]frame
+	nextSeq   map[uint64]uint64
+	cursors   map[cursorKey]uint64
+	requests  uint64
+	writeHook func(uid uint64)
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		rings:   make(map[uint64][]frame),
+		nextSeq: make(map[uint64]uint64),
+		cursors: make(map[cursorKey]uint64),
+	}
+}
+
+// Requests reports handled backend requests.
+func (b *Broker) Requests() uint64 { return b.requests }
+
+// SetWriteHook implements service.Backend.
+func (b *Broker) SetWriteHook(fn func(uid uint64)) { b.writeHook = fn }
+
+func (b *Broker) noteWrite(dev uint64) {
+	if b.writeHook != nil {
+		b.writeHook(dev)
+	}
+}
+
+func validHex(s string) bool {
+	if len(s) == 0 || len(s) > MaxPayloadHex || len(s)%2 != 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Handle implements service.Backend: "VERB dev [args...]" requests.
+func (b *Broker) Handle(req []byte) []byte {
+	b.requests++
+	f := strings.Fields(strings.TrimRight(string(req), "\x00 \r\n"))
+	if len(f) < 2 {
+		return []byte("ERR args")
+	}
+	dev, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return []byte("ERR bad device")
+	}
+	switch f[0] {
+	case "PUB":
+		if len(f) != 3 || !validHex(f[2]) {
+			return []byte("ERR bad frame")
+		}
+		seq := b.nextSeq[dev]
+		b.nextSeq[dev] = seq + 1
+		ring := append(b.rings[dev], frame{seq: seq, payload: f[2]})
+		if len(ring) > RingFrames {
+			ring = ring[len(ring)-RingFrames:]
+		}
+		b.rings[dev] = ring
+		b.noteWrite(dev)
+		return []byte(fmt.Sprintf("OK\nseq=%d\n", seq))
+	case "SUB":
+		sub, err := strconv.ParseUint(f[2], 10, 64)
+		if len(f) != 3 || err != nil {
+			return []byte("ERR bad subscriber")
+		}
+		cur := b.nextSeq[dev]
+		b.cursors[cursorKey{dev: dev, sub: sub}] = cur
+		b.noteWrite(dev)
+		return []byte(fmt.Sprintf("OK\ncursor=%d\n", cur))
+	case "POLL":
+		if len(f) != 4 {
+			return []byte("ERR args")
+		}
+		sub, err1 := strconv.ParseUint(f[2], 10, 64)
+		max, err2 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil || max <= 0 {
+			return []byte("ERR args")
+		}
+		key := cursorKey{dev: dev, sub: sub}
+		cur, ok := b.cursors[key]
+		if !ok {
+			return []byte("FAIL not subscribed")
+		}
+		ring := b.rings[dev]
+		lost := uint64(0)
+		if len(ring) > 0 && ring[0].seq > cur {
+			lost = ring[0].seq - cur
+			cur = ring[0].seq
+		}
+		var out strings.Builder
+		var frames []frame
+		for _, fr := range ring {
+			if fr.seq >= cur && len(frames) < max {
+				frames = append(frames, fr)
+			}
+		}
+		if len(frames) > 0 {
+			cur = frames[len(frames)-1].seq + 1
+		}
+		b.cursors[key] = cur
+		b.noteWrite(dev)
+		fmt.Fprintf(&out, "OK\nn=%d lost=%d cursor=%d\n", len(frames), lost, cur)
+		for _, fr := range frames {
+			fmt.Fprintf(&out, "%d:%s\n", fr.seq, fr.payload)
+		}
+		return []byte(out.String())
+	case "STAT":
+		subs := 0
+		for k := range b.cursors {
+			if k.dev == dev {
+				subs++
+			}
+		}
+		return []byte(fmt.Sprintf("OK\nseq=%d subs=%d buffered=%d\n", b.nextSeq[dev], subs, len(b.rings[dev])))
+	default:
+		return []byte("ERR unknown verb " + f[0])
+	}
+}
+
+// Devices lists device ids with published frames (test helper).
+func (b *Broker) Devices() []uint64 {
+	out := make([]uint64, 0, len(b.nextSeq))
+	for d := range b.nextSeq {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -7,14 +7,15 @@ import (
 	"sync/atomic"
 	"time"
 
-	"rhythm/internal/banking"
 	"rhythm/internal/flight"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
 	"rhythm/internal/obs/health"
 	"rhythm/internal/rcache"
+	"rhythm/internal/service"
 	"rhythm/internal/simt"
 	"rhythm/internal/stats"
+	"rhythm/internal/workloads"
 )
 
 // StatsSchemaVersion is the "schema_version" both stats documents carry.
@@ -22,8 +23,18 @@ import (
 // controller section ("adapt"), host-fallback counters, and per-type
 // early-launch counts (DESIGN.md §12). Version 3 added the flight
 // recorder counters and the /v1/debug/flight and /v1/health endpoints
-// (DESIGN.md §15).
-const StatsSchemaVersion = 3
+// (DESIGN.md §15). Version 4 namespaces the per-type stats by workload
+// (DESIGN.md §16): the documents gain a "workloads" list, per-type
+// sections gain a "workload" field, and per-type Prometheus families
+// carry a `workload` label. Banking's type labels stay bare ("login",
+// not "banking/login") as the legacy aliases, so every version-3
+// dashboard keeps working against a banking-only or default registry.
+const StatsSchemaVersion = 4
+
+// DefaultRegistry builds the process-default workload registry: banking
+// (bare legacy labels), then e-commerce, then streaming telemetry.
+// Servers built without an explicit registry use this one.
+func DefaultRegistry() *service.Registry { return workloads.Default() }
 
 // The versioned control-plane paths. The unversioned legacy paths
 // (/rhythm-stats, /metrics, /rhythm-trace) remain as aliases.
@@ -237,11 +248,24 @@ func stageArgs(st simt.LaunchStats) map[string]any {
 	}
 }
 
-// typeNames returns the banking request-type labels indexed by ReqType.
-func typeNames() []string {
-	out := make([]string, banking.NumTypes)
-	for i := range out {
-		out[i] = banking.ReqType(i).String()
+// typeLabelSets precomputes the per-type Prometheus label set
+// (`workload="w",type="display"`) indexed by TypeID.
+func typeLabelSets(reg *service.Registry) []string {
+	specs := reg.Specs()
+	out := make([]string, len(specs))
+	for i := range specs {
+		out[i] = obs.Label("workload", specs[i].Workload) + "," + obs.Label("type", specs[i].Display)
+	}
+	return out
+}
+
+// workloadNames lists the registered workload names in registration
+// order (the stats documents' "workloads" section).
+func workloadNames(reg *service.Registry) []string {
+	ws := reg.Workloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
 	}
 	return out
 }
@@ -270,21 +294,22 @@ func newLatencyHistograms(n int) []*stats.Histogram {
 // writeLatencyFamilies emits the per-type request latency histograms
 // (seconds) for every type that has observations, then the exemplar
 // family linking each populated bucket to its latest trace ID — the
-// metric→trace join /v1/debug/flight resolves (DESIGN.md §15). The
-// exemplars are a separate plain family (not OpenMetrics `# {...}`
-// suffixes) so every line stays `name{labels} value` parseable.
-func writeLatencyFamilies(w *obs.PromWriter, names []string, hists []*stats.Histogram) {
+// metric→trace join /v1/debug/flight resolves (DESIGN.md §15). labels
+// carries each type's full label set (workload + type). The exemplars
+// are a separate plain family (not OpenMetrics `# {...}` suffixes) so
+// every line stays `name{labels} value` parseable.
+func writeLatencyFamilies(w *obs.PromWriter, labels []string, hists []*stats.Histogram) {
 	snaps := make([]stats.HistogramSnapshot, len(hists))
 	for i, h := range hists {
 		snaps[i] = h.Snapshot()
 	}
 	w.Family("rhythm_request_latency_seconds", "histogram",
-		"End-to-end request latency by request type.")
+		"End-to-end request latency by workload and request type.")
 	for i := range snaps {
 		if snaps[i].Count == 0 {
 			continue
 		}
-		w.Histogram("rhythm_request_latency_seconds", obs.Label("type", names[i]), snaps[i], 1e-9)
+		w.Histogram("rhythm_request_latency_seconds", labels[i], snaps[i], 1e-9)
 	}
 	w.Family("rhythm_request_latency_exemplar_trace_id", "gauge",
 		"Trace ID of the latest observation per latency bucket (0 = none yet); join against /v1/debug/flight.")
@@ -302,7 +327,7 @@ func writeLatencyFamilies(w *obs.PromWriter, names []string, hists []*stats.Hist
 				le = strconv.FormatFloat(s.Bounds[j]*1e-9, 'g', -1, 64)
 			}
 			w.Value("rhythm_request_latency_exemplar_trace_id",
-				obs.Label("type", names[i])+`,le="`+le+`"`, float64(id))
+				labels[i]+`,le="`+le+`"`, float64(id))
 		}
 	}
 }

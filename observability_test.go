@@ -98,9 +98,9 @@ func TestCohortServerMetricsEndpoint(t *testing.T) {
 	})
 	for _, want := range []string{
 		`rhythm_build_info{mode="cohort"} 1`,
-		`rhythm_requests_total{type="login"} 1`,
-		`rhythm_request_latency_seconds_count{type="login"} 1`,
-		`rhythm_cohorts_total{type="login",result="timeout"} 1`,
+		`rhythm_requests_total{workload="banking",type="login"} 1`,
+		`rhythm_request_latency_seconds_count{workload="banking",type="login"} 1`,
+		`rhythm_cohorts_total{workload="banking",type="login",result="timeout"} 1`,
 	} {
 		if !strings.Contains(resp, want+"\n") {
 			t.Fatalf("/metrics missing sample %q:\n%s", want, resp)

@@ -8,6 +8,8 @@ import (
 	"rhythm/internal/cluster"
 	"rhythm/internal/flight"
 	"rhythm/internal/obs/health"
+	"rhythm/internal/service"
+	"rhythm/internal/workloads"
 )
 
 // Server is a live Rhythm TCP server, independent of execution mode.
@@ -66,6 +68,22 @@ type Option func(*serverConfig)
 // Formation, device, and SLO options are ignored in this mode.
 func WithHostExecution() Option {
 	return func(c *serverConfig) { c.host = true }
+}
+
+// WithRegistry serves an explicit workload registry instead of the
+// default (banking + ecom + telemetry). Both modes.
+func WithRegistry(reg *service.Registry) Option {
+	return func(c *serverConfig) { c.cohort.Registry = reg }
+}
+
+// WithWorkloads serves only the named built-in workloads, in order
+// (the rhythmd -workloads flag). Returns an error for unknown names.
+func WithWorkloads(names ...string) (Option, error) {
+	reg, err := workloads.Named(names...)
+	if err != nil {
+		return nil, err
+	}
+	return WithRegistry(reg), nil
 }
 
 // WithDevices shards state across n modeled SIMT devices with
@@ -198,7 +216,11 @@ func New(addr string, opts ...Option) (Server, error) {
 		if maxSessions == 0 {
 			maxSessions = 1 << 16
 		}
-		srv := NewTCPServer(maxSessions)
+		reg := cfg.cohort.Registry
+		if reg == nil {
+			reg = DefaultRegistry()
+		}
+		srv := NewTCPServerFor(reg, maxSessions)
 		if cfg.cohort.RenderCache > 0 {
 			srv.EnableRenderCache(cfg.cohort.RenderCache)
 		}

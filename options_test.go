@@ -48,8 +48,8 @@ func TestNewHostServer(t *testing.T) {
 	}
 	for _, path := range []string{StatsPathV1, StatsPath} {
 		body := string(get(t, srv, path))
-		if !strings.Contains(body, `"schema_version": 3`) {
-			t.Fatalf("%s missing schema_version 3:\n%s", path, body)
+		if !strings.Contains(body, `"schema_version": 4`) {
+			t.Fatalf("%s missing schema_version 4:\n%s", path, body)
 		}
 		if !strings.Contains(body, `"mode": "host"`) {
 			t.Fatalf("%s missing host mode:\n%s", path, body)
@@ -94,7 +94,7 @@ func TestNewCohortServer(t *testing.T) {
 	}
 	for _, path := range []string{StatsPathV1, StatsPath} {
 		body := string(get(t, srv, path))
-		if !strings.Contains(body, `"schema_version": 3`) || !strings.Contains(body, `"mode": "cohort"`) {
+		if !strings.Contains(body, `"schema_version": 4`) || !strings.Contains(body, `"mode": "cohort"`) {
 			t.Fatalf("%s wrong stats document:\n%.300s", path, body)
 		}
 		if !strings.Contains(body, `"adapt"`) {

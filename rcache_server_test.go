@@ -234,7 +234,7 @@ func TestClusterRenderCacheFailover(t *testing.T) {
 func TestRenderCacheInvalidationIsolation(t *testing.T) {
 	s := NewTCPServer(4096)
 	s.EnableRenderCache(4096)
-	a := newConnArena()
+	a := newConnArena(s.reg.MaxBufferBytes())
 
 	login := func(uid uint64) string {
 		_, pw := s.Seed(uid)
@@ -294,7 +294,7 @@ func TestRenderCacheInvalidationIsolation(t *testing.T) {
 func TestRenderCacheStatsEndpoints(t *testing.T) {
 	s := NewTCPServer(4096)
 	s.EnableRenderCache(64)
-	a := newConnArena()
+	a := newConnArena(s.reg.MaxBufferBytes())
 	_, pw := s.Seed(9501)
 	body := fmt.Sprintf("userid=%d&passwd=%s", 9501, pw)
 	resp, _, _ := s.respond(a, []byte(fmt.Sprintf(

@@ -17,21 +17,34 @@ import (
 	"rhythm/internal/obs"
 	"rhythm/internal/obs/health"
 	"rhythm/internal/rcache"
+	"rhythm/internal/service"
 	"rhythm/internal/session"
 	"rhythm/internal/stats"
 )
 
-// TCPServer serves the SPECWeb Banking workload over a real TCP listener
+// TCPServer serves the registered workloads over a real TCP listener
 // using the host execution path — the same service code the device
 // kernels run, so responses are identical. It exists for end-to-end
 // demos (cmd/rhythmd, examples); performance evaluation uses Server.
 type TCPServer struct {
-	// mu guards the banking state (db + sessions are single-writer by
-	// design) and the listener. It is held only across Execute — never
-	// across connection I/O — so a slow client can't serialize the
-	// server (request parsing and page rendering run lock-free).
+	// reg is the workload registry; names its display-label universe,
+	// labels the per-type Prometheus label sets. bes holds one backend
+	// store per workload (this server is a single shard group); bankIdx
+	// is banking's workload index (-1 when banking is not registered),
+	// whose requests take the zero-copy arena fast path.
+	reg     *service.Registry
+	names   []string
+	labels  []string
+	bes     []service.Backend
+	bankIdx int
+
+	// mu guards the workload state (backends + sessions are
+	// single-writer by design) and the listener. It is held only across
+	// Execute — never across connection I/O — so a slow client can't
+	// serialize the server (request parsing and page rendering run
+	// lock-free).
 	mu       sync.Mutex
-	db       *backend.DB
+	db       *backend.DB // banking's backend store (nil without banking)
 	sessions *session.Array
 	ln       net.Listener
 	served   atomic.Uint64
@@ -58,26 +71,44 @@ type TCPServer struct {
 }
 
 // EnableRenderCache attaches a whole-page render cache of at most
-// entries pages, invalidated by the backend write hook. Call before
-// Serve.
+// entries pages, invalidated by every workload backend's write hook.
+// Call before Serve.
 func (s *TCPServer) EnableRenderCache(entries int) {
 	s.cache = rcache.New(entries)
-	s.db.SetWriteHook(s.cache.Invalidate)
+	for _, be := range s.bes {
+		be.SetWriteHook(s.cache.Invalidate)
+	}
 }
 
-// NewTCPServer builds a TCP banking server with capacity for
-// maxSessions live sessions.
+// NewTCPServer builds a TCP server over the default registry with
+// capacity for maxSessions live sessions.
 func NewTCPServer(maxSessions int) *TCPServer {
+	return NewTCPServerFor(DefaultRegistry(), maxSessions)
+}
+
+// NewTCPServerFor builds a TCP server serving reg's workloads.
+func NewTCPServerFor(reg *service.Registry, maxSessions int) *TCPServer {
 	if maxSessions < 256 {
 		maxSessions = 256
 	}
 	s := &TCPServer{
-		db:         backend.New(),
+		reg:        reg,
+		names:      reg.DisplayNames(),
+		labels:     typeLabelSets(reg),
+		bes:        reg.NewBackends(),
+		bankIdx:    -1,
 		sessions:   session.NewArray(256, maxSessions/256*4+4),
-		typeCounts: make([]atomic.Uint64, banking.NumTypes),
-		latHist:    newLatencyHistograms(int(banking.NumTypes)),
+		typeCounts: make([]atomic.Uint64, reg.NumTypes()),
+		latHist:    newLatencyHistograms(reg.NumTypes()),
 		tracer:     obs.NewRecorder(0),
 		flight:     flight.New(flight.Config{}),
+	}
+	for i, w := range reg.Workloads() {
+		if w.Name() == "banking" {
+			if db, ok := s.bes[i].(*backend.DB); ok {
+				s.bankIdx, s.db = i, db
+			}
+		}
 	}
 	s.hEngine = s.newHealthEngine(health.Config{})
 	return s
@@ -98,20 +129,17 @@ func (s *TCPServer) newHealthEngine(cfg health.Config) *health.Engine {
 	if cfg.SLO <= 0 {
 		cfg.SLO = defaultHealthSLO
 	}
-	names := typeNames()
+	names := s.names
 	sloNs := float64(cfg.SLO)
 	return health.New(cfg, func() map[string]health.Counts {
 		return sloCounts(names, s.latHist, sloNs, nil)
 	})
 }
 
-// Seed creates a user with a deterministic password and returns
-// (userID, password), so demo clients can log in.
+// Seed reports the deterministic banking credentials for userID (every
+// profile is synthesized on first touch), so demo clients can log in.
 func (s *TCPServer) Seed(userID uint64) (uint64, string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.db.GetProfile(userID)
-	return userID, p.Password
+	return userID, backend.PasswordFor(userID)
 }
 
 // Addr reports the bound address once Listen has been called.
@@ -202,11 +230,13 @@ type connArena struct {
 	wbuf []byte
 }
 
-func newConnArena() *connArena {
+// maxOut is the registry's largest response-buffer class, so one buffer
+// serves every registered type.
+func newConnArena(maxOut int) *connArena {
 	return &connArena{
 		raw:     make([]byte, 0, 1024),
 		scratch: banking.NewScratch(),
-		out:     make([]byte, banking.MaxBufferBytes()),
+		out:     make([]byte, maxOut),
 	}
 }
 
@@ -221,7 +251,7 @@ func newParseArena() *connArena {
 func (s *TCPServer) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
-	a := newConnArena()
+	a := newConnArena(s.reg.MaxBufferBytes())
 	for {
 		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 		raw, err := readRequestInto(r, a.raw[:0])
@@ -285,9 +315,9 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 	case HealthPathV1:
 		return healthResponse(s.hEngine, s.flight), nil, 0
 	}
-	t, ok := banking.ByPath(req.Path)
+	t, ok := s.reg.Classify(req)
 	if !ok {
-		if resp, ok := banking.ImageResponse(req.Path); ok {
+		if resp, ok := s.reg.Static(req.Path); ok {
 			return resp, nil, 0
 		}
 		s.errors.Add(1)
@@ -297,7 +327,7 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 	id := s.flight.NextID()
 	a.frec.Reset()
 	a.frec.TraceID = id
-	a.frec.Type = t.String()
+	a.frec.Type = s.names[t]
 	a.frec.Start = start
 	a.frec.HostExec = true
 	a.frec.Attempts = 1
@@ -312,8 +342,8 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 		csid       session.ID
 		cuid, cver uint64
 	)
-	if s.cache != nil && rcache.Cacheable(t) {
-		if sid, ok := session.ParseID(req.Cookie("MY_ID")); ok {
+	if s.cache != nil && s.reg.Spec(t).Cacheable {
+		if sid, ok := session.ParseID(req.Cookie(s.reg.WorkloadOf(t).SessionCookie())); ok {
 			if uid, ok := s.sessions.Lookup(sid); ok {
 				cacheable, csid, cuid = true, sid, uid
 				cver = s.cache.Version(cuid)
@@ -325,22 +355,39 @@ func (s *TCPServer) respond(a *connArena, raw []byte) ([]byte, *obs.RequestTrace
 		}
 	}
 
-	s.mu.Lock()
-	ctx := a.scratch.Execute(banking.ServiceFor(t), req, s.sessions, s.db, true)
-	s.mu.Unlock()
-	executed := time.Now()
-	if ctx.Err != "" {
+	// Banking requests run the zero-copy arena fast path (scratch ctx +
+	// reused render buffer); other workloads execute through the
+	// registry's scalar host surface, which allocates its response.
+	var (
+		resp     []byte
+		failed   bool
+		executed time.Time
+	)
+	if widx := s.reg.WorkloadIndex(t); widx == s.bankIdx {
+		bt := banking.ReqType(s.reg.Spec(t).Local)
+		s.mu.Lock()
+		ctx := a.scratch.Execute(banking.ServiceFor(bt), req, s.sessions, s.db, true)
+		s.mu.Unlock()
+		executed = time.Now()
+		failed = ctx.Err != ""
+		resp = banking.Render(ctx, a.out[:ctx.Spec.BufferBytes()])
+	} else {
+		s.mu.Lock()
+		resp, failed = s.reg.ExecuteHost(t, req, s.sessions, s.bes)
+		s.mu.Unlock()
+		executed = time.Now()
+	}
+	if failed {
 		s.errors.Add(1)
 		a.frec.Status = flight.StatusError
 	}
-	resp := banking.Render(ctx, a.out[:ctx.Spec.BufferBytes()])
 	rendered := time.Now()
-	if cacheable && ctx.Err == "" {
+	if cacheable && !failed {
 		s.cache.Put(t, csid, cuid, cver, req, resp)
 	}
 	s.latHist[t].ObserveEx(float64(rendered.Sub(start)), id)
 	return resp, &obs.RequestTrace{
-		Type: t.String(),
+		Type: s.names[t],
 		Spans: []obs.Span{
 			{Name: "classify", Start: start, Dur: classified.Sub(start)},
 			{Name: "execute", Start: classified, Dur: executed.Sub(classified)},
@@ -354,6 +401,7 @@ func (s *TCPServer) statsDocument() HostStats {
 	st := HostStats{
 		SchemaVersion:   StatsSchemaVersion,
 		Mode:            "host",
+		Workloads:       workloadNames(s.reg),
 		Served:          s.served.Load(),
 		Errors:          s.errors.Load(),
 		FlightRequests:  s.flight.Total(),
@@ -380,14 +428,13 @@ func (s *TCPServer) metricsResponse() []byte {
 	w.Value("rhythm_requests_served_total", "", float64(s.served.Load()))
 	w.Family("rhythm_request_errors_total", "counter", "Requests that failed (parse, unknown path, service error).")
 	w.Value("rhythm_request_errors_total", "", float64(s.errors.Load()))
-	names := typeNames()
-	w.Family("rhythm_requests_total", "counter", "Requests executed on the host path, by type.")
+	w.Family("rhythm_requests_total", "counter", "Requests executed on the host path, by workload and type.")
 	for i := range s.typeCounts {
 		if n := s.typeCounts[i].Load(); n > 0 {
-			w.Value("rhythm_requests_total", obs.Label("type", names[i]), float64(n))
+			w.Value("rhythm_requests_total", s.labels[i], float64(n))
 		}
 	}
-	writeLatencyFamilies(w, names, s.latHist)
+	writeLatencyFamilies(w, s.labels, s.latHist)
 	if s.cache != nil {
 		writeRenderCacheFamilies(w, s.cache.Stats())
 	}
@@ -426,8 +473,11 @@ func (s *TCPServer) traceResponse(req *httpx.Request) []byte {
 type HostStats struct {
 	SchemaVersion int    `json:"schema_version"`
 	Mode          string `json:"mode"`
-	Served        uint64 `json:"served"`
-	Errors        uint64 `json:"errors"`
+	// Workloads lists the registered workload names in registration
+	// order (schema_version 4).
+	Workloads []string `json:"workloads"`
+	Served    uint64   `json:"served"`
+	Errors    uint64   `json:"errors"`
 	// Render-cache counters (zero when the cache is disabled).
 	CacheHits          uint64 `json:"cache_hits"`
 	CacheMisses        uint64 `json:"cache_misses"`
