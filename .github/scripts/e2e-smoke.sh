@@ -18,8 +18,11 @@ CACHEH_ADDR=127.0.0.1:18605
 CACHEC_ADDR=127.0.0.1:18606
 FLIGHT_ADDR=127.0.0.1:18607
 MIX_ADDR=127.0.0.1:18608
+SCALE_ADDR=127.0.0.1:18609
+W0_ADDR=127.0.0.1:18610
+W1_ADDR=127.0.0.1:18611
 WORK=$(mktemp -d)
-trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID $FLIGHT_PID $MIX_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+trap 'kill $HOST_PID $COHORT_PID $CLUSTER_PID $ADAPT_PID $CACHEH_PID $CACHEC_PID $FLIGHT_PID $MIX_PID $W0_PID $W1_PID $SCALE_PID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 
 if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/rhythmd
@@ -79,6 +82,32 @@ FLIGHT_PID=$!
 "$BIN" -cohort -addr "$MIX_ADDR" -cohort-size 8 -formation-timeout 2ms \
     -devices 4 -workloads banking,ecom,telemetry >"$WORK/mix.log" 2>&1 &
 MIX_PID=$!
+# Scale-out leg (DESIGN.md §17): two rhythmd -worker processes host the
+# modeled devices behind the fabric wire protocol, and a cohort frontend
+# ships formed cohorts to them over TCP. Every page must still be
+# byte-identical to the host path, and SIGTERMing a worker mid-run must
+# quiesce it (exactly-once writes) while the frontend fails its groups
+# over to the survivor.
+"$BIN" -worker -addr "$W0_ADDR" -devices 2 -groups 4 -cohort-size 8 \
+    >"$WORK/w0.log" 2>&1 &
+W0_PID=$!
+"$BIN" -worker -addr "$W1_ADDR" -devices 2 -groups 4 -cohort-size 8 \
+    >"$WORK/w1.log" 2>&1 &
+W1_PID=$!
+for w in w0 w1; do
+    for _ in $(seq 1 50); do
+        grep -q 'worker node on' "$WORK/$w.log" && break
+        sleep 0.1
+    done
+    grep -q 'worker node on' "$WORK/$w.log" || {
+        echo "e2e-smoke: fabric worker $w never came up" >&2
+        cat "$WORK/$w.log" >&2
+        exit 1
+    }
+done
+"$BIN" -cohort -addr "$SCALE_ADDR" -cohort-size 8 -formation-timeout 2ms \
+    -nodes "$W0_ADDR,$W1_ADDR" >"$WORK/scale.log" 2>&1 &
+SCALE_PID=$!
 
 wait_ready() {
     for _ in $(seq 1 50); do
@@ -97,6 +126,7 @@ wait_ready "$CACHEH_ADDR"
 wait_ready "$CACHEC_ADDR"
 wait_ready "$FLIGHT_ADDR"
 wait_ready "$MIX_ADDR"
+wait_ready "$SCALE_ADDR"
 
 # Demo credentials are deterministic; both modes print the same list.
 CRED=$(grep -m1 '^  userid=' "$WORK/host.log")
@@ -119,6 +149,7 @@ drive cluster "$CLUSTER_ADDR"
 drive adapt "$ADAPT_ADDR"
 drive flight "$FLIGHT_ADDR"
 drive mix "$MIX_ADDR"
+drive scale "$SCALE_ADDR"
 
 # drive_ecom <name> <addr>: the e-commerce catalog pages plus a
 # cart -> checkout session (the cart POST mints the EC_ID cookie).
@@ -148,8 +179,10 @@ drive_telemetry() {
 }
 drive_ecom host "$HOST_ADDR"
 drive_ecom mix "$MIX_ADDR"
+drive_ecom scale "$SCALE_ADDR"
 drive_telemetry host "$HOST_ADDR"
 drive_telemetry mix "$MIX_ADDR"
+drive_telemetry scale "$SCALE_ADDR"
 
 # drive_twice <name> <addr>: like drive, but browse the authenticated
 # pages twice before logging out. Against a -render-cache server the
@@ -174,7 +207,7 @@ drive_twice cachec "$CACHEC_ADDR"
 # cluster leg loses its device mid-session, so identity there also
 # proves the failover/idempotency contract end to end.
 for page in login summary profile logout; do
-    for mode in cohort cluster adapt flight mix; do
+    for mode in cohort cluster adapt flight mix scale; do
         if ! diff -q "$WORK/host.$page" "$WORK/$mode.$page"; then
             echo "e2e-smoke: $page body differs between host and $mode mode" >&2
             diff "$WORK/host.$page" "$WORK/$mode.$page" | head -20 >&2 || true
@@ -193,11 +226,13 @@ grep -q "Account Summary" "$WORK/host.summary" || {
 for page in ec_index ec_browse ec_search ec_product ec_cart ec_checkout \
     t_sub1 t_sub2 t_ingest_00aa t_ingest_00ab t_ingest_00ac \
     t_poll1 t_poll2 t_status; do
-    if ! diff -q "$WORK/host.$page" "$WORK/mix.$page"; then
-        echo "e2e-smoke: $page body differs between host and mixed-workload mode" >&2
-        diff "$WORK/host.$page" "$WORK/mix.$page" | head -20 >&2 || true
-        exit 1
-    fi
+    for mode in mix scale; do
+        if ! diff -q "$WORK/host.$page" "$WORK/$mode.$page"; then
+            echo "e2e-smoke: $page body differs between host and $mode mode" >&2
+            diff "$WORK/host.$page" "$WORK/$mode.$page" | head -20 >&2 || true
+            exit 1
+        fi
+    done
 done
 grep -q "Thank you for your order" "$WORK/host.ec_checkout" || {
     echo "e2e-smoke: checkout page missing order confirmation" >&2
@@ -277,7 +312,7 @@ echo "$CSTATS" | grep -Eq '"failovers": [1-9]' || {
 # every non-banking type label ("ecom/browse"), with banking's bare
 # labels kept as legacy aliases.
 MIXSTATS=$(curl -sf "http://$MIX_ADDR/v1/stats")
-for needle in '"schema_version": 4' '"workloads"' '"banking"' '"ecom"' '"telemetry"' \
+for needle in '"schema_version": 5' '"workloads"' '"banking"' '"ecom"' '"telemetry"' \
     '"ecom/cart_add"' '"telemetry/poll"' '"login"'; do
     echo "$MIXSTATS" | grep -q "$needle" || {
         echo "e2e-smoke: mixed-workload /v1/stats missing $needle" >&2
@@ -285,6 +320,80 @@ for needle in '"schema_version": 4' '"workloads"' '"banking"' '"ecom"' '"telemet
         exit 1
     }
 done
+
+# Scale-out leg: the frontend must actually have shipped cohorts over
+# the wire — the topology document reports the tcp transport with both
+# worker nodes up and dispatch counters moving.
+TOPO=$(curl -sf "http://$SCALE_ADDR/v1/topology")
+for needle in '"transport": "tcp"' '"node_failovers": 0' '"lost_units": 0'; do
+    echo "$TOPO" | grep -q "$needle" || {
+        echo "e2e-smoke: scale-out /v1/topology missing $needle" >&2
+        echo "$TOPO" | head -40 >&2
+        exit 1
+    }
+done
+[ "$(echo "$TOPO" | grep -c '"health": "up"')" = 2 ] || {
+    echo "e2e-smoke: scale-out topology does not show 2 nodes up" >&2
+    echo "$TOPO" | head -40 >&2
+    exit 1
+}
+# Kill the worker that served the session above (the one with the most
+# dispatched units — the frames went somewhere). SIGTERM quiesces it:
+# launched cohorts complete so their writes commit exactly once, the
+# rest NACK, and the frontend re-routes its groups to the survivor.
+KILL_ID=$(echo "$TOPO" | python3 -c '
+import json, sys
+nodes = json.load(sys.stdin)["nodes"]
+print(max(nodes, key=lambda n: n["dispatched"])["id"])')
+if [ "$KILL_ID" = 0 ]; then KILL_PID=$W0_PID; else KILL_PID=$W1_PID; fi
+echo "e2e-smoke: SIGTERM fabric worker node $KILL_ID mid-run"
+kill -TERM "$KILL_PID"
+for _ in $(seq 1 50); do
+    curl -sf "http://$SCALE_ADDR/v1/topology" | grep -q '"health": "down"' && break
+    sleep 0.1
+done
+# New sessions must keep rendering host-identical pages on the
+# surviving node (the dead node's groups re-route transparently).
+CRED2=$(grep '^  userid=' "$WORK/host.log" | sed -n 2p)
+USERID2=$(echo "$CRED2" | sed -n 's/.*userid=\([0-9]*\).*/\1/p')
+PASSWD2=$(echo "$CRED2" | sed -n 's/.*passwd=\([^ ]*\).*/\1/p')
+drive_user() {
+    local name=$1 addr=$2 jar="$WORK/$1.jar2"
+    curl -sf -c "$jar" -d "userid=$USERID2&passwd=$PASSWD2" \
+        -o "$WORK/$name.login2" "http://$addr/login.php"
+    curl -sf -b "$jar" -o "$WORK/$name.summary2k" "http://$addr/account_summary.php"
+    curl -sf -b "$jar" -o "$WORK/$name.logout2" "http://$addr/logout.php"
+}
+drive_user host "$HOST_ADDR"
+drive_user scale "$SCALE_ADDR"
+for page in login2 summary2k logout2; do
+    if ! diff -q "$WORK/host.$page" "$WORK/scale.$page"; then
+        echo "e2e-smoke: $page body differs between host and scale-out mode after node kill" >&2
+        diff "$WORK/host.$page" "$WORK/scale.$page" | head -20 >&2 || true
+        exit 1
+    fi
+done
+TOPO2=$(curl -sf "http://$SCALE_ADDR/v1/topology")
+echo "$TOPO2" | grep -q '"health": "down"' || {
+    echo "e2e-smoke: scale-out topology never marked the killed node down" >&2
+    echo "$TOPO2" | head -40 >&2
+    exit 1
+}
+echo "$TOPO2" | grep -Eq '"node_failovers": [1-9]' || {
+    echo "e2e-smoke: frontend counted no node failovers after the worker kill" >&2
+    echo "$TOPO2" | head -40 >&2
+    exit 1
+}
+echo "$TOPO2" | grep -q '"lost_units": 0' || {
+    echo "e2e-smoke: node kill lost units (exactly-once contract broken)" >&2
+    echo "$TOPO2" | head -40 >&2
+    exit 1
+}
+grep -q 'worker quiescing' "$WORK/w$KILL_ID.log" || {
+    echo "e2e-smoke: killed worker did not log its quiesce" >&2
+    cat "$WORK/w$KILL_ID.log" >&2
+    exit 1
+}
 
 # check_metrics <name> <addr> <family...>: scrape /metrics, assert it is
 # parseable Prometheus text format and every listed family is declared.
@@ -380,8 +489,19 @@ fetch() {
     return 1
 }
 ASTATS=$(fetch "http://$ADAPT_ADDR/v1/stats")
-echo "$ASTATS" | grep -q '"schema_version": 4' || {
-    echo "e2e-smoke: /v1/stats missing schema_version 4: $ASTATS" >&2
+echo "$ASTATS" | grep -q '"schema_version": 5' || {
+    echo "e2e-smoke: /v1/stats missing schema_version 5: $ASTATS" >&2
+    exit 1
+}
+# The ?schema=4 compatibility alias must still render the pre-fabric
+# document for v4 readers: version stamp 4, no topology fields.
+A4STATS=$(fetch "http://$ADAPT_ADDR/v1/stats?schema=4")
+echo "$A4STATS" | grep -q '"schema_version": 4' || {
+    echo "e2e-smoke: /v1/stats?schema=4 lost the legacy version stamp" >&2
+    exit 1
+}
+echo "$A4STATS" | grep -q '"transport"' && {
+    echo "e2e-smoke: /v1/stats?schema=4 leaked v5 topology fields" >&2
     exit 1
 }
 echo "$ASTATS" | grep -q '"adapt"' || {
@@ -400,7 +520,7 @@ echo "$ASTATS" | grep -Eq '"host_fallbacks": [1-9]' || {
 # a variable: piping curl straight into grep -q trips pipefail when
 # grep exits at the first match).
 LSTATS=$(fetch "http://$ADAPT_ADDR/rhythm-stats")
-echo "$LSTATS" | grep -q '"schema_version": 4' || {
+echo "$LSTATS" | grep -q '"schema_version": 5' || {
     echo "e2e-smoke: legacy /rhythm-stats alias lost the versioned schema" >&2
     exit 1
 }
@@ -430,7 +550,7 @@ done
 # the launch context the ISSUE promises for tail debugging — including
 # at least one record whose attempt trail shows the injected failover.
 FHEALTH=$(fetch "http://$FLIGHT_ADDR/v1/health")
-for needle in '"schema_version": 4' '"state"' '"fast_burn"' '"slow_burn"' \
+for needle in '"schema_version": 5' '"state"' '"fast_burn"' '"slow_burn"' \
     '"flight_anomalies"' '"exemplars"'; do
     echo "$FHEALTH" | grep -q "$needle" || {
         echo "e2e-smoke: /v1/health missing $needle: $FHEALTH" >&2
@@ -500,4 +620,4 @@ grep -q '"traceEvents"' "$WORK/flight-chrome.json" || {
     exit 1
 }
 
-echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, adaptive, flight-recorder, and mixed-workload modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, a double-pass replay against -render-cache host+cohort servers with cache hits, a fault-injected flight leg with promoted anomalies, /v1/health burn rates, and the rhythm-flight CLI, and a banking+ecom+telemetry leg on 4 shared devices with per-workload byte identity, workload-labeled metrics, and an exactly-once in-order telemetry fan-out; /metrics + /rhythm-trace healthy)"
+echo "e2e-smoke: PASS (4 pages byte-identical across host, cohort, 4-device cluster, adaptive, flight-recorder, mixed-workload, and 2-worker scale-out modes — incl. a device loss mid-session, a 40->1200 req/s step through the formation controller, a double-pass replay against -render-cache host+cohort servers with cache hits, a fault-injected flight leg with promoted anomalies, /v1/health burn rates, and the rhythm-flight CLI, a banking+ecom+telemetry leg on 4 shared devices with per-workload byte identity, workload-labeled metrics, and an exactly-once in-order telemetry fan-out, and a remote-fabric leg shipping cohorts to two rhythmd -worker processes over TCP with a SIGTERM node kill, zero lost units, and host-identical pages on the survivor; /metrics + /rhythm-trace healthy)"

@@ -234,13 +234,16 @@ func TestCohortServerMultiDeviceStall(t *testing.T) {
 // deliver all responses before closing — the multi-device graceful
 // drain contract.
 func TestCohortServerMultiDeviceDrain(t *testing.T) {
-	srv := NewCohortServer(CohortOptions{
+	srv, err := NewCohortServer(CohortOptions{
 		Devices:          4,
 		CohortSize:       32,
 		FormationTimeout: -1, // never: only the drain can launch these
 		RequestDeadline:  30 * time.Second,
 		MaxSessions:      4096,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

@@ -106,7 +106,8 @@ Experiments:
   stragglers    straggler timeout under a heavy-tailed backend (Sec 3.1)
   gpufs         check_detail_images via a GPUfs image cache (Sec 5.1 future work)
   quick-pay     quick_pay with variable kernel launches (Sec 5.1 extension)
-  scale-out     N devices behind one front-end link (Sec 3.2 future work)
+  scale-out     N devices behind one front-end link, analytic projection (Sec 3.2 future work)
+  scaleout      measured weak-scaling sweep over loopback fabric nodes (DESIGN.md Sec 17)
   cluster-scaling  measured multi-device sweep through the cluster layer
   ablations     padding / transpose / intra-request ablations
   timeout       cohort formation timeout policy sweep
@@ -151,6 +152,17 @@ func frontendCfg(cfg harness.Config) harness.Config {
 // regardless of -paper / override flags.
 func workloadsCfg(cfg harness.Config) harness.Config {
 	cfg.CohortSize = 128
+	cfg.MaxCohorts = 4
+	return cfg
+}
+
+// scaleoutCfg pins the measured fabric sweep to the committed
+// BENCH_scaleout.json geometry (the 32-node point needs modest
+// per-node work to stay inside the CI wall-clock budget) regardless of
+// -paper / override flags.
+func scaleoutCfg(cfg harness.Config) harness.Config {
+	cfg.CohortSize = 256
+	cfg.GPUCohortsPerType = 3
 	cfg.MaxCohorts = 4
 	return cfg
 }
@@ -262,8 +274,21 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 		"gpufs":      func() []metric { harness.CheckImagesStudy(cfg).Render().Print(out); return nil },
 		"quick-pay":  func() []metric { harness.QuickPayStudy(cfg).Render().Print(out); return nil },
 		"scale-out": func() []metric {
-			harness.ScaleOutStudy(cfg, []int{1, 2, 4, 8, 16}).Render().Print(out)
+			harness.ScaleOutProjection(cfg, []int{1, 2, 4, 8, 16}).Render().Print(out)
 			return nil
+		},
+		"scaleout": func() []metric {
+			r := harness.ScaleOutStudy(scaleoutCfg(cfg), []int{1, 2, 4, 8, 16, 32})
+			r.Render().Print(out)
+			var ms []metric
+			for _, row := range r.Rows {
+				ms = append(ms,
+					metric{fmt.Sprintf("nodes%d/throughput_req_s", row.Nodes), row.ThroughputK * 1e3},
+					metric{fmt.Sprintf("nodes%d/efficiency", row.Nodes), row.Efficiency},
+					metric{fmt.Sprintf("nodes%d/kernel_errs", row.Nodes), float64(row.KernelErrs)},
+					metric{fmt.Sprintf("nodes%d/lost_writes", row.Nodes), float64(row.LostWrites)})
+			}
+			return ms
 		},
 		"cluster-scaling": func() []metric {
 			r := harness.ClusterScalingStudy(cfg, []int{1, 2, 4, 8})
@@ -383,7 +408,7 @@ func run(cfg harness.Config, what string, jsonMode bool) error {
 		"table1", "table2", "fig2", "table3", "fig8", "fig9", "fig10",
 		"scaling", "resources", "cohort-sweep", "parser", "hyperq",
 		"pcie4", "cpu-simd", "stragglers", "gpufs", "quick-pay", "scale-out",
-		"cluster-scaling", "ablations", "timeout", "adaptive", "workloads",
+		"scaleout", "cluster-scaling", "ablations", "timeout", "adaptive", "workloads",
 		"frontend", "flight",
 	}
 	if what == "all" {

@@ -22,6 +22,31 @@
 //	        [-render-cache 4096]
 //	        [-flight-ring 256] [-flight-slow 250ms]
 //	        [-health-objective 0.99] [-health-fast-window 5m] [-health-slow-window 1h]
+//	        [-loopback-nodes 4] [-nodes host1:9001,host2:9001] [-link-gbps 10]
+//	        [-node-fault-plan nodefaults.json] [-workload-quota banking=0.5,ecom=0.3]
+//
+// Worker mode (DESIGN.md §17):
+//
+//	rhythmd -worker [-addr :9001] [-devices 4] [-groups 16]
+//	        [-workloads banking,ecom,telemetry] [-cohort-size 128] [-contexts 4]
+//
+// -worker turns the process into one device-fabric node: a cluster of
+// modeled SIMT devices behind a listener speaking the fabric's
+// multiplexed wire protocol, no HTTP. A cohort-mode frontend started
+// with -nodes ships formed cohorts to the workers; -groups is the
+// GLOBAL shard-group table size and must be identical on every worker
+// of one fabric (the frontend adopts it at dial time). All workers must
+// also serve the same -workloads in the same order — the hello
+// handshake fingerprints the registry. SIGTERM quiesces: the node
+// completes every launched cohort (its writes commit exactly once),
+// NACKs the rest, says bye, and exits; the frontend re-routes its
+// groups with recorded hops.
+//
+// -loopback-nodes N splits the frontend's own device pool into N
+// in-process fabric nodes (same routing, no sockets); -link-gbps
+// budgets each node's link (NIC for tcp, modeled PCIe for loopback),
+// shedding 503s at saturation; -workload-quota caps named workloads'
+// shares of admission capacity. The node-level view is at /v1/topology.
 //
 // -render-cache N enables the whole-page render cache (DESIGN.md §14,
 // both modes): repeated read-only requests are answered from memory,
@@ -76,12 +101,16 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"rhythm"
 	"rhythm/internal/cluster"
+	"rhythm/internal/fabric"
+	"rhythm/internal/simt"
+	"rhythm/internal/workloads"
 )
 
 func main() {
@@ -107,8 +136,20 @@ func main() {
 		healthObj   = flag.Float64("health-objective", 0, "/v1/health burn-rate objective, the target good fraction (both modes; 0 = 0.99)")
 		healthFast  = flag.Duration("health-fast-window", 0, "/v1/health fast burn window (both modes; 0 = 5m)")
 		healthSlowW = flag.Duration("health-slow-window", 0, "/v1/health slow burn window (both modes; 0 = 1h)")
+		workerOn    = flag.Bool("worker", false, "run as a device-fabric worker node (wire protocol, no HTTP; see -nodes)")
+		groups      = flag.Int("groups", 0, "GLOBAL shard-group table size (worker mode; must match across all workers of one fabric; 0 = -devices)")
+		nodesF      = flag.String("nodes", "", "comma-separated worker addresses: ship cohorts to remote rhythmd -worker processes (cohort mode)")
+		loopNodes   = flag.Int("loopback-nodes", 0, "split the device pool into N in-process fabric nodes (cohort mode; 0 = classic single-node)")
+		linkGbps    = flag.Float64("link-gbps", 0, "per-node link budget in Gbit/s, shedding 503s at saturation (cohort mode; 0 = unmetered)")
+		nodeFaults  = flag.String("node-fault-plan", "", "JSON node-fault schedule killing whole fabric nodes (cohort mode)")
+		quotasF     = flag.String("workload-quota", "", "per-workload admission shares, e.g. banking=0.5,ecom=0.3 (cohort mode)")
 	)
 	flag.Parse()
+
+	if *workerOn {
+		runWorker(*addr, *workloadsF, *devices, *groups, *size, *contexts, *faultPlan)
+		return
+	}
 
 	var plan *cluster.FaultPlan
 	if *faultPlan != "" {
@@ -157,6 +198,35 @@ func main() {
 		if *sloP99 > 0 {
 			opts = append(opts, rhythm.WithSLO(*sloP99), rhythm.WithCrossoverRate(*crossover))
 		}
+		if *nodesF != "" {
+			opts = append(opts, rhythm.WithNodes(strings.Split(*nodesF, ",")...))
+		}
+		if *loopNodes > 0 {
+			opts = append(opts, rhythm.WithLoopbackNodes(*loopNodes))
+		}
+		if *linkGbps > 0 {
+			opts = append(opts, rhythm.WithLinkBudget(*linkGbps*1e9/8))
+		}
+		if *nodeFaults != "" {
+			plan, err := fabric.LoadNodeFaultPlan(*nodeFaults)
+			if err != nil {
+				log.Fatalf("rhythmd: -node-fault-plan: %v", err)
+			}
+			opts = append(opts, rhythm.WithNodeFaultPlan(plan))
+		}
+		if *quotasF != "" {
+			for _, kv := range strings.Split(*quotasF, ",") {
+				name, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					log.Fatalf("rhythmd: -workload-quota: %q is not name=share", kv)
+				}
+				share, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					log.Fatalf("rhythmd: -workload-quota %q: %v", kv, err)
+				}
+				opts = append(opts, rhythm.WithWorkloadQuota(name, share))
+			}
+		}
 	} else {
 		opts = append(opts, rhythm.WithHostExecution())
 	}
@@ -204,6 +274,61 @@ func main() {
 	}
 	<-drained
 	report(srv.Snapshot())
+}
+
+// runWorker hosts one device-fabric node: a cluster of modeled SIMT
+// devices behind a listener speaking the wire protocol (DESIGN.md §17).
+// SIGTERM/SIGINT quiesces — every launched cohort completes and ships
+// its result, the rest NACK, every frontend gets a bye — then exits.
+func runWorker(addr, workloadsF string, devices, groups, size, contexts int, faultPlan string) {
+	reg := rhythm.DefaultRegistry()
+	if workloadsF != "" {
+		var err error
+		if reg, err = workloads.Named(strings.Split(workloadsF, ",")...); err != nil {
+			log.Fatalf("rhythmd: -workloads: %v", err)
+		}
+	}
+	var plan *cluster.FaultPlan
+	if faultPlan != "" {
+		var err error
+		if plan, err = cluster.LoadFaultPlan(faultPlan); err != nil {
+			log.Fatalf("rhythmd: -fault-plan: %v", err)
+		}
+	}
+	// Session-array geometry must match the frontend's defaults so a
+	// request stream produces identical session ids wherever it lands.
+	w := fabric.NewWorker(fabric.WorkerConfig{
+		Registry:              reg,
+		Devices:               devices,
+		Groups:                groups,
+		CohortSize:            size,
+		SlotsPerDevice:        contexts,
+		SessionBuckets:        256,
+		SessionNodesPerBucket: (1<<16)/256*4 + 4,
+		Simt:                  simt.GTXTitan(),
+		Faults:                plan,
+	})
+	if err := w.Listen(addr); err != nil {
+		log.Fatalf("rhythmd: worker listen: %v", err)
+	}
+	if groups == 0 {
+		groups = devices
+	}
+	fmt.Printf("rhythmd: worker node on %s (devices=%d groups=%d cohort-size=%d contexts=%d)\n",
+		w.Addr(), devices, groups, size, contexts)
+	go func() {
+		waitForSignal()
+		fmt.Println("rhythmd: worker quiescing (draining launched cohorts)...")
+		w.Quiesce()
+		// Let the result and bye frames flush to every frontend before
+		// the listener and connections die.
+		time.Sleep(500 * time.Millisecond)
+		w.Close()
+	}()
+	if err := w.Serve(); err != nil {
+		log.Fatalf("rhythmd: worker serve: %v", err)
+	}
+	fmt.Println("rhythmd: worker drained, exiting")
 }
 
 func report(snap rhythm.ServerStats) {

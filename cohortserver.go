@@ -15,6 +15,7 @@ import (
 	"rhythm/internal/backend"
 	"rhythm/internal/cluster"
 	"rhythm/internal/cohort"
+	"rhythm/internal/fabric"
 	"rhythm/internal/flight"
 	"rhythm/internal/httpx"
 	"rhythm/internal/obs"
@@ -57,6 +58,31 @@ type CohortOptions struct {
 	// FaultPlan optionally injects device faults (nil = none); see
 	// cluster.FaultPlan.
 	FaultPlan *cluster.FaultPlan
+	// Nodes splits the device pool into this many in-process fabric
+	// nodes of Devices modeled devices each (default 1 — the classic
+	// single-cluster topology), routed by rendezvous-hashed session
+	// affinity over a global shard-group table (DESIGN.md §17).
+	Nodes int
+	// WorkerAddrs lists remote `rhythmd -worker` addresses; non-empty
+	// selects the tcp fabric transport with one node per address.
+	// Workers size their own device pools, so Devices/Nodes only shape
+	// the frontend's defaults. Render caching and live launch-profile
+	// merging need in-process device state and disable themselves.
+	WorkerAddrs []string
+	// LinkBps budgets each fabric node's link in bytes/sec (0 =
+	// unmetered): the NIC in front of a tcp worker, the modeled PCIe
+	// bus in front of a loopback node. A saturated link sheds with 503
+	// (internal/netmodel; counters in /v1/topology).
+	LinkBps float64
+	// NodeFaultPlan kills whole fabric nodes deterministically
+	// (failover drills); see fabric.NodeFaultPlan.
+	NodeFaultPlan *fabric.NodeFaultPlan
+	// WorkloadQuotas caps each named workload's share (0 < share ≤ 1)
+	// of admission capacity: a workload holding more than
+	// share×(AdmitQueue+OverflowLimit) concurrent in-flight requests
+	// sheds with 503, counted per workload in /v1/stats
+	// (workload_sheds) and /metrics (rhythm_shed_total).
+	WorkloadQuotas map[string]float64
 	// FormationTimeout is the wall-clock §3.1 formation deadline
 	// measured from a cohort's first request (default 2ms; negative
 	// disables timeouts, for tests that exercise drain of partial
@@ -300,6 +326,19 @@ type CohortServerStats struct {
 	DeviceRetries uint64 `json:"device_retries"`
 	ShedCohorts   uint64 `json:"shed_cohorts"`
 
+	// Fabric topology (schema v5): transport kind, per-node rows, and
+	// node-level failover/link counters. Stripped from the ?schema=4
+	// legacy rendering.
+	Transport     string                `json:"transport,omitempty"`
+	Nodes         []fabric.NodeSnapshot `json:"nodes,omitempty"`
+	NodeFailovers uint64                `json:"node_failovers,omitempty"`
+	NodeRetries   uint64                `json:"node_retries,omitempty"`
+	LinkSheds     uint64                `json:"link_sheds,omitempty"`
+	LostUnits     uint64                `json:"lost_units,omitempty"`
+	// WorkloadSheds counts 503-shed requests per workload name (schema
+	// v5): quota, queue, pool, link, and node-loss sheds all count.
+	WorkloadSheds map[string]uint64 `json:"workload_sheds,omitempty"`
+
 	// Render-cache counters (zero when the cache is disabled).
 	CacheHits          uint64 `json:"cache_hits"`
 	CacheMisses        uint64 `json:"cache_misses"`
@@ -346,8 +385,11 @@ type CohortServer struct {
 	reg    *service.Registry
 	names  []string
 	labels []string
-	cl     *cluster.Cluster
-	pool   *cohort.Pool[*liveReq]
+	// fab is the device fabric: the node tier the dispatch loop ships
+	// formed cohorts into. Loopback (default) keeps every node
+	// in-process; WorkerAddrs makes them remote (DESIGN.md §17).
+	fab  *fabric.Fabric
+	pool *cohort.Pool[*liveReq]
 	// ctrl is the adaptive formation controller (nil without an SLO). Its
 	// methods are internally locked; the hot handler path touches it only
 	// in Arrival and RetryAfter.
@@ -398,6 +440,15 @@ type CohortServer struct {
 	badByType   []atomic.Uint64 // per service.TypeID
 	captureBusy atomic.Bool
 
+	// Per-workload admission quotas (WorkloadQuotas): wlLimit is each
+	// workload's concurrent-request cap (0 = unlimited), wlInflight the
+	// live count, wlSheds every 503 shed attributed to the workload —
+	// quota, queue, pool, link, or node loss. All indexed by the
+	// registry's workload index.
+	wlLimit    []int64
+	wlInflight []atomic.Int64
+	wlSheds    []atomic.Uint64
+
 	// Loop-owned state (no locking: single goroutine until doneCh).
 	draining      bool
 	inflight      int
@@ -415,9 +466,12 @@ type CohortServer struct {
 	reqLat        *stats.LatencyRecorder
 }
 
-// NewCohortServer builds the server, its device pool, and its dispatch
-// loop. Callers then Listen + Serve, and Shutdown to drain.
-func NewCohortServer(opts CohortOptions) *CohortServer {
+// NewCohortServer builds the server, its device fabric, and its
+// dispatch loop. Callers then Listen + Serve, and Shutdown to drain.
+// Construction fails when a remote worker cannot be dialed, refuses
+// the wire handshake, or a WorkloadQuotas key names no registered
+// workload.
+func NewCohortServer(opts CohortOptions) (*CohortServer, error) {
 	opts.fill()
 	reg := opts.Registry
 	cfg := simt.GTXTitan()
@@ -425,9 +479,11 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	cfg.SimParallelism = opts.SimParallelism
 	cfg.ProfileOff = opts.ProfileOff
 	cfg.ProfileRing = opts.ProfileRing
-	cl := cluster.New(cluster.Config{
+	fab, err := fabric.New(fabric.Config{
 		Registry:              reg,
-		Devices:               opts.Devices,
+		Nodes:                 opts.Nodes,
+		Addrs:                 opts.WorkerAddrs,
+		DevicesPerNode:        opts.Devices,
 		CohortSize:            opts.CohortSize,
 		SlotsPerDevice:        (opts.MaxCohorts + opts.Devices - 1) / opts.Devices,
 		QueueDepth:            opts.DeviceQueue,
@@ -435,13 +491,18 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		SessionNodesPerBucket: opts.MaxSessions/256*4 + 4,
 		Simt:                  cfg,
 		Faults:                opts.FaultPlan,
+		NodeFaults:            opts.NodeFaultPlan,
+		LinkBps:               opts.LinkBps,
 	})
+	if err != nil {
+		return nil, err
+	}
 	s := &CohortServer{
 		opts:      opts,
 		reg:       reg,
 		names:     reg.DisplayNames(),
 		labels:    typeLabelSets(reg),
-		cl:        cl,
+		fab:       fab,
 		admitCh:   make(chan *liveReq, opts.AdmitQueue),
 		flushCh:   make(chan flushMsg, 256),
 		doCh:      make(chan func(), 16),
@@ -460,6 +521,31 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		flight:    flight.New(flight.Config{Ring: opts.FlightRing, Slow: opts.FlightSlow}),
 		badByType: make([]atomic.Uint64, reg.NumTypes()),
 	}
+	ws := reg.Workloads()
+	s.wlLimit = make([]int64, len(ws))
+	s.wlInflight = make([]atomic.Int64, len(ws))
+	s.wlSheds = make([]atomic.Uint64, len(ws))
+	for name, share := range opts.WorkloadQuotas {
+		idx := -1
+		for i, w := range ws {
+			if w.Name() == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			fab.Close()
+			return nil, fmt.Errorf("rhythm: WorkloadQuotas names unregistered workload %q", name)
+		}
+		// The quota is a share of total admission capacity: the admit
+		// queue plus the overflow park. At least one slot so a tiny
+		// share can still make progress.
+		limit := int64(share * float64(opts.AdmitQueue+opts.OverflowLimit))
+		if limit < 1 {
+			limit = 1
+		}
+		s.wlLimit[idx] = limit
+	}
 	healthSLO := opts.SLO
 	if healthSLO <= 0 {
 		healthSLO = defaultHealthSLO
@@ -476,10 +562,15 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 	})
 	if opts.RenderCache > 0 {
 		s.cache = rcache.New(opts.RenderCache)
-		// The hook observes every committed Besim write cluster-wide:
+		// The hook observes every committed Besim write fabric-wide:
 		// device kernels replay their deferred writes into the owning
-		// group's DB through the same mutators the host path calls.
-		cl.SetWriteHook(s.cache.Invalidate)
+		// group's DB through the same mutators the host path calls. With
+		// remote workers the writes commit in another process — no
+		// invalidation signal reaches the frontend, so the cache must
+		// stay off (SetWriteHook reports false).
+		if !fab.SetWriteHook(s.cache.Invalidate) {
+			s.cache = nil
+		}
 	}
 	// Pool timeout 0: formation deadlines run on wall-clock timers (the
 	// pool's engine argument is unused at timeout 0 — the cluster's
@@ -502,7 +593,7 @@ func NewCohortServer(opts CohortOptions) *CohortServer {
 		})
 	}
 	go s.loop()
-	return s
+	return s, nil
 }
 
 // retryAfter is the Retry-After hint for 503 responses: the controller's
@@ -594,9 +685,10 @@ func (s *CohortServer) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// The loop exits only at inflight 0, so the pool is idle; Close
-	// returns once its workers have drained and exited.
-	s.cl.Close()
+	// The loop exits only at inflight 0, so the fabric is idle; Close
+	// returns once loopback node workers have drained and exited (on
+	// tcp it closes the worker connections).
+	s.fab.Close()
 	// Every admitted request now has its response delivered; handlers
 	// parked in a read will never produce another admission (the closing
 	// flag sheds), so closing them is safe. Handlers mid-write finish
@@ -711,7 +803,7 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 	}
 	switch req.Path {
 	case StatsPath, StatsPathV1:
-		return s.statsResponse(), nil, 0
+		return s.statsResponse(req), nil, 0
 	case MetricsPath, MetricsPathV1:
 		return s.metricsResponse(), nil, 0
 	case TracePath, TracePathV1:
@@ -720,6 +812,8 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 		return flightResponse(req, s.flight), nil, 0
 	case HealthPathV1:
 		return healthResponse(s.hEngine, s.flight), nil, 0
+	case TopologyPathV1:
+		return s.topologyResponse(), nil, 0
 	}
 	t, ok := s.reg.Classify(req)
 	if !ok {
@@ -731,13 +825,15 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 		return errorResponse(404, "Not Found"), nil, 0
 	}
 	id := s.flight.NextID()
+	widx := s.reg.WorkloadIndex(t)
 	if s.closing.Load() {
 		s.rejectedQueue.Add(1)
+		s.wlSheds[widx].Add(1)
 		s.badByType[t].Add(1)
 		s.finishLocal(id, t, start, flight.StatusShed)
 		return busyResponse(s.retryAfter()), nil, id
 	}
-	group := s.cl.GroupFor(req, t)
+	group := s.fab.GroupFor(req, t)
 
 	// Render-cache lookup, before admission: a hit bypasses cohort
 	// formation and kernel launch entirely. The state version is
@@ -751,16 +847,35 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 	)
 	if s.cache != nil && group >= 0 && s.reg.Spec(t).Cacheable {
 		if sid, ok := session.ParseID(req.Cookie(s.reg.WorkloadOf(t).SessionCookie())); ok {
-			if uid, ok := s.cl.GroupSessions(group).Lookup(sid); ok {
-				cacheable, csid, cuid = true, sid, uid
-				cver = s.cache.Version(cuid)
-				if resp, hit := s.cache.Get(t, csid, cuid, cver, req); hit {
-					s.latHist[t].ObserveEx(float64(time.Since(start)), id)
-					s.finishLocal(id, t, start, flight.StatusOK)
-					return resp, nil, id
+			// GroupSessions is nil while the group's owning node is down
+			// (and always on remote transports, where the cache is off).
+			if arr := s.fab.GroupSessions(group); arr != nil {
+				if uid, ok := arr.Lookup(sid); ok {
+					cacheable, csid, cuid = true, sid, uid
+					cver = s.cache.Version(cuid)
+					if resp, hit := s.cache.Get(t, csid, cuid, cver, req); hit {
+						s.latHist[t].ObserveEx(float64(time.Since(start)), id)
+						s.finishLocal(id, t, start, flight.StatusOK)
+						return resp, nil, id
+					}
 				}
 			}
 		}
+	}
+
+	// Per-workload admission quota: the slot is held until this handler
+	// returns (every exit path below runs the deferred release), so the
+	// count is exactly the workload's concurrent in-flight requests.
+	if lim := s.wlLimit[widx]; lim > 0 {
+		if s.wlInflight[widx].Add(1) > lim {
+			s.wlInflight[widx].Add(-1)
+			s.rejectedQueue.Add(1)
+			s.wlSheds[widx].Add(1)
+			s.badByType[t].Add(1)
+			s.finishLocal(id, t, start, flight.StatusShed)
+			return busyResponse(s.retryAfter()), nil, id
+		}
+		defer s.wlInflight[widx].Add(-1)
 	}
 
 	lr := &liveReq{t: t, group: group, enq: time.Now(), resp: make(chan []byte, 1),
@@ -777,6 +892,7 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 	case s.admitCh <- lr:
 	default:
 		s.rejectedQueue.Add(1)
+		s.wlSheds[widx].Add(1)
 		s.badByType[t].Add(1)
 		s.finishLocal(id, t, start, flight.StatusShed)
 		return busyResponse(s.retryAfter()), nil, id
@@ -800,6 +916,7 @@ func (s *CohortServer) respond(a *connArena, raw []byte) ([]byte, *liveReq, uint
 			return resp, lr, id
 		default:
 			s.rejectedQueue.Add(1)
+			s.wlSheds[widx].Add(1)
 			s.badByType[t].Add(1)
 			s.finishLocal(id, t, start, flight.StatusShed)
 			return busyResponse(s.retryAfter()), nil, id
@@ -892,31 +1009,36 @@ func (s *CohortServer) admit(lr *liveReq) {
 	}
 	if len(s.overflow) >= s.opts.OverflowLimit {
 		s.rejectedPool++
-		s.badByType[lr.t].Add(1)
-		lr.frec.Status = flight.StatusShed
-		lr.resp <- busyResponse(s.retryAfter())
+		s.shedReq(lr)
 		return
 	}
 	s.overflow = append(s.overflow, lr)
 }
 
+// shedReq answers one admitted request with the 503 backpressure
+// response, attributing the shed to its workload's counter.
+func (s *CohortServer) shedReq(lr *liveReq) {
+	s.wlSheds[s.reg.WorkloadIndex(lr.t)].Add(1)
+	s.badByType[lr.t].Add(1)
+	lr.frec.Status = flight.StatusShed
+	lr.resp <- busyResponse(s.retryAfter())
+}
+
 // dispatchHost routes one request below the crossover rate straight to
 // the scalar host path as a single-request Host unit: no cohort context,
-// no formation delay. The cluster still executes it on the worker that
-// owns the request's shard group, so responses stay byte-identical and
-// the group state single-writer.
+// no formation delay. The fabric still executes it on the node and
+// device that own the request's shard group, so responses stay
+// byte-identical and the group state single-writer.
 func (s *CohortServer) dispatchHost(lr *liveReq) {
 	unit := &cluster.Unit{Type: lr.t, Group: lr.group, Host: true, Reqs: []httpx.Request{lr.req}}
 	s.inflight++
 	unit.Done = func(res *cluster.Result) {
 		s.doCh <- func() { s.completeHost(lr, res) }
 	}
-	if !s.cl.Dispatch(unit) {
+	if !s.fab.Dispatch(unit) {
 		s.inflight--
 		s.rejectedPool++
-		s.badByType[lr.t].Add(1)
-		lr.frec.Status = flight.StatusShed
-		lr.resp <- busyResponse(s.retryAfter())
+		s.shedReq(lr)
 	}
 }
 
@@ -925,9 +1047,7 @@ func (s *CohortServer) completeHost(lr *liveReq, res *cluster.Result) {
 	s.inflight--
 	if res.Err != nil {
 		s.rejectedPool++
-		s.badByType[lr.t].Add(1)
-		lr.frec.Status = flight.StatusShed
-		lr.resp <- busyResponse(s.retryAfter())
+		s.shedReq(lr)
 		return
 	}
 	s.hostFallbacks++
@@ -1041,11 +1161,13 @@ func (s *CohortServer) typeStats(t service.TypeID) *typeCounters {
 	return tc
 }
 
-// launch hands one formed cohort to the device pool as a cluster.Unit.
-// Routing (session affinity, least-outstanding tie-break, failover) is
-// the cluster's job; completion comes back to the loop goroutine via
-// doCh and lands in complete. A pool refusal — bounded device queue
-// full, or no healthy device — sheds every request with the 503 path.
+// launch hands one formed cohort to the device fabric as a
+// cluster.Unit. Routing (node ownership by rendezvous hash, then the
+// owning node's device-level session affinity and failover) is the
+// fabric's job; completion comes back to the loop goroutine via doCh
+// and lands in complete. A refusal — every node down, the owner's link
+// budget exhausted, or its queues full — sheds every request with the
+// 503 path.
 func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 	reqs := c.Requests()
 	t := reqs[0].t
@@ -1096,7 +1218,7 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 		// therefore always completes.
 		s.doCh <- func() { s.complete(c, res) }
 	}
-	if !s.cl.Dispatch(unit) {
+	if !s.fab.Dispatch(unit) {
 		s.shed(c, reqs)
 	}
 }
@@ -1106,9 +1228,7 @@ func (s *CohortServer) launch(c *cohort.Context[*liveReq], why cohort.Reason) {
 func (s *CohortServer) shed(c *cohort.Context[*liveReq], reqs []*liveReq) {
 	s.shedCohorts++
 	for _, lr := range reqs {
-		s.badByType[lr.t].Add(1)
-		lr.frec.Status = flight.StatusShed
-		lr.resp <- busyResponse(s.retryAfter())
+		s.shedReq(lr)
 	}
 	s.finish(c)
 }
@@ -1122,8 +1242,9 @@ func (s *CohortServer) finish(c *cohort.Context[*liveReq]) {
 
 // complete consumes one cohort's execution result on the loop
 // goroutine: per-stage accounting and spans, response delivery, and
-// context release. A unit the cluster could not replay anywhere
-// (Result.Err — every device dead) sheds like a dispatch refusal.
+// context release. A unit the fabric could not complete (Result.Err —
+// every device dead, no routable node, or a connection lost with the
+// unit's fate unknown) sheds like a dispatch refusal.
 func (s *CohortServer) complete(c *cohort.Context[*liveReq], res *cluster.Result) {
 	reqs := c.Requests()
 	if res.Err != nil {
@@ -1218,10 +1339,12 @@ func (s *CohortServer) Stats() CohortServerStats {
 
 func (s *CohortServer) snapshot() CohortServerStats {
 	ps := s.pool.Stats()
-	// One pass over the cluster under one lock: the per-device rows,
-	// the aggregate, and the failover/retry/shed counters are mutually
-	// consistent even while devices drain or fail over.
-	cs := s.cl.Snapshot()
+	// One pass over the fabric: per-node counters under the fabric
+	// lock, then each node's cluster snapshot (an RPC for remote
+	// workers, stale-cached when one is unreachable). The flattened
+	// device view keeps the single-cluster stats sections meaningful
+	// at any node count.
+	cs := s.fab.Snapshot()
 	st := CohortServerStats{
 		SchemaVersion:    StatsSchemaVersion,
 		Mode:             "cohort",
@@ -1256,9 +1379,19 @@ func (s *CohortServer) snapshot() CohortServerStats {
 		Failovers:        cs.Failovers,
 		DeviceRetries:    cs.Retries,
 		ShedCohorts:      s.shedCohorts,
+		Transport:        cs.Transport,
+		Nodes:            cs.Nodes,
+		NodeFailovers:    cs.NodeFailovers,
+		NodeRetries:      cs.NodeRetries,
+		LinkSheds:        cs.LinkSheds,
+		LostUnits:        cs.LostUnits,
 		FlightRequests:   s.flight.Total(),
 		FlightAnomalies:  s.flight.Promoted(),
 		Types:            make(map[string]CohortTypeStats, len(s.perType)),
+	}
+	st.WorkloadSheds = make(map[string]uint64, len(s.wlSheds))
+	for i, w := range s.reg.Workloads() {
+		st.WorkloadSheds[w.Name()] = s.wlSheds[i].Load()
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -1291,8 +1424,29 @@ func (s *CohortServer) snapshot() CohortServerStats {
 	return st
 }
 
-func (s *CohortServer) statsResponse() []byte {
-	return jsonResponse(s.Stats())
+// statsResponse renders /v1/stats. `?schema=4` renders the legacy
+// schema-v4 document for pre-fabric readers: the v5 topology fields
+// (transport, nodes, node/link counters, workload_sheds) are stripped
+// and the version stamp says 4. Everything v4 defined is identical.
+func (s *CohortServer) statsResponse(req *httpx.Request) []byte {
+	st := s.Stats()
+	if req.Param("schema") == "4" {
+		st.SchemaVersion = 4
+		st.Transport = ""
+		st.Nodes = nil
+		st.NodeFailovers, st.NodeRetries = 0, 0
+		st.LinkSheds, st.LostUnits = 0, 0
+		st.WorkloadSheds = nil
+	}
+	return jsonResponse(st)
+}
+
+// topologyResponse renders /v1/topology: the fabric's node-level view —
+// transport kind, per-node health, routed groups, dispatch/completion
+// counters, link budgets and saturation sheds, and each node's own
+// cluster snapshot.
+func (s *CohortServer) topologyResponse() []byte {
+	return jsonResponse(s.fab.Snapshot())
 }
 
 // workloadOfDisplay resolves a per-type stats key back to its owning
@@ -1353,6 +1507,7 @@ func (s *CohortServer) metricsResponse() []byte {
 	w.Histogram("rhythm_cohort_occupancy", "", s.occupHist.Snapshot(), 1)
 	writeDeviceFamilies(w, st.Device, st.ProfiledLaunches)
 	writeClusterFamilies(w, st)
+	writeFabricFamilies(w, st)
 	writeAdaptFamilies(w, st)
 	if s.cache != nil {
 		writeRenderCacheFamilies(w, s.cache.Stats())
@@ -1383,12 +1538,14 @@ func (s *CohortServer) traceResponse(req *httpx.Request) []byte {
 		defer s.captureBusy.Store(false)
 		since = time.Now()
 		// Launch sequence numbers are per device, so the capture floor
-		// is too: the cluster filters each ring before merging.
-		floors := s.cl.LaunchFloors()
+		// is too: each node cluster filters its rings before the fabric
+		// merges them (empty with remote workers — their rings live in
+		// the worker process).
+		floors := s.fab.LaunchFloors()
 		time.Sleep(time.Duration(secs) * time.Second)
-		launches = s.cl.ProfilesSince(floors)
+		launches = s.fab.ProfilesSince(floors)
 	} else {
-		launches = s.cl.Profiles()
+		launches = s.fab.Profiles()
 	}
 	body := traceDocument(s.tracer, since, wait, launches, 0)
 	return bodyResponse("application/json", body)

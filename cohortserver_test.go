@@ -17,7 +17,10 @@ import (
 // registers a drain on test cleanup.
 func startCohortServer(t *testing.T, opts CohortOptions) *CohortServer {
 	t.Helper()
-	srv := NewCohortServer(opts)
+	srv, err := NewCohortServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -377,11 +380,14 @@ func TestCohortServerSingleRequestTimeout(t *testing.T) {
 // PartiallyFull (timeouts disabled, so it would otherwise wait forever)
 // must flush it and deliver the real response before closing.
 func TestCohortServerShutdownFlushesPartial(t *testing.T) {
-	srv := NewCohortServer(CohortOptions{
+	srv, err := NewCohortServer(CohortOptions{
 		CohortSize:       32,
 		FormationTimeout: -1, // never: only drain can launch this cohort
 		RequestDeadline:  30 * time.Second,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

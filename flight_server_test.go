@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rhythm/internal/cluster"
+	"rhythm/internal/fabric"
 )
 
 // flightTestDoc mirrors the /v1/debug/flight JSON document for test
@@ -352,6 +353,59 @@ func TestFlightFailoverRecordsHops(t *testing.T) {
 	}
 	if !hop {
 		t.Fatalf("no promoted record shows a failover hop (attempts > 1); records: %+v", doc.Records)
+	}
+}
+
+// TestFlightNodeLossRecordsHops: the §15 trail must survive a WHOLE-NODE
+// loss, not just a device loss — with a node fault planted on the node
+// owning the first user's login group, the re-routed request's promoted
+// record shows attempts > 1 exactly like a device hop, with the same
+// causal fields filled in. This is the fabric extension of
+// TestFlightFailoverRecordsHops: Result.Hops folds node moves into the
+// attempt trail.
+func TestFlightNodeLossRecordsHops(t *testing.T) {
+	uid := differentialUIDs[0]
+	target := loginGroupOwner(t, uid, 2)
+	dev := startCohortServer(t, CohortOptions{
+		Devices:          1,
+		Nodes:            2,
+		CohortSize:       8,
+		FormationTimeout: 2 * time.Millisecond,
+		RequestDeadline:  30 * time.Second,
+		MaxSessions:      4096,
+		NodeFaultPlan: &fabric.NodeFaultPlan{Faults: []fabric.NodeFault{
+			{Node: target, AfterUnits: 0},
+		}},
+		FlightSlow: time.Nanosecond, // promote every completed request
+	})
+	driveDifferential(t, dev, differentialUIDs)
+
+	st := dev.Stats()
+	if st.NodeFailovers == 0 {
+		t.Fatal("node fault did not count a failover")
+	}
+	doc := fetchFlightDoc(t, dev.Addr())
+	if doc.ByReason["slow"] == 0 {
+		t.Fatalf("tiny FlightSlow promoted nothing: %+v", doc.ByReason)
+	}
+	var hop bool
+	for _, rec := range doc.Records {
+		if rec.Status != "ok" || rec.Attempts < 2 {
+			continue
+		}
+		hop = true
+		if rec.Device < 0 {
+			t.Fatalf("node-loss record has no device: %+v", rec)
+		}
+		if rec.CohortSize < 1 || rec.LaunchReason == "" {
+			t.Fatalf("node-loss record missing cohort formation outcome: %+v", rec)
+		}
+		if len(rec.LaunchSeqs) == 0 {
+			t.Fatalf("node-loss record has no kernel launch linkage: %+v", rec)
+		}
+	}
+	if !hop {
+		t.Fatalf("no promoted record shows a node hop (attempts > 1); records: %+v", doc.Records)
 	}
 }
 

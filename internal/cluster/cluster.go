@@ -423,6 +423,21 @@ func (c *Cluster) transfer(u *Unit, from int, isRetry bool) {
 	ch <- u
 }
 
+// Healthy reports whether any device in the pool can still accept
+// work. The fabric uses it to tell backpressure (shed and retry later)
+// from a dead node (fail the node over): a Dispatch refusal with no
+// healthy device left means the whole node is lost.
+func (c *Cluster) Healthy() bool {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	for _, d := range c.devs {
+		if d.health != Dead {
+			return true
+		}
+	}
+	return false
+}
+
 // totalInFlightLocked sums outstanding units across the pool.
 func (c *Cluster) totalInFlightLocked() int {
 	n := 0

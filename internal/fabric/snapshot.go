@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"rhythm/internal/cluster"
+	"rhythm/internal/netmodel"
+	"rhythm/internal/simt"
+)
+
+// NodeDeviceStride offsets device ids per node in the fabric's
+// flattened device view: node i's device j reports as i×1000+j. Node 0
+// keeps raw ids, so a single-node fabric's device rows are identical to
+// the bare cluster's.
+const NodeDeviceStride = 1000
+
+// NodeSnapshot is one node's row in a fabric Snapshot — the
+// /v1/topology document's unit of reporting.
+type NodeSnapshot struct {
+	ID     int    `json:"id"`
+	Addr   string `json:"addr"`
+	Health string `json:"health"` // "up" | "down"
+	// Devices is the node's device count (0 when the node has never
+	// answered a stats fetch).
+	Devices     int                `json:"devices"`
+	Groups      []int              `json:"groups"` // groups currently routed here
+	Dispatched  uint64             `json:"dispatched"`
+	Completed   uint64             `json:"completed"`
+	Nacked      uint64             `json:"nacked"`
+	Lost        uint64             `json:"lost"`
+	Outstanding int                `json:"outstanding"`
+	Link        netmodel.LinkStats `json:"link"`
+	// Cluster is the node's own device-pool snapshot (stale-cached when
+	// a remote worker is unreachable; zero when never reached).
+	Cluster cluster.Snapshot `json:"cluster"`
+	// StaleStats marks a remote node whose snapshot could not be
+	// refreshed (the cached one is reported).
+	StaleStats bool `json:"stale_stats,omitempty"`
+}
+
+// Snapshot is the fabric-wide atomic view: node rows plus a flattened
+// device view shaped like a single cluster's, so the cohort server's
+// existing stats sections keep their meaning unchanged.
+type Snapshot struct {
+	Transport     string         `json:"transport"`
+	TotalGroups   int            `json:"total_groups"`
+	Nodes         []NodeSnapshot `json:"nodes"`
+	NodeFailovers uint64         `json:"node_failovers"`
+	NodeRetries   uint64         `json:"node_retries"`
+	LinkSheds     uint64         `json:"link_sheds"`
+	LostUnits     uint64         `json:"lost_units"`
+
+	// Flattened single-cluster-shaped view (device ids offset by
+	// NodeDeviceStride per node; node 0 raw).
+	Devices          []cluster.DeviceSnapshot
+	Aggregate        simt.DeviceStats
+	ProfiledLaunches uint64
+	Failovers        uint64 // device-level, summed across nodes
+	Retries          uint64 // device-level, summed across nodes
+	Sheds            uint64 // device-level, summed across nodes
+}
+
+// Snapshot captures the fabric state: per-node counters under the
+// fabric lock, then each node's cluster snapshot (in-process for
+// loopback; a bounded stats RPC with stale-caching for tcp).
+func (f *Fabric) Snapshot() Snapshot {
+	f.mu.Lock()
+	snap := Snapshot{
+		Transport:     f.tr.Kind(),
+		TotalGroups:   f.cfg.Groups,
+		NodeFailovers: f.nodeFailovers,
+		NodeRetries:   f.nodeRetries,
+		LinkSheds:     f.linkSheds,
+		LostUnits:     f.lostUnits,
+		Nodes:         make([]NodeSnapshot, len(f.nodes)),
+	}
+	groupsOf := make([][]int, len(f.nodes))
+	for g := 0; g < f.cfg.Groups; g++ {
+		if n := f.ownerLocked(g); n >= 0 {
+			groupsOf[n] = append(groupsOf[n], g)
+		}
+	}
+	for i := range f.nodes {
+		ns := &f.nodes[i]
+		health := "up"
+		if !ns.up {
+			health = "down"
+		}
+		snap.Nodes[i] = NodeSnapshot{
+			ID:          i,
+			Addr:        ns.addr,
+			Health:      health,
+			Groups:      groupsOf[i],
+			Dispatched:  ns.dispatched,
+			Completed:   ns.completed,
+			Nacked:      ns.nacked,
+			Lost:        ns.lost,
+			Outstanding: ns.outstanding,
+			Link:        ns.link.Stats(),
+		}
+	}
+	f.mu.Unlock()
+
+	// Node cluster snapshots happen outside the fabric lock: a remote
+	// fetch may block up to its timeout, and loopback snapshots take the
+	// node cluster's own mutex.
+	for i := range snap.Nodes {
+		cs, ok := f.tr.NodeSnapshot(i)
+		f.mu.Lock()
+		if ok {
+			f.nodes[i].lastSnap = cs
+			f.nodes[i].hasSnap = true
+		} else if f.nodes[i].hasSnap {
+			cs = f.nodes[i].lastSnap
+			snap.Nodes[i].StaleStats = true
+		}
+		f.mu.Unlock()
+		snap.Nodes[i].Cluster = cs
+		snap.Nodes[i].Devices = len(cs.Devices)
+
+		snap.Failovers += cs.Failovers
+		snap.Retries += cs.Retries
+		snap.Sheds += cs.Sheds
+		snap.ProfiledLaunches += cs.ProfiledLaunches
+		for _, ds := range cs.Devices {
+			ds.ID += i * NodeDeviceStride
+			snap.Devices = append(snap.Devices, ds)
+			agg := &snap.Aggregate
+			agg.Launches += ds.Stats.Launches
+			agg.Copies += ds.Stats.Copies
+			agg.CopiedBytes += ds.Stats.CopiedBytes
+			agg.IssueCycles += ds.Stats.IssueCycles
+			agg.MemBytes += ds.Stats.MemBytes
+			agg.Transactions += ds.Stats.Transactions
+			agg.IdealTxns += ds.Stats.IdealTxns
+			agg.DivergentExec += ds.Stats.DivergentExec
+			agg.BlockExecs += ds.Stats.BlockExecs
+			agg.EnergyJ += ds.Stats.EnergyJ
+			agg.BusyTime += ds.Stats.BusyTime
+		}
+	}
+	return snap
+}

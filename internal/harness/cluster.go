@@ -12,8 +12,9 @@ import (
 	"rhythm/internal/workloads"
 )
 
-// Where ScaleOutStudy projects scale-out analytically from one measured
-// device, this study actually runs the pool: N modeled SIMT devices
+// Where ScaleOutProjection projects scale-out analytically from one
+// measured device, this study actually runs the pool: N modeled SIMT
+// devices
 // behind the cluster dispatcher, each owning its shard group's session
 // array and Besim DB. It is a weak-scaling sweep — every device gets
 // the same per-group workload — so ideal scaling holds aggregate

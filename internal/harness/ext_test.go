@@ -44,9 +44,9 @@ func TestCheckImagesGPUfsWins(t *testing.T) {
 	}
 }
 
-func TestScaleOutStudy(t *testing.T) {
+func TestScaleOutProjection(t *testing.T) {
 	cfg := tinyConfig()
-	r := ScaleOutStudy(cfg, []int{1, 2, 8})
+	r := ScaleOutProjection(cfg, []int{1, 2, 8})
 	if r.SingleDevice <= 0 {
 		t.Fatal("no single-device rate")
 	}
@@ -61,5 +61,29 @@ func TestScaleOutStudy(t *testing.T) {
 	}
 	if !sawLinkBound {
 		t.Fatal("8 devices should saturate a 100 Gbps front end")
+	}
+}
+
+func TestScaleOutStudyMeasured(t *testing.T) {
+	cfg := tinyConfig()
+	r := ScaleOutStudy(cfg, []int{1, 2, 4})
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ThroughputK <= 0 {
+			t.Fatalf("node count %d reported no throughput: %+v", row.Nodes, row)
+		}
+		if row.KernelErrs != 0 || row.LostWrites != 0 {
+			t.Fatalf("scale-out cost correctness: %+v", row)
+		}
+		// Weak scaling over identical per-node workloads: the slowest
+		// node's virtual time should stay near the 1-node baseline.
+		if row.Efficiency < 0.85 {
+			t.Fatalf("per-node efficiency %.2f at %d nodes, want >= 0.85", row.Efficiency, row.Nodes)
+		}
+	}
+	if r.Rows[2].ThroughputK < 2*r.Rows[0].ThroughputK {
+		t.Fatalf("4 nodes only reached %.1fK vs %.1fK on one", r.Rows[2].ThroughputK, r.Rows[0].ThroughputK)
 	}
 }

@@ -9,15 +9,18 @@ import (
 // The Rhythm pipeline "is general and could be implemented entirely on a
 // single machine or distributed across several machines... we leave
 // exploring alternative implementations as future work" (§3.2). This
-// study takes the obvious first step: N user-sharded Rhythm devices
-// behind one front-end link. Devices share no state (requests shard by
-// user id, §1), so compute scales linearly with N; what binds is the
-// front end's network link, priced with the same §6.3 byte accounting
-// the paper uses. The study combines the measured single-device rate
-// with that analytic ingress/egress bound.
+// projection takes the obvious first step on paper: N user-sharded
+// Rhythm devices behind one front-end link. Devices share no state
+// (requests shard by user id, §1), so compute scales linearly with N;
+// what binds is the front end's network link, priced with the same §6.3
+// byte accounting the paper uses. The projection combines the measured
+// single-device rate with that analytic ingress/egress bound. The
+// MEASURED counterpart — actually running N fabric nodes — is
+// ScaleOutStudy in fabricscale.go.
 
-// ScaleOutRow is one point of the device-count sweep on one link tier.
-type ScaleOutRow struct {
+// ScaleOutProjectionRow is one point of the device-count sweep on one
+// link tier.
+type ScaleOutProjectionRow struct {
 	Devices    int
 	LinkGbps   float64
 	ComputeK   float64 // N x single-device rate, KReq/s
@@ -26,18 +29,18 @@ type ScaleOutRow struct {
 	LinkBound  bool
 }
 
-// ScaleOutResult is the full sweep.
-type ScaleOutResult struct {
+// ScaleOutProjectionResult is the full sweep.
+type ScaleOutProjectionResult struct {
 	SingleDevice float64 // measured reqs/sec of one Titan B
-	Rows         []ScaleOutRow
+	Rows         []ScaleOutProjectionRow
 }
 
-// ScaleOutStudy measures one Titan B (full workload mix) and projects
-// scale-out across the IEEE 802.3 link tiers the paper cites (§2.2.1:
-// 100 Gbps and 400 Gbps standards).
-func ScaleOutStudy(cfg Config, counts []int) ScaleOutResult {
+// ScaleOutProjection measures one Titan B (full workload mix) and
+// projects scale-out across the IEEE 802.3 link tiers the paper cites
+// (§2.2.1: 100 Gbps and 400 Gbps standards).
+func ScaleOutProjection(cfg Config, counts []int) ScaleOutProjectionResult {
 	run := RunTitan(cfg, TitanRunOptions{Variant: TitanB})
-	res := ScaleOutResult{SingleDevice: run.Throughput}
+	res := ScaleOutProjectionResult{SingleDevice: run.Throughput}
 	linkBound := func(gbps float64) float64 {
 		return gbps * 1e9 / 8 / netmodel.NetworkBytesPerRequest()
 	}
@@ -49,7 +52,7 @@ func ScaleOutStudy(cfg Config, counts []int) ScaleOutResult {
 			if bound < delivered {
 				delivered = bound
 			}
-			res.Rows = append(res.Rows, ScaleOutRow{
+			res.Rows = append(res.Rows, ScaleOutProjectionRow{
 				Devices:    n,
 				LinkGbps:   gbps,
 				ComputeK:   compute / 1e3,
@@ -62,8 +65,8 @@ func ScaleOutStudy(cfg Config, counts []int) ScaleOutResult {
 	return res
 }
 
-// Render formats the study.
-func (r ScaleOutResult) Render() *Table {
+// Render formats the projection.
+func (r ScaleOutProjectionResult) Render() *Table {
 	t := &Table{
 		Title: "Future work (Sec 3.2): scale-out behind one front-end link",
 		Caption: fmt.Sprintf(

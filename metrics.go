@@ -29,7 +29,12 @@ import (
 // carry a `workload` label. Banking's type labels stay bare ("login",
 // not "banking/login") as the legacy aliases, so every version-3
 // dashboard keeps working against a banking-only or default registry.
-const StatsSchemaVersion = 4
+// Version 5 adds the device-fabric topology (DESIGN.md §17): a
+// "transport" kind, per-node "nodes" rows, node failover / link
+// saturation counters, per-workload "workload_sheds", and the
+// /v1/topology endpoint. `?schema=4` on /v1/stats renders the legacy
+// document for version-4 readers.
+const StatsSchemaVersion = 5
 
 // DefaultRegistry builds the process-default workload registry: banking
 // (bare legacy labels), then e-commerce, then streaming telemetry.
@@ -48,6 +53,10 @@ const (
 	FlightPathV1 = "/v1/debug/flight"
 	// HealthPathV1 reports the SLO burn-rate health verdict.
 	HealthPathV1 = "/v1/health"
+	// TopologyPathV1 reports the device fabric's node-level view:
+	// transport kind, per-node health and routed groups, dispatch
+	// counters, link budgets and saturation sheds (DESIGN.md §17).
+	TopologyPathV1 = "/v1/topology"
 )
 
 // MetricsPath is the Prometheus text-format endpoint both TCP servers
@@ -398,6 +407,66 @@ func writeClusterFamilies(w *obs.PromWriter, st CohortServerStats) {
 	w.Value("rhythm_cluster_retries_total", "", float64(st.DeviceRetries))
 	w.Family("rhythm_cluster_shed_cohorts_total", "counter", "Cohorts shed with 503s (queues full or no healthy device).")
 	w.Value("rhythm_cluster_shed_cohorts_total", "", float64(st.ShedCohorts))
+}
+
+// writeFabricFamilies emits the device-fabric node tier (DESIGN.md
+// §17): per-workload shed counters and per-node health, dispatch, and
+// link-budget gauges. Nothing node-level is written without node rows
+// (a pre-fabric stats document).
+func writeFabricFamilies(w *obs.PromWriter, st CohortServerStats) {
+	if len(st.WorkloadSheds) > 0 {
+		names := make([]string, 0, len(st.WorkloadSheds))
+		for name := range st.WorkloadSheds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		w.Family("rhythm_shed_total", "counter", "Requests shed with 503, by workload (admission quota, queue, pool, link, or node loss).")
+		for _, name := range names {
+			w.Value("rhythm_shed_total", obs.Label("workload", name), float64(st.WorkloadSheds[name]))
+		}
+	}
+	if len(st.Nodes) == 0 {
+		return
+	}
+	label := func(n int) string { return obs.Label("node", strconv.Itoa(n)) }
+	w.Family("rhythm_fabric_node_up", "gauge", "1 while the fabric node is routable, 0 once down.")
+	for _, n := range st.Nodes {
+		up := 1.0
+		if n.Health != "up" {
+			up = 0
+		}
+		w.Value("rhythm_fabric_node_up", label(n.ID), up)
+	}
+	w.Family("rhythm_fabric_node_groups", "gauge", "Shard groups currently routed to the node.")
+	for _, n := range st.Nodes {
+		w.Value("rhythm_fabric_node_groups", label(n.ID), float64(len(n.Groups)))
+	}
+	w.Family("rhythm_fabric_node_dispatched_total", "counter", "Units the node accepted.")
+	for _, n := range st.Nodes {
+		w.Value("rhythm_fabric_node_dispatched_total", label(n.ID), float64(n.Dispatched))
+	}
+	w.Family("rhythm_fabric_node_outstanding", "gauge", "Units in flight on the node.")
+	for _, n := range st.Nodes {
+		w.Value("rhythm_fabric_node_outstanding", label(n.ID), float64(n.Outstanding))
+	}
+	w.Family("rhythm_fabric_link_sent_bytes_total", "counter", "Bytes charged against the node's link budget.")
+	for _, n := range st.Nodes {
+		w.Value("rhythm_fabric_link_sent_bytes_total", label(n.ID), float64(n.Link.SentBytes))
+	}
+	w.Family("rhythm_fabric_link_utilization", "gauge", "Fraction of the node's link budget consumed (0 when unmetered).")
+	for _, n := range st.Nodes {
+		w.Value("rhythm_fabric_link_utilization", label(n.ID), n.Link.Utilization)
+	}
+	w.Family("rhythm_fabric_link_sheds_total", "counter", "Units refused by the node's saturated link.")
+	for _, n := range st.Nodes {
+		w.Value("rhythm_fabric_link_sheds_total", label(n.ID), float64(n.Link.Sheds))
+	}
+	w.Family("rhythm_fabric_node_failovers_total", "counter", "Nodes marked down and re-routed around.")
+	w.Value("rhythm_fabric_node_failovers_total", "", float64(st.NodeFailovers))
+	w.Family("rhythm_fabric_node_retries_total", "counter", "Unit re-dispatches after node loss (recorded as hops).")
+	w.Value("rhythm_fabric_node_retries_total", "", float64(st.NodeRetries))
+	w.Family("rhythm_fabric_lost_units_total", "counter", "Units whose fate a dead connection left unknown (shed, never retried).")
+	w.Value("rhythm_fabric_lost_units_total", "", float64(st.LostUnits))
 }
 
 // writeAdaptFamilies emits the adaptive-formation controller gauges

@@ -2,10 +2,13 @@ package rhythm
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net"
 	"time"
 
 	"rhythm/internal/cluster"
+	"rhythm/internal/fabric"
 	"rhythm/internal/flight"
 	"rhythm/internal/obs/health"
 	"rhythm/internal/service"
@@ -58,6 +61,9 @@ func (s ServerStats) Served() uint64 {
 type serverConfig struct {
 	host   bool
 	cohort CohortOptions
+	// transport pins the fabric transport ("" = infer: tcp when worker
+	// addresses are set, loopback otherwise).
+	transport string
 }
 
 // Option configures New.
@@ -131,6 +137,61 @@ func WithCrossoverRate(r float64) Option {
 // failover drills (DESIGN.md §11).
 func WithFaultPlan(plan *cluster.FaultPlan) Option {
 	return func(c *serverConfig) { c.cohort.FaultPlan = plan }
+}
+
+// WithNodes ships formed cohorts to remote `rhythmd -worker` processes
+// at the given addresses over the fabric's multiplexed wire protocol,
+// one node per address (DESIGN.md §17). Routing, failover, and stats
+// aggregation work as with WithLoopbackNodes; features that need
+// in-process device state (render cache, live launch profiles) disable
+// themselves. Cohort mode only.
+func WithNodes(addrs ...string) Option {
+	return func(c *serverConfig) { c.cohort.WorkerAddrs = addrs }
+}
+
+// WithLoopbackNodes splits the device pool into n in-process fabric
+// nodes of WithDevices devices each, routed by rendezvous-hashed
+// session affinity over a global group table (DESIGN.md §17).
+// Responses are byte-identical at any node count. Cohort mode only.
+func WithLoopbackNodes(n int) Option {
+	return func(c *serverConfig) { c.cohort.Nodes = n }
+}
+
+// WithTransport pins the fabric transport kind: "loopback" drops any
+// configured worker addresses, "tcp" requires WithNodes addresses (New
+// fails otherwise). Mostly useful to neutralize a WithNodes option
+// coming from config without re-deriving the option list.
+func WithTransport(kind string) Option {
+	return func(c *serverConfig) { c.transport = kind }
+}
+
+// WithLinkBudget meters each fabric node's link at bps bytes/sec (0 =
+// unmetered): the NIC in front of a tcp worker, the modeled PCIe bus in
+// front of a loopback node. A saturated link sheds with 503; counters
+// surface in /v1/topology and rhythm_fabric_link_* (DESIGN.md §17).
+func WithLinkBudget(bps float64) Option {
+	return func(c *serverConfig) { c.cohort.LinkBps = bps }
+}
+
+// WithNodeFaultPlan kills whole fabric nodes deterministically for
+// failover drills: the node quiesces once it has accepted the
+// configured unit count, and its groups re-route with recorded hops
+// (DESIGN.md §17).
+func WithNodeFaultPlan(plan *fabric.NodeFaultPlan) Option {
+	return func(c *serverConfig) { c.cohort.NodeFaultPlan = plan }
+}
+
+// WithWorkloadQuota caps one named workload's share (0 < share ≤ 1) of
+// admission capacity; past it the workload's requests shed with 503,
+// counted in workload_sheds and rhythm_shed_total{workload=...}.
+// Repeat per workload. Cohort mode only.
+func WithWorkloadQuota(name string, share float64) Option {
+	return func(c *serverConfig) {
+		if c.cohort.WorkloadQuotas == nil {
+			c.cohort.WorkloadQuotas = make(map[string]float64)
+		}
+		c.cohort.WorkloadQuotas[name] = share
+	}
 }
 
 // WithRequestDeadline bounds a request's end-to-end residence including
@@ -241,8 +302,23 @@ func New(addr string, opts ...Option) (Server, error) {
 		}
 		return hostServer{srv}, nil
 	}
-	srv := NewCohortServer(cfg.cohort)
+	switch cfg.transport {
+	case "", "loopback", "tcp":
+	default:
+		return nil, fmt.Errorf("rhythm: unknown transport %q (want \"loopback\" or \"tcp\")", cfg.transport)
+	}
+	if cfg.transport == "loopback" {
+		cfg.cohort.WorkerAddrs = nil
+	}
+	if cfg.transport == "tcp" && len(cfg.cohort.WorkerAddrs) == 0 {
+		return nil, errors.New("rhythm: tcp transport needs WithNodes worker addresses")
+	}
+	srv, err := NewCohortServer(cfg.cohort)
+	if err != nil {
+		return nil, err
+	}
 	if err := srv.Listen(addr); err != nil {
+		srv.Shutdown(context.Background())
 		return nil, err
 	}
 	return cohortServer{srv}, nil

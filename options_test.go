@@ -48,8 +48,8 @@ func TestNewHostServer(t *testing.T) {
 	}
 	for _, path := range []string{StatsPathV1, StatsPath} {
 		body := string(get(t, srv, path))
-		if !strings.Contains(body, `"schema_version": 4`) {
-			t.Fatalf("%s missing schema_version 4:\n%s", path, body)
+		if !strings.Contains(body, `"schema_version": 5`) {
+			t.Fatalf("%s missing schema_version 5:\n%s", path, body)
 		}
 		if !strings.Contains(body, `"mode": "host"`) {
 			t.Fatalf("%s missing host mode:\n%s", path, body)
@@ -94,12 +94,31 @@ func TestNewCohortServer(t *testing.T) {
 	}
 	for _, path := range []string{StatsPathV1, StatsPath} {
 		body := string(get(t, srv, path))
-		if !strings.Contains(body, `"schema_version": 4`) || !strings.Contains(body, `"mode": "cohort"`) {
+		if !strings.Contains(body, `"schema_version": 5`) || !strings.Contains(body, `"mode": "cohort"`) {
 			t.Fatalf("%s wrong stats document:\n%.300s", path, body)
 		}
 		if !strings.Contains(body, `"adapt"`) {
 			t.Fatalf("%s missing adapt section:\n%.300s", path, body)
 		}
+		if !strings.Contains(body, `"transport": "loopback"`) || !strings.Contains(body, `"nodes"`) {
+			t.Fatalf("%s missing fabric topology section:\n%.300s", path, body)
+		}
+	}
+	// The ?schema=4 alias renders the pre-fabric document for v4
+	// readers: version stamp 4 and no topology fields.
+	legacy := string(get(t, srv, StatsPathV1+"?schema=4"))
+	if !strings.Contains(legacy, `"schema_version": 4`) {
+		t.Fatalf("?schema=4 missing legacy version stamp:\n%.300s", legacy)
+	}
+	for _, banned := range []string{`"transport"`, `"nodes"`, `"workload_sheds"`} {
+		if strings.Contains(legacy, banned) {
+			t.Fatalf("?schema=4 leaked v5 field %s:\n%.300s", banned, legacy)
+		}
+	}
+	// /v1/topology is the node-level view.
+	topo := string(get(t, srv, TopologyPathV1))
+	if !strings.Contains(topo, `"transport": "loopback"`) || !strings.Contains(topo, `"health": "up"`) {
+		t.Fatalf("topology document wrong:\n%.300s", topo)
 	}
 }
 
@@ -117,7 +136,7 @@ func TestDeprecatedShims(t *testing.T) {
 	if srv := NewTCPServer(4096); srv == nil {
 		t.Fatal("NewTCPServer shim gone")
 	}
-	if srv := NewCohortServer(CohortOptions{}); srv == nil {
-		t.Fatal("NewCohortServer shim gone")
+	if srv, err := NewCohortServer(CohortOptions{}); err != nil || srv == nil {
+		t.Fatalf("NewCohortServer shim gone: %v", err)
 	}
 }
